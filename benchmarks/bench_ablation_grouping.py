@@ -1,0 +1,82 @@
+"""Ablation A2 — how groupings turn event noise into actionable fixes.
+
+§3.5.2: thousands of dynamic problematic operations usually share a
+handful of underlying causes.  For cumf_als and cuIBM we count the
+items a user would have to inspect at each grouping level:
+
+* none          — raw dynamic problematic operations
+* single point  — identical stacks by instruction address
+* folded fn     — identical stacks by demangled base name
+* API fold      — one row per operation type
+* sequences     — contiguous patterns (one fix each)
+
+and check that each level's top item still carries the bulk of the
+recoverable time (grouping must compress the list, not bury the lede).
+"""
+
+from __future__ import annotations
+
+from common import archive, make_app
+
+from repro.core.diogenes import Diogenes
+from repro.core.grouping import (
+    group_by_api,
+    group_folded_function,
+    group_single_point,
+)
+
+
+def generate_ablation():
+    rows = []
+    measured = {}
+    for name in ("cumf-als", "cuibm"):
+        report = Diogenes(make_app(name)).run()
+        analysis = report.analysis
+        points = group_single_point(analysis)
+        folds = group_folded_function(analysis)
+        api = group_by_api(analysis)
+        seqs = report.sequences
+        total = analysis.total_benefit
+        measured[name] = {
+            "events": len(analysis.problems),
+            "single_point": len(points),
+            "folded_function": len(folds),
+            "api_fold": len(api),
+            "sequences": len(seqs),
+            "top_api_share": api[0].total_benefit / total if total else 0.0,
+            "top_seq_share": (seqs[0].est_benefit / total
+                              if seqs and total else 0.0),
+        }
+        m = measured[name]
+        rows.append(
+            f"{name:<10} events={m['events']:>5}  "
+            f"points={m['single_point']:>3}  folds={m['folded_function']:>3}  "
+            f"api={m['api_fold']:>2}  seqs={m['sequences']:>2}   "
+            f"top-fold share={m['top_api_share'] * 100:5.1f}%  "
+            f"top-seq share={m['top_seq_share'] * 100:5.1f}%"
+        )
+    header = "items a user must review, by grouping level"
+    return "\n".join([header, "-" * 96, *rows]), measured
+
+
+def test_ablation_grouping(benchmark):
+    text, measured = benchmark.pedantic(generate_ablation, rounds=1,
+                                        iterations=1)
+    archive("ablation_grouping", text)
+
+    for name, m in measured.items():
+        # Each grouping level compresses (weakly) further.
+        assert m["events"] >= m["single_point"] >= m["folded_function"] \
+            >= m["api_fold"]
+        # Grouping achieves at least an order of magnitude compression.
+        assert m["events"] >= 10 * m["api_fold"]
+        # The top fold still owns a dominant share of the benefit.
+        assert m["top_api_share"] > 0.4
+
+    # cumf_als: the 23-op sequence is essentially the whole story.
+    assert measured["cumf-als"]["top_seq_share"] > 0.5
+
+    # cuIBM: template instances fold — folded-function grouping is
+    # strictly coarser than single points there.
+    assert measured["cuibm"]["folded_function"] <= \
+        measured["cuibm"]["single_point"]

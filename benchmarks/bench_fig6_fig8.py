@@ -1,0 +1,62 @@
+"""Figures 6 and 8 — the cumf_als sequence and subsequence displays.
+
+Figure 6: Diogenes lists a 23-operation problematic sequence (5
+transfer issues among 23 sync issues) recovering 11.45% of execution.
+Figure 8: the subsequence feature re-estimates entries 10–23 at 10.08%
+— close to the whole sequence, with no new data collection.
+"""
+
+from __future__ import annotations
+
+from common import archive, make_app
+
+from repro.core.diogenes import Diogenes
+from repro.core.report import render_sequence, render_subsequence
+from repro.core.sequences import subsequence
+
+
+def generate_fig6_fig8():
+    report = Diogenes(make_app("cumf-als")).run()
+    seq = report.sequences[0]
+    sub = subsequence(report.analysis, seq, 10, 23)
+    fig6 = render_sequence(report, seq)
+    fig8 = render_subsequence(report, sub, 10)
+    return report, seq, sub, fig6, fig8
+
+
+def test_fig6_sequence(benchmark):
+    report, seq, sub, fig6, fig8 = benchmark.pedantic(
+        generate_fig6_fig8, rounds=1, iterations=1)
+    archive("fig6", fig6)
+    archive("fig8", fig8)
+
+    # Figure 6 structure.
+    assert seq.length == 23
+    assert seq.sync_issue_count == 23
+    assert seq.transfer_issue_count == 5
+    listing = seq.listing()
+    assert listing[0] == "1. cudaMemcpy in als.cpp at line 738"
+    assert listing[1] == "2. cudaMemcpy in als.cpp at line 739"
+    assert listing[2] == "3. cudaFree in als.cpp at line 760"
+    assert listing[8] == "9. cudaFree in als.cpp at line 855"
+    assert listing[9] == "10. cudaFree in als.cpp at line 856"
+    assert listing[10] == "11. cudaDeviceSynchronize in als.cpp at line 877"
+    assert listing[11] == "12. cudaFree in als.cpp at line 878"
+    assert listing[21] == "22. cudaFree in als.cpp at line 986"
+    assert listing[22] == "23. cudaFree in als.cpp at line 987"
+
+    # Recoverable time in the paper's neighbourhood (11.45%).
+    full_pct = report.analysis.percent(seq.est_benefit)
+    assert 8.0 < full_pct < 20.0
+
+    # Figure 8: the subsequence recovers most of the full estimate
+    # (paper: 10.08% of 11.45% → ratio 0.88).
+    sub_pct = report.analysis.percent(sub.est_benefit)
+    assert 6.0 < sub_pct < 16.0
+    assert 0.55 < sub.est_benefit / seq.est_benefit <= 1.0
+
+    # Subsequence selection requires no new collection: assert the
+    # refinement used the same graph object.
+    assert sub.instances[0][0].records[0].node_index in \
+        {r.node_index for inst in seq.instances for op in inst
+         for r in op.records}

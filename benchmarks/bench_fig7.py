@@ -1,0 +1,61 @@
+"""Figure 7 — cuIBM overview display and the cudaFree fold expansion.
+
+Left of the figure: the ranked overview (Fold on cudaFree 22.52%,
+sequences, Fold on cudaDeviceSynchronize 7.27%, Fold on
+cudaMemcpyAsync 4.32%, ...).  Right: expanding the cudaFree fold by
+calling function — ``thrust::detail::contiguous_storage<...>`` 10.84%,
+``thrust::pair<...>`` 6.06%, ``cusp::...::multiply<...>`` 3.49% — all
+"conditionally unnecessary".
+"""
+
+from __future__ import annotations
+
+from common import archive, make_app
+
+from repro.core.diogenes import Diogenes
+from repro.core.grouping import expand_fold
+from repro.core.report import render_fold_expansion, render_overview
+
+
+def generate_fig7():
+    report = Diogenes(make_app("cuibm")).run()
+    free_fold = next(g for g in report.api_folds if "cudaFree" in g.label)
+    overview = render_overview(report)
+    expansion = render_fold_expansion(report, free_fold)
+    return report, free_fold, overview, expansion
+
+
+def test_fig7(benchmark):
+    report, free_fold, overview, expansion = benchmark.pedantic(
+        generate_fig7, rounds=1, iterations=1)
+    archive("fig7_overview", overview)
+    archive("fig7_expansion", expansion)
+    analysis = report.analysis
+
+    # The cudaFree fold dominates the overview at roughly the paper's
+    # magnitude (22.52%).
+    assert "cudaFree" in report.api_folds[0].label
+    free_pct = analysis.percent(free_fold.total_benefit)
+    assert 14.0 < free_pct < 32.0
+
+    # The overview also lists sequences and the smaller folds.
+    assert "Sequence starting at call" in overview
+    fold_labels = [g.label for g in report.api_folds]
+    assert any("cudaDeviceSynchronize" in l for l in fold_labels)
+    assert any("cudaMemcpyAsync" in l for l in fold_labels)
+    assert any("cudaStreamSynchronize" in l for l in fold_labels)
+
+    # Expansion rows: the three template functions, biggest first,
+    # each conditionally unnecessary.
+    rows = expand_fold(free_fold)
+    assert "contiguous_storage" in rows[0].base_name
+    row_names = " ".join(r.base_name for r in rows[:4])
+    assert "minmax_element" in row_names
+    assert "multiply" in row_names
+    storage_pct = analysis.percent(rows[0].total_benefit)
+    assert 7.0 < storage_pct < 25.0     # paper: 10.84%
+    assert all(r.conditional for r in rows[:3])
+    assert "Conditionally unnecessary (see: conditions)" in expansion
+
+    # The display keeps the original template-bearing names.
+    assert "thrust::detail::contiguous_storage<" in expansion

@@ -1,0 +1,56 @@
+"""Scalability of the collection pipeline with call volume.
+
+Not a paper artifact, but a claim any tool reproduction should back:
+the five-stage pipeline's cost must scale roughly linearly in the
+number of traced operations (the paper's Diogenes survived >75M calls
+on cuIBM; NVProf did not).  We run the full pipeline over cuIBM at
+growing call volumes and check the per-operation cost stays flat.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import archive
+
+from repro.apps.cuibm import CuIbm
+from repro.core.diogenes import Diogenes
+
+
+def _measure(steps: int, cg_iters: int) -> dict:
+    app = CuIbm(steps=steps, cg_iters=cg_iters)
+    t0 = time.perf_counter()
+    report = Diogenes(app).run()
+    wall = time.perf_counter() - t0
+    events = len(report.stage2.events)
+    return {"steps": steps, "cg": cg_iters, "events": events,
+            "wall": wall, "per_event_us": 1e6 * wall / max(events, 1),
+            "problems": len(report.analysis.problems)}
+
+
+def generate_scalability():
+    points = [_measure(4, 8), _measure(8, 16), _measure(16, 32)]
+    lines = [f"{'scale':<14} {'traced ops':>10} {'pipeline wall':>14} "
+             f"{'us/op':>8} {'problems':>9}"]
+    for p in points:
+        lines.append(
+            f"{p['steps']}x{p['cg']:<11} {p['events']:>10} "
+            f"{p['wall']:>13.2f}s {p['per_event_us']:>8.0f} "
+            f"{p['problems']:>9}"
+        )
+    return "\n".join(lines), points
+
+
+def test_scalability(benchmark):
+    text, points = benchmark.pedantic(generate_scalability, rounds=1,
+                                      iterations=1)
+    archive("scalability", text)
+
+    # Call volume grows ~16x small->large.
+    assert points[-1]["events"] > 10 * points[0]["events"]
+    # Findings scale with the workload (every iteration's frees found).
+    assert points[-1]["problems"] > 10 * points[0]["problems"]
+    # Per-operation pipeline cost stays within ~4x across the sweep
+    # (amortised constant work dominates the smallest point).
+    per_event = [p["per_event_us"] for p in points]
+    assert max(per_event) <= 4.0 * min(per_event)

@@ -1,0 +1,177 @@
+"""Estimator validation over randomized programs.
+
+The paper validates its estimates on four applications.  The simulator
+lets us go further: generate a population of random-but-valid
+workloads, let Diogenes flag problems, apply exactly the flagged fixes
+(delete flagged unnecessary ``cudaDeviceSynchronize`` calls, drop
+flagged duplicate re-uploads), and measure the real saving — the
+estimated-vs-actual comparison of Table 1, at population scale.
+
+Asserted shape: the median estimate/actual ratio is near 1, most
+programs land within 2x, the estimate rank-correlates with the real
+saving, and the naive resource-consumption predictor is categorically
+worse on every statistic.
+
+Random adversarial programs also expose the published algorithm's
+honest tails, which the archived table shows: windows truncate at the
+*next* synchronization node even when that sync's wait is ~0 (an
+underestimate — the freed CPU time keeps helping past a no-op sync),
+and transfers after a sync still count as idle cover at the moment the
+sync is evaluated (an overestimate).  The paper's curated applications
+sit in the well-behaved middle (61-92% accuracy); the tails are the
+price of the simple one-pass upper-bound design.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from common import archive
+
+from repro.apps.synthetic import ScriptedApp
+from repro.core.benefit import expected_benefit_subset, naive_resource_estimate
+from repro.core.diogenes import Diogenes
+from repro.core.graph import ProblemKind
+
+_N_PROGRAMS = 24
+_STEP_MENU = [
+    ("work", 60e-6), ("work", 250e-6),
+    ("launch", 120e-6), ("launch", 450e-6),
+    ("sync",), ("h2d_same", 0), ("h2d", 0), ("d2h", 0), ("read",), ("free",),
+]
+
+
+def _random_script(seed: int, length: int = 18) -> list:
+    rng = random.Random(seed)
+    return [rng.choice(_STEP_MENU) for _ in range(length)]
+
+
+def _flagged_step_indexes(report, script) -> tuple[set[int], list[int]]:
+    """Script indexes of flagged removable steps, plus their graph nodes."""
+    removable: set[int] = set()
+    node_indexes: list[int] = []
+    for p in report.analysis.problems:
+        step_idx = p.line - 100
+        if not 0 <= step_idx < len(script):
+            continue
+        step_kind = script[step_idx][0]
+        if (p.kind is ProblemKind.UNNECESSARY_SYNC
+                and step_kind == "sync"):
+            removable.add(step_idx)
+            node_indexes.append(p.node_index)
+        elif (p.kind is ProblemKind.UNNECESSARY_TRANSFER
+                and step_kind == "h2d_same"):
+            removable.add(step_idx)
+            node_indexes.append(p.node_index)
+    return removable, node_indexes
+
+
+def _evaluate_one(seed: int) -> dict | None:
+    script = _random_script(seed)
+    report = Diogenes(ScriptedApp(script)).run()
+    removable, node_indexes = _flagged_step_indexes(report, script)
+    if not removable:
+        return None
+    # The sync nodes paired with removed duplicate uploads go too (the
+    # whole call disappears), so include each flagged site's sibling
+    # problem nodes.
+    sibling_nodes = [
+        p.node_index for p in report.analysis.problems
+        if (p.line - 100) in removable and p.node_index not in node_indexes
+    ]
+    est = expected_benefit_subset(
+        report.analysis.graph, node_indexes + sibling_nodes).total
+    naive = sum(report.analysis.graph.nodes[i].duration
+                for i in node_indexes + sibling_nodes)
+
+    fixed_script = [s for i, s in enumerate(script) if i not in removable]
+    t_orig = ScriptedApp(script).uninstrumented_time()
+    t_fixed = ScriptedApp(fixed_script).uninstrumented_time()
+    actual = t_orig - t_fixed
+    if actual <= 1e-9:
+        return None
+    return {"seed": seed, "est": est, "naive": naive, "actual": actual,
+            "removed": len(removable)}
+
+
+def _rank(values: list[float]) -> list[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    for rank, idx in enumerate(order):
+        ranks[idx] = float(rank)
+    return ranks
+
+
+def _spearman(xs: list[float], ys: list[float]) -> float:
+    return _correlation(_rank(xs), _rank(ys))
+
+
+def _correlation(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    vy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy)
+
+
+def generate_validation():
+    samples = []
+    for seed in range(_N_PROGRAMS):
+        sample = _evaluate_one(seed)
+        if sample is not None:
+            samples.append(sample)
+    # Sub-20us "savings" are dominated by the removed call's own API
+    # overhead (which the estimator deliberately does not claim);
+    # calibration statistics use the meaningful population.
+    samples = [s for s in samples if s["actual"] >= 20e-6]
+    ratios = sorted(s["est"] / s["actual"] for s in samples)
+    naive_ratios = sorted(s["naive"] / s["actual"] for s in samples)
+    median_ratio = ratios[len(ratios) // 2]
+    median_naive = naive_ratios[len(naive_ratios) // 2]
+    corr = _spearman([s["est"] for s in samples],
+                     [s["actual"] for s in samples])
+    naive_corr = _spearman([s["naive"] for s in samples],
+                           [s["actual"] for s in samples])
+
+    lines = [f"{'seed':>5} {'removed':>8} {'estimate':>12} {'naive':>12} "
+             f"{'actual':>12} {'est/actual':>11}"]
+    for s in samples:
+        lines.append(
+            f"{s['seed']:>5} {s['removed']:>8} {s['est'] * 1e6:10.1f}us "
+            f"{s['naive'] * 1e6:10.1f}us {s['actual'] * 1e6:10.1f}us "
+            f"{s['est'] / s['actual']:>11.2f}"
+        )
+    lines += [
+        "",
+        f"programs with fixable findings: {len(samples)}/{_N_PROGRAMS}",
+        f"median est/actual: {median_ratio:.2f} "
+        f"(naive: {median_naive:.2f})",
+        f"rank correlation est~actual: {corr:.3f} (naive: {naive_corr:.3f})",
+    ]
+    return "\n".join(lines), samples, median_ratio, median_naive, corr
+
+
+def test_validation(benchmark):
+    text, samples, median_ratio, median_naive, corr = benchmark.pedantic(
+        generate_validation, rounds=1, iterations=1)
+    archive("validation", text)
+
+    assert len(samples) >= _N_PROGRAMS // 3
+    # The FFM estimate is well-calibrated in the median...
+    assert 0.6 <= median_ratio <= 1.5
+    # ...most programs land within 2x of the measured saving...
+    within_2x = sum(1 for s in samples
+                    if 0.5 <= s["est"] / s["actual"] <= 2.0)
+    assert within_2x >= 0.6 * len(samples)
+    # ...and the estimate still rank-orders programs usefully despite
+    # the documented tails.
+    assert corr > 0.45
+    # The naive predictor is worse on both calibration and ordering.
+    assert median_naive > median_ratio
+    naive_corr = _spearman([s["naive"] for s in samples],
+                           [s["actual"] for s in samples])
+    assert corr > naive_corr

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the reproduction benches.
+
+Each bench module regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index).  Benches run the
+workloads at *bench scale* — larger than the unit-test scale, small
+enough to finish in seconds — and assert the paper's *shape* (who
+wins, rough factors, crossovers), not absolute seconds.
+
+Rendered tables are printed and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.apps.amg import Amg
+from repro.apps.cuibm import CuIbm
+from repro.apps.cumf_als import CumfAls
+from repro.apps.rodinia_gaussian import RodiniaGaussian
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale_apps() -> dict[str, dict]:
+    """Factory kwargs for each application at bench scale."""
+    return {
+        "cumf-als": {"cls": CumfAls, "kwargs": {"iterations": 20}},
+        "cuibm": {"cls": CuIbm, "kwargs": {"steps": 10, "cg_iters": 20}},
+        "amg": {"cls": Amg, "kwargs": {"cycles": 20}},
+        "rodinia-gaussian": {"cls": RodiniaGaussian, "kwargs": {"n": 64}},
+    }
+
+
+def make_app(name: str, **extra):
+    spec = bench_scale_apps()[name]
+    return spec["cls"](**{**spec["kwargs"], **extra})
+
+
+def archive(name: str, text: str) -> pathlib.Path:
+    """Print a rendered table and save it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+    return path
+
+
+def fmt_pct(x: float) -> str:
+    return f"{x:.2f}%"
+
+
+def fmt_s(x: float) -> str:
+    if x >= 1.0:
+        return f"{x:.2f}s"
+    return f"{x * 1e3:.3f}ms"

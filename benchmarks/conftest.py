@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+The benches are pytest-benchmark targets; each wraps one
+table/figure-regenerating computation.  They are excluded from the
+default test run (``testpaths = tests`` in pyproject.toml) and invoked
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import sys
+import pathlib
+
+# Make `common` importable when pytest runs from the repo root.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

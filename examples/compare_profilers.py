@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The honest-tool comparison (paper §5.2, Table 2).
+
+Profiles the Rodinia Gaussian benchmark and the hidden-private-sync
+workload with three tools:
+
+* the NVProf-like CUPTI-summary profiler (resource consumption),
+* the HPCToolkit-like sampling profiler (resource consumption, with
+  its real-world attribution losses inside opaque waits),
+* Diogenes (expected *benefit*),
+
+then shows the paper's two punchlines: consumption is not benefit
+(94.9% vs 2.2% on cudaThreadSynchronize), and CUPTI-based tools are
+blind to the private driver API that vendor libraries use.
+
+Run:  python examples/compare_profilers.py
+"""
+
+from repro.apps.rodinia_gaussian import RodiniaGaussian
+from repro.apps.synthetic import HiddenPrivateSyncApp
+from repro.core.diogenes import Diogenes
+from repro.profilers import HpcToolkitProfiler, NvprofProfiler
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 68}\n{text}\n{'=' * 68}")
+
+
+def profile_block(app_factory) -> None:
+    nv = NvprofProfiler(record_limit=None).profile(app_factory())
+    hp = HpcToolkitProfiler(period=20e-6).profile(app_factory())
+    report = Diogenes(app_factory()).run()
+    savings = report.analysis.by_api()
+    exec_time = report.analysis.execution_time
+
+    names = [e.name for e in nv.top(6)]
+    for name in savings:
+        if name not in names:
+            names.append(name)
+
+    print(f"{'operation':<26} {'nvprof':>16} {'hpctoolkit':>16} "
+          f"{'diogenes est.':>16}")
+    for name in names:
+        def fmt(entry):
+            return (f"{entry.percent:5.1f}% #{entry.rank}"
+                    if entry else f"{'-':>9}")
+
+        dio = savings.get(name)
+        dio_text = (f"{100 * dio / exec_time:5.1f}%"
+                    if dio is not None else f"{'-':>6}")
+        print(f"{name:<26} {fmt(nv.entry(name)):>16} "
+              f"{fmt(hp.entry(name)):>16} {dio_text:>16}")
+
+
+def main() -> None:
+    banner("Rodinia Gaussian: consumption is not benefit")
+    profile_block(lambda: RodiniaGaussian(n=64))
+    print("\nNVProf attributes ~90%+ of execution to cudaThreadSynchronize;")
+    print("Diogenes knows the app is GPU-bound and reports only a few")
+    print("percent as actually recoverable (the paper measured 2.1% after")
+    print("deleting the call).")
+
+    banner("Vendor-library workload: the CUPTI blind spot")
+    app_factory = lambda: HiddenPrivateSyncApp(iterations=6)  # noqa: E731
+    nv = NvprofProfiler(record_limit=None).profile(app_factory())
+    hp = HpcToolkitProfiler(period=10e-6).profile(app_factory())
+    report = Diogenes(app_factory()).run()
+
+    print("NVProf sees:     ", [e.name for e in nv.top(4)])
+    print("HPCToolkit sees: ", [e.name for e in hp.top(4)])
+    print("Diogenes sees:   ",
+          sorted({p.api_name for p in report.analysis.problems}))
+    hidden = [p for p in report.analysis.problems
+              if p.api_name.startswith("__priv")]
+    print(f"\nDiogenes found {len(hidden)} synchronizations inside the")
+    print("proprietary driver path that produced no CUPTI records at all —")
+    print("instrumenting the internal wait funnel directly is what makes")
+    print("the measurement honest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The cuIBM case study: template folds and the memory-manager fix
+(paper §5.1, Figure 7).
+
+The CFD solver's Thrust/Cusp primitives allocate a device temporary
+per call and free it on return; every free implicitly synchronizes.
+The workflow:
+
+1. run Diogenes; the overview shows a dominant fold on ``cudaFree``;
+2. expand the fold — the *folded function* grouping demangles the C++
+   symbols and strips template parameters, so every instantiation of
+   ``thrust::detail::contiguous_storage<...>`` lands in one row;
+3. apply the paper's fix (a reusing memory pool for the temporaries)
+   and measure — the actual benefit *exceeds* the estimate because the
+   fix also eliminates the cudaMalloc/cudaFuncGetAttributes churn.
+
+Run:  python examples/cuibm_fold_analysis.py
+"""
+
+from repro.apps.cuibm import CuIbm
+from repro.core.diogenes import Diogenes
+from repro.core.grouping import expand_fold
+from repro.core.report import render_fold_expansion, render_overview
+
+STEPS, CG_ITERS = 8, 16
+
+
+def main() -> None:
+    print("=== 1. Overview (Figure 7, left) ===\n")
+    report = Diogenes(CuIbm(steps=STEPS, cg_iters=CG_ITERS)).run()
+    print(render_overview(report))
+
+    print("\n=== 2. Expanding the cudaFree fold (Figure 7, right) ===\n")
+    free_fold = next(g for g in report.api_folds if "cudaFree" in g.label)
+    print(render_fold_expansion(report, free_fold))
+
+    rows = expand_fold(free_fold)
+    print("\nFolded identities (template parameters stripped):")
+    for row in rows[:3]:
+        print(f"  {row.count:>5} dynamic ops fold into  {row.base_name}")
+
+    print("\n=== 3. The fix: a reusing temporary pool ===\n")
+    kw = dict(steps=STEPS, cg_iters=CG_ITERS)
+    t_orig = CuIbm(**kw).uninstrumented_time()
+    t_fixed = CuIbm(fixed=True, **kw).uninstrumented_time()
+    actual = t_orig - t_fixed
+    est = rows[0].total_benefit
+    analysis = report.analysis
+
+    orig_ctx = CuIbm(**kw).execute()
+    fixed_ctx = CuIbm(fixed=True, **kw).execute()
+    print(f"cudaMalloc/cudaFree call pairs: "
+          f"{orig_ctx.driver.devmem.alloc_count} -> "
+          f"{fixed_ctx.driver.devmem.alloc_count}")
+    print(f"estimated (contiguous_storage row): {est * 1e3:8.2f} ms "
+          f"({analysis.percent(est):.1f}%)")
+    print(f"actual after the fix:               {actual * 1e3:8.2f} ms "
+          f"({100 * actual / t_orig:.1f}%)")
+    print("\nActual > estimate, as in the paper (330s vs 202s): the pool")
+    print("also removed the allocation churn, which the synchronization")
+    print("estimate never claimed credit for.")
+
+
+if __name__ == "__main__":
+    main()

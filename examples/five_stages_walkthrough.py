@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The FFM pipeline, one stage at a time (paper §3, Figure 1).
+
+``Diogenes(...).run()`` drives everything automatically; this example
+instead invokes each stage by hand and prints what it collected, to
+make the feed-forward structure tangible: every stage's
+instrumentation decisions are driven by the previous stage's data.
+
+Run:  python examples/five_stages_walkthrough.py
+"""
+
+from repro.apps.synthetic import DuplicateTransferApp
+from repro.core.analysis import analyze
+from repro.core.autofix import render_fixes
+from repro.core.diogenes import DiogenesConfig, Diogenes
+from repro.core.stage1_baseline import run_stage1
+from repro.core.stage2_tracing import run_stage2, traced_function_set
+from repro.core.stage3_memtrace import run_stage3
+from repro.core.stage4_syncuse import run_stage4
+from repro.instr.discovery import discover_sync_function
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 68}\n{text}\n{'=' * 68}")
+
+
+def main() -> None:
+    app = DuplicateTransferApp(iterations=6)
+    config = DiogenesConfig()
+
+    banner("Stage 0 (prelude): discover the internal sync function")
+    evidence = discover_sync_function()
+    print("probe tests (never-completing kernel + known sync calls):")
+    for trigger, stack in evidence.blocked_in.items():
+        print(f"  {trigger:<22} blocked in: {' -> '.join(stack)}")
+    print(f"shared internal wait function: {evidence.wait_symbol}")
+
+    banner("Stage 1: baseline measurement")
+    stage1 = run_stage1(app, config, evidence)
+    print(f"execution time: {stage1.execution_time * 1e3:.3f} ms")
+    print(f"synchronizing functions found: "
+          f"{stage1.synchronizing_functions}")
+    for site in stage1.sync_sites:
+        leaf = site.stack.leaf
+        print(f"  {site.api_name:<22} x{site.count:<4} "
+              f"total wait {site.total_wait * 1e6:8.1f}us   "
+              f"at {leaf.file}:{leaf.line}")
+
+    banner("Stage 2: detailed tracing (driven by stage 1's list)")
+    print(f"traced set: {sorted(traced_function_set(stage1))}")
+    stage2 = run_stage2(app, stage1, config)
+    print(f"{len(stage2.events)} operations traced "
+          f"({len(stage2.sync_events())} syncs, "
+          f"{len(stage2.transfer_events())} transfers); first three:")
+    for event in stage2.events[:3]:
+        print(f"  #{event.seq} {event.api_name:<14} "
+              f"dur {event.duration * 1e6:7.1f}us "
+              f"(sync wait {event.sync_wait * 1e6:6.1f}us) "
+              f"{event.nbytes} B {event.direction}")
+
+    banner("Stage 3: memory tracing + data hashing (separate runs)")
+    memtrace = run_stage3(app, stage1, config, mode="memtrace")
+    hashing = run_stage3(app, stage1, config, mode="hashing")
+    required = sum(1 for r in memtrace.sync_uses if r.required)
+    print(f"memory tracing: {len(memtrace.sync_uses)} syncs observed, "
+          f"{required} protect data the CPU actually uses")
+    dups = [r for r in hashing.transfer_hashes if r.duplicate]
+    print(f"hashing: {len(hashing.transfer_hashes)} payloads hashed, "
+          f"{len(dups)} duplicates")
+    if dups:
+        d = dups[0]
+        print(f"  e.g. digest {d.digest[:16]}… retransferred by "
+              f"occurrence {d.site.occurrence} "
+              f"(first sent at occurrence {d.first_site.occurrence})")
+    from repro.core.records import Stage3Data
+
+    stage3 = Stage3Data(execution_time=memtrace.execution_time,
+                        sync_uses=memtrace.sync_uses,
+                        transfer_hashes=hashing.transfer_hashes)
+
+    banner("Stage 4: sync-use timing (driven by stage 3's instructions)")
+    stage4 = run_stage4(app, stage1, stage3, config)
+    for record in stage4.first_uses[:3]:
+        print(f"  sync occurrence {record.site.occurrence}: first use of "
+              f"protected data {record.first_use_delay * 1e6:.1f}us after "
+              f"the wait ended")
+    if not stage4.first_uses:
+        print("  (no required syncs with measurable first-use delays)")
+
+    banner("Stage 5: analysis")
+    analysis = analyze(stage1, stage2, stage3, stage4)
+    print(f"{len(analysis.problems)} problematic operations, "
+          f"{analysis.total_benefit * 1e3:.3f} ms recoverable "
+          f"({analysis.percent(analysis.total_benefit):.1f}% of execution)")
+    for p in analysis.problems[:4]:
+        print(f"  {p.kind.value:<28} {p.location():<44} "
+              f"+{p.est_benefit * 1e6:7.1f}us")
+
+    banner("Bonus: the §6 direction — recommended remedies")
+    report = Diogenes(app, config).run()
+    print(render_fixes(report))
+
+
+if __name__ == "__main__":
+    main()

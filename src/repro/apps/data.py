@@ -1,0 +1,128 @@
+"""Synthetic input data generators.
+
+Stand-ins for the paper's datasets (documented in DESIGN.md §2):
+
+* :func:`movielens_like` — sparse user/item ratings with the shape
+  character of GroupLens MovieLens 10M (power-law item popularity),
+  scaled down; feeds the cumf_als workload.
+* :func:`lid_driven_cavity` — initial velocity/pressure fields for the
+  cuIBM lid-driven cavity (Re 5000) case.
+* :func:`poisson_system` — a 2-D Poisson linear system for the AMG ij
+  benchmark.
+
+All generators are seeded and deterministic: run-to-run stability is a
+correctness requirement of the multi-run FFM model, not a nicety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RatingsData:
+    """Sparse ratings in COO form plus CSR-ish auxiliary arrays."""
+
+    users: int
+    items: int
+    user_idx: np.ndarray
+    item_idx: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def dense(self) -> np.ndarray:
+        """Dense ratings matrix (zeros where unrated)."""
+        r = np.zeros((self.users, self.items))
+        r[self.user_idx, self.item_idx] = self.values
+        return r
+
+
+def movielens_like(users: int = 600, items: int = 400,
+                   ratings_per_user: int = 12, seed: int = 7) -> RatingsData:
+    """Generate a MovieLens-shaped ratings sample.
+
+    Item popularity follows a Zipf-ish distribution (a few blockbusters,
+    a long tail), ratings are 0.5–5.0 in half-star steps.
+    """
+    rng = np.random.default_rng(seed)
+    popularity = 1.0 / np.arange(1, items + 1) ** 0.8
+    popularity /= popularity.sum()
+    user_idx = np.repeat(np.arange(users), ratings_per_user)
+    item_idx = np.concatenate([
+        rng.choice(items, size=ratings_per_user, replace=False, p=popularity)
+        for _ in range(users)
+    ])
+    values = rng.integers(1, 11, size=len(user_idx)) * 0.5
+    return RatingsData(users=users, items=items,
+                       user_idx=user_idx, item_idx=item_idx,
+                       values=values.astype(np.float64))
+
+
+@dataclass(frozen=True)
+class CavityCase:
+    """Lid-driven cavity initial condition on an ``n x n`` grid."""
+
+    n: int
+    reynolds: float
+    u: np.ndarray      # x-velocity, lid row moving
+    v: np.ndarray      # y-velocity
+    p: np.ndarray      # pressure
+
+    @property
+    def dx(self) -> float:
+        return 1.0 / (self.n - 1)
+
+
+def lid_driven_cavity(n: int = 32, reynolds: float = 5000.0) -> CavityCase:
+    """The cuIBM evaluation case: unit cavity, moving lid, Re 5000."""
+    u = np.zeros((n, n))
+    u[-1, :] = 1.0  # lid
+    return CavityCase(n=n, reynolds=reynolds, u=u, v=np.zeros((n, n)),
+                      p=np.zeros((n, n)))
+
+
+@dataclass(frozen=True)
+class PoissonSystem:
+    """A 2-D Poisson system -∇²x = b on an ``n x n`` interior grid."""
+
+    n: int
+    b: np.ndarray          # right-hand side, flattened n*n
+
+    @property
+    def unknowns(self) -> int:
+        return self.n * self.n
+
+    def apply_operator(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x for the 5-point Laplacian (matrix-free)."""
+        g = x.reshape(self.n, self.n)
+        y = 4.0 * g
+        y[1:, :] -= g[:-1, :]
+        y[:-1, :] -= g[1:, :]
+        y[:, 1:] -= g[:, :-1]
+        y[:, :-1] -= g[:, 1:]
+        return y.reshape(-1)
+
+
+def poisson_system(n: int = 24, seed: int = 11) -> PoissonSystem:
+    """The AMG ij-benchmark stand-in: random smooth RHS, zero Dirichlet."""
+    rng = np.random.default_rng(seed)
+    raw = rng.standard_normal((n, n))
+    # Smooth the RHS a little so multigrid convergence is realistic.
+    smooth = (raw
+              + np.roll(raw, 1, 0) + np.roll(raw, -1, 0)
+              + np.roll(raw, 1, 1) + np.roll(raw, -1, 1)) / 5.0
+    return PoissonSystem(n=n, b=smooth.reshape(-1))
+
+
+def gaussian_matrix(n: int = 64, seed: int = 3) -> tuple[np.ndarray, np.ndarray]:
+    """A diagonally dominant system for the Rodinia Gaussian benchmark."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    a[np.arange(n), np.arange(n)] = n + rng.uniform(1.0, 2.0, size=n)
+    b = rng.uniform(-1.0, 1.0, size=n)
+    return a, b

@@ -1,0 +1,166 @@
+"""FFM Stage 5 — Analysis (§3.5).
+
+Joins the four collection stages into problem verdicts, builds the
+execution graph, runs the expected-benefit estimator, and produces the
+ranked :class:`AnalysisResult` that the report/CLI layers render and
+export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.benefit import BenefitConfig, BenefitResult, expected_benefit
+from repro.core.graph import CpuNode, ExecutionGraph, ProblemKind
+from repro.core.graph_builder import Classification, build_graph
+from repro.core.records import (
+    SiteKey,
+    Stage1Data,
+    Stage2Data,
+    Stage3Data,
+    Stage4Data,
+)
+from repro.instr.stacks import StackTrace
+
+
+@dataclass
+class ProblemRecord:
+    """One problematic dynamic operation, with its estimated benefit."""
+
+    node_index: int
+    kind: ProblemKind
+    api_name: str
+    site: SiteKey
+    stack: StackTrace | None
+    duration: float
+    est_benefit: float
+    first_use_time: float = 0.0
+
+    @property
+    def file(self) -> str:
+        leaf = self.stack.leaf if self.stack else None
+        return leaf.file if leaf else "<unknown>"
+
+    @property
+    def line(self) -> int:
+        leaf = self.stack.leaf if self.stack else None
+        return leaf.line if leaf else 0
+
+    def location(self) -> str:
+        """Figure 6 style: ``cudaFree in als.cpp at line 856``."""
+        return f"{self.api_name} in {self.file} at line {self.line}"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything stage 5 produced for one application."""
+
+    execution_time: float
+    graph: ExecutionGraph
+    benefit: BenefitResult
+    problems: list[ProblemRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_benefit(self) -> float:
+        return sum(p.est_benefit for p in self.problems)
+
+    def percent(self, seconds: float) -> float:
+        """Express a duration as % of baseline execution time."""
+        if self.execution_time <= 0:
+            return 0.0
+        return 100.0 * seconds / self.execution_time
+
+    def sync_problems(self) -> list[ProblemRecord]:
+        return [p for p in self.problems
+                if p.kind in (ProblemKind.UNNECESSARY_SYNC,
+                              ProblemKind.MISPLACED_SYNC)]
+
+    def transfer_problems(self) -> list[ProblemRecord]:
+        return [p for p in self.problems
+                if p.kind is ProblemKind.UNNECESSARY_TRANSFER]
+
+    def by_api(self) -> dict[str, float]:
+        """Total estimated benefit per API function (Table 2's column)."""
+        out: dict[str, float] = {}
+        for p in self.problems:
+            out[p.api_name] = out.get(p.api_name, 0.0) + p.est_benefit
+        return out
+
+
+def classify_operations(stage2: Stage2Data, stage3: Stage3Data,
+                        stage4: Stage4Data, *,
+                        misplaced_min_delay: float = 50e-6,
+                        ) -> dict[SiteKey, Classification]:
+    """Produce per-operation problem verdicts from stages 2–4.
+
+    * a synchronization whose protected data was never accessed before
+      the next synchronization is **unnecessary**;
+    * a required synchronization whose first-use delay is at least
+      ``misplaced_min_delay`` is **misplaced** (movable);
+    * a transfer whose payload hash matched a prior transfer is an
+      **unnecessary (duplicate) transfer**.
+    """
+    required_sites = {r.site for r in stage3.sync_uses if r.required}
+    observed_sync_sites = {r.site for r in stage3.sync_uses}
+    delays = stage4.delay_by_site()
+    duplicate_sites = {r.site for r in stage3.transfer_hashes if r.duplicate}
+
+    verdicts: dict[SiteKey, Classification] = {}
+    for event in stage2.events:
+        sync_problem = ProblemKind.NONE
+        transfer_problem = ProblemKind.NONE
+        first_use = 0.0
+        if event.is_sync and event.site in observed_sync_sites:
+            if event.site not in required_sites:
+                sync_problem = ProblemKind.UNNECESSARY_SYNC
+            else:
+                first_use = delays.get(event.site, 0.0)
+                if first_use >= misplaced_min_delay:
+                    sync_problem = ProblemKind.MISPLACED_SYNC
+        if event.is_transfer and event.site in duplicate_sites:
+            transfer_problem = ProblemKind.UNNECESSARY_TRANSFER
+        if (sync_problem is not ProblemKind.NONE
+                or transfer_problem is not ProblemKind.NONE):
+            verdicts[event.site] = Classification(
+                sync_problem=sync_problem,
+                transfer_problem=transfer_problem,
+                first_use_time=first_use,
+            )
+    return verdicts
+
+
+def analyze(stage1: Stage1Data, stage2: Stage2Data, stage3: Stage3Data,
+            stage4: Stage4Data, *,
+            misplaced_min_delay: float = 50e-6,
+            benefit_config: BenefitConfig | None = None) -> AnalysisResult:
+    """Run the full analysis stage."""
+    verdicts = classify_operations(
+        stage2, stage3, stage4, misplaced_min_delay=misplaced_min_delay,
+    )
+    graph = build_graph(stage2, verdicts)
+    benefit = expected_benefit(graph, benefit_config)
+    per_node = benefit.by_index()
+
+    problems: list[ProblemRecord] = []
+    for node in graph.problematic_nodes():
+        nb = per_node[node.index]
+        problems.append(ProblemRecord(
+            node_index=node.index,
+            kind=node.problem,
+            api_name=node.api_name,
+            site=node.site if node.site is not None
+            else SiteKey(address_key=(), occurrence=0),
+            stack=node.stack,
+            duration=node.duration,
+            est_benefit=nb.est_benefit,
+            first_use_time=node.first_use_time,
+        ))
+    problems.sort(key=lambda p: p.est_benefit, reverse=True)
+
+    return AnalysisResult(
+        execution_time=stage1.execution_time,
+        graph=graph,
+        benefit=benefit,
+        problems=problems,
+    )

@@ -1,0 +1,253 @@
+"""Automatic fix recommendation (the paper's §6 future work).
+
+The paper closes by observing that the problems Diogenes finds
+"typically had a similar underlying cause with a common remedy", and
+that cause+remedy pairs look automatically identifiable.  This module
+is that next step, built on the grouped analysis: a rule engine that
+maps each problem group onto the remedy catalogue the paper's case
+studies actually used:
+
+==========================  ============================================
+pattern                     remedy
+==========================  ============================================
+looping ``cudaFree``        hoist the malloc/free pair out of the loop
+(unnecessary sync, many     or use a reusing temporary pool (the cuIBM
+occurrences of one site)    memory manager / cumf_als fix)
+duplicate uploads           hoist the transfer, guard the source with
+                            ``const`` + write protection (cumf_als fix)
+unnecessary explicit sync   delete the call (Rodinia fix)
+misplaced sync              move the sync to just before the first use
+``cudaMemset`` sync         host-side ``memset`` of the CPU-resident
+(unified memory)            pages (AMG fix)
+conditional async sync      allocate the host side with
+(``cudaMemcpyAsync``)       ``cudaMallocHost`` (pinned memory)
+==========================  ============================================
+
+Recommendations are *advice with evidence* — each carries the grouped
+benefit estimate, the dynamic occurrence count, and a confidence grade
+based on how mechanical the remedy is.  Applying them is the
+workload's job (our evaluation apps implement them as ``fix``
+variants); this engine closes the identify-cause-and-remedy loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.diogenes import DiogenesReport
+from repro.core.graph import ProblemKind
+from repro.core.grouping import ProblemGroup, group_single_point
+
+
+class FixStrategy(enum.Enum):
+    HOIST_ALLOC_FREE = "hoist_alloc_free"
+    HOIST_TRANSFER = "hoist_transfer_and_protect"
+    REMOVE_SYNC = "remove_synchronization"
+    MOVE_SYNC = "move_synchronization_to_first_use"
+    HOST_MEMSET = "replace_with_host_memset"
+    USE_PINNED = "allocate_pinned_host_memory"
+
+
+class Confidence(enum.Enum):
+    HIGH = "high"        # mechanical, local edit
+    MEDIUM = "medium"    # local edit, needs a data-lifetime check
+    LOW = "low"          # structural change required
+
+
+@dataclass
+class FixRecommendation:
+    """One actionable remedy for a problem group."""
+
+    strategy: FixStrategy
+    confidence: Confidence
+    target: str                   # location / fold label
+    rationale: str
+    est_benefit: float
+    occurrences: int
+    api_name: str
+    kinds: frozenset = field(default_factory=frozenset)
+
+    def pretty(self, percent_of=None) -> str:
+        pct = (f" ({percent_of(self.est_benefit):.2f}% of execution)"
+               if percent_of else "")
+        return (f"[{self.confidence.value:<6}] {self.strategy.value}: "
+                f"{self.target}\n"
+                f"         est. benefit {self.est_benefit * 1e3:.3f}ms{pct}, "
+                f"{self.occurrences} dynamic operations\n"
+                f"         {self.rationale}")
+
+
+#: A site repeating at least this often is treated as loop-resident.
+_LOOP_THRESHOLD = 3
+
+
+def _kinds(group: ProblemGroup) -> frozenset:
+    return frozenset(group.problem_kinds())
+
+
+def _recommend_for_group(group: ProblemGroup) -> FixRecommendation | None:
+    kinds = _kinds(group)
+    api = group.members[0].api_name
+    target = group.label
+    in_loop = group.count >= _LOOP_THRESHOLD
+    benefit = group.total_benefit
+
+    if ProblemKind.UNNECESSARY_TRANSFER in kinds:
+        return FixRecommendation(
+            strategy=FixStrategy.HOIST_TRANSFER,
+            confidence=Confidence.MEDIUM if in_loop else Confidence.LOW,
+            target=target,
+            rationale=(
+                "this call re-transfers content-identical data; move the "
+                "transfer before the loop, qualify the source const, and "
+                "write-protect its pages to fault any stale-data write"
+            ),
+            est_benefit=benefit, occurrences=group.count, api_name=api,
+            kinds=kinds,
+        )
+
+    if api in ("cudaFree", "cuMemFree") and \
+            ProblemKind.UNNECESSARY_SYNC in kinds:
+        return FixRecommendation(
+            strategy=FixStrategy.HOIST_ALLOC_FREE,
+            confidence=Confidence.HIGH if in_loop else Confidence.MEDIUM,
+            target=target,
+            rationale=(
+                "each free implicitly synchronizes the device; allocate the "
+                "buffer once outside the loop (or keep a reusing pool for "
+                "per-call temporaries) so the free happens once at teardown"
+            ),
+            est_benefit=benefit, occurrences=group.count, api_name=api,
+            kinds=kinds,
+        )
+
+    if api in ("cudaMemset", "cuMemsetD8") and \
+            ProblemKind.UNNECESSARY_SYNC in kinds:
+        return FixRecommendation(
+            strategy=FixStrategy.HOST_MEMSET,
+            confidence=Confidence.HIGH,
+            target=target,
+            rationale=(
+                "cudaMemset synchronizes when applied to a unified-memory "
+                "address; the pages are CPU-resident here, so a plain host "
+                "memset has the same effect without the stall"
+            ),
+            est_benefit=benefit, occurrences=group.count, api_name=api,
+            kinds=kinds,
+        )
+
+    if api in ("cudaMemcpyAsync", "cuMemcpyDtoHAsync", "cuMemcpyHtoDAsync") \
+            and ProblemKind.UNNECESSARY_SYNC in kinds:
+        return FixRecommendation(
+            strategy=FixStrategy.USE_PINNED,
+            confidence=Confidence.HIGH,
+            target=target,
+            rationale=(
+                "an async copy against pageable host memory silently "
+                "synchronizes; allocate the host buffer with cudaMallocHost "
+                "so the copy is genuinely asynchronous"
+            ),
+            est_benefit=benefit, occurrences=group.count, api_name=api,
+            kinds=kinds,
+        )
+
+    if ProblemKind.MISPLACED_SYNC in kinds:
+        first_use = max(m.first_use_time for m in group.members)
+        return FixRecommendation(
+            strategy=FixStrategy.MOVE_SYNC,
+            confidence=Confidence.MEDIUM,
+            target=target,
+            rationale=(
+                f"the data this synchronization protects is first used "
+                f"~{first_use * 1e6:.0f}us later; move the call to just "
+                f"before that use to overlap the wait with CPU work"
+            ),
+            est_benefit=benefit, occurrences=group.count, api_name=api,
+            kinds=kinds,
+        )
+
+    if ProblemKind.UNNECESSARY_SYNC in kinds:
+        return FixRecommendation(
+            strategy=FixStrategy.REMOVE_SYNC,
+            confidence=Confidence.HIGH,
+            target=target,
+            rationale=(
+                "no CPU access to GPU-written data occurs before the next "
+                "synchronization; the call can be deleted outright"
+            ),
+            est_benefit=benefit, occurrences=group.count, api_name=api,
+            kinds=kinds,
+        )
+
+    return None
+
+
+def recommend_fixes(report: DiogenesReport,
+                    min_benefit: float = 0.0) -> list[FixRecommendation]:
+    """Produce ranked fix recommendations for a Diogenes report.
+
+    One recommendation per *single-point* group (one call site = one
+    edit), ranked by estimated benefit; groups below ``min_benefit``
+    are dropped.
+    """
+    recommendations = []
+    for group in group_single_point(report.analysis):
+        if group.total_benefit < min_benefit:
+            continue
+        rec = _recommend_for_group(group)
+        if rec is not None:
+            recommendations.append(rec)
+
+    # A hoisted transfer also removes its implicit synchronization:
+    # fold same-site sync-removal advice into the transfer remedy so
+    # one call site yields one edit.
+    hoists = {r.target: r for r in recommendations
+              if r.strategy is FixStrategy.HOIST_TRANSFER}
+    merged: list[FixRecommendation] = []
+    for rec in recommendations:
+        if (rec.strategy is FixStrategy.REMOVE_SYNC
+                and rec.target in hoists):
+            hoist = hoists[rec.target]
+            hoist.est_benefit += rec.est_benefit
+            hoist.occurrences = max(hoist.occurrences, rec.occurrences)
+            hoist.kinds = hoist.kinds | rec.kinds
+            continue
+        merged.append(rec)
+
+    merged.sort(key=lambda r: r.est_benefit, reverse=True)
+    return merged
+
+
+def render_fixes(report: DiogenesReport,
+                 recommendations: list[FixRecommendation] | None = None,
+                 limit: int = 15) -> str:
+    """Human-readable remedy list."""
+    recs = (recommendations if recommendations is not None
+            else recommend_fixes(report))
+    if not recs:
+        return "No fixable problems found."
+    lines = [f"Recommended fixes ({len(recs)} candidates, ranked by benefit)",
+             ""]
+    for i, rec in enumerate(recs[:limit], start=1):
+        lines.append(f"{i}. {rec.pretty(percent_of=report.analysis.percent)}")
+    dropped = len(recs) - limit
+    if dropped > 0:
+        lines.append(f"... and {dropped} more")
+    return "\n".join(lines)
+
+
+def fixes_to_json(recommendations: list[FixRecommendation]) -> list[dict]:
+    return [
+        {
+            "strategy": rec.strategy.value,
+            "confidence": rec.confidence.value,
+            "target": rec.target,
+            "rationale": rec.rationale,
+            "est_benefit": rec.est_benefit,
+            "occurrences": rec.occurrences,
+            "api_name": rec.api_name,
+            "kinds": sorted(k.value for k in rec.kinds),
+        }
+        for rec in recommendations
+    ]

@@ -1,0 +1,196 @@
+"""The expected-benefit algorithm (Figure 5 of the paper).
+
+The estimator answers: *if this problematic operation were fixed, how
+much wall time would the application actually recover?*  Raw wait
+duration is a bad answer — removing one wait can simply inflate the
+next one (Figure 4's small-benefit case).  The paper's algorithm walks
+problematic nodes in time order, and for each:
+
+* **Unnecessary synchronization** — the freed wait can be recovered
+  only up to the GPU idle time that the CPU work between this sync and
+  the next can contract; the unabsorbed remainder reappears at (is
+  added to) the next synchronization.  Because durations are mutated
+  in place and nodes are processed in time order, the "carry forward
+  unrealized savings" that sequences need (§3.5.2) emerges naturally:
+  the inflated next sync, if itself problematic, is removed later in
+  the pass and the carried amount gets another chance to be absorbed.
+* **Misplaced synchronization** — moving the sync later by the
+  measured first-use delay recovers up to that much of its wait.
+* **Unnecessary transfer** — the launch node's full duration is
+  recovered.
+
+``expected_benefit_subset`` re-runs the pass pretending only a chosen
+subset of nodes is problematic.  This powers the subsequence feature
+(Figure 8): refined estimates for fixing part of a sequence require no
+new data collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import (
+    IDLE_COVER_TYPES,
+    CpuNode,
+    ExecutionGraph,
+    NodeType,
+    ProblemKind,
+)
+
+
+@dataclass(frozen=True)
+class BenefitConfig:
+    """Estimator knobs.
+
+    ``cap_misplaced_at_wait``: Figure 5 line 25 sets the misplaced-sync
+    benefit to ``FirstUseTime`` unconditionally; a wait cannot shrink
+    below zero, so the recoverable time is really
+    ``min(FirstUseTime, wait)``.  The cap is on by default;
+    switch it off to run the pseudocode verbatim (the ablation bench
+    compares both).
+    """
+
+    cap_misplaced_at_wait: bool = True
+
+
+@dataclass
+class NodeBenefit:
+    """Per-node estimator output, with provenance.
+
+    ``window`` is the idle-cover bound used (``EstMaxGPUIdle`` for
+    removals, the first-use delay for moves, the launch duration for
+    transfers); ``carried_in`` is wait inherited from earlier removals
+    (the §3.5.2 carry), and ``carried_out`` is what this node could not
+    absorb and pushed onto the next synchronization.
+    """
+
+    node_index: int
+    kind: ProblemKind
+    est_benefit: float
+    window: float = 0.0
+    carried_in: float = 0.0
+    carried_out: float = 0.0
+
+
+@dataclass
+class BenefitResult:
+    """Output of one estimator pass."""
+
+    per_node: list[NodeBenefit] = field(default_factory=list)
+    total: float = 0.0
+    #: Final (mutated) durations, index-aligned with the graph — kept
+    #: for tests and for explaining where carried waits landed.
+    final_durations: list[float] = field(default_factory=list)
+
+    def by_index(self) -> dict[int, NodeBenefit]:
+        return {b.node_index: b for b in self.per_node}
+
+
+class _Pass:
+    """One mutation pass over a copy of the graph's durations."""
+
+    def __init__(self, graph: ExecutionGraph, config: BenefitConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.durations = [n.duration for n in graph.nodes]
+
+    # -- Figure 5: RemoveSyncronization --------------------------------
+    def remove_synchronization(self, node: CpuNode) -> NodeBenefit:
+        next_sync = self.graph.next_sync_index(node.index)
+        est_max_gpu_idle = sum(
+            self.durations[n.index]
+            for n in self.graph.nodes_between(node.index, next_sync,
+                                              IDLE_COVER_TYPES)
+        )
+        duration = self.durations[node.index]
+        est_benefit = min(est_max_gpu_idle, duration)
+        carried_out = max(0.0, duration - est_benefit)
+        self.durations[next_sync] += carried_out
+        self.durations[node.index] = 0.0
+        return NodeBenefit(
+            node.index, node.problem, est_benefit,
+            window=est_max_gpu_idle,
+            carried_in=max(0.0, duration - node.duration),
+            carried_out=carried_out,
+        )
+
+    # -- Figure 5: MisplacedSynchronization ----------------------------
+    def move_synchronization(self, node: CpuNode) -> NodeBenefit:
+        est_benefit = node.first_use_time
+        if self.config.cap_misplaced_at_wait:
+            est_benefit = min(est_benefit, self.durations[node.index])
+        self.durations[node.index] = max(
+            0.0, self.durations[node.index] - node.first_use_time
+        )
+        return NodeBenefit(node.index, node.problem, est_benefit,
+                           window=node.first_use_time)
+
+    # -- Figure 5: RemoveMemoryTransfer --------------------------------
+    def remove_memory_transfer(self, node: CpuNode) -> NodeBenefit:
+        est_benefit = self.durations[node.index]
+        self.durations[node.index] = 0.0
+        return NodeBenefit(node.index, node.problem, est_benefit,
+                           window=est_benefit)
+
+    def run(self, nodes: list[CpuNode]) -> BenefitResult:
+        result = BenefitResult()
+        for node in nodes:
+            if node.problem is ProblemKind.UNNECESSARY_SYNC:
+                nb = self.remove_synchronization(node)
+            elif node.problem is ProblemKind.MISPLACED_SYNC:
+                nb = self.move_synchronization(node)
+            elif node.problem is ProblemKind.UNNECESSARY_TRANSFER:
+                nb = self.remove_memory_transfer(node)
+            else:  # pragma: no cover - callers pass problematic nodes
+                continue
+            result.per_node.append(nb)
+            result.total += nb.est_benefit
+        result.final_durations = self.durations
+        return result
+
+
+def expected_benefit(graph: ExecutionGraph,
+                     config: BenefitConfig | None = None) -> BenefitResult:
+    """Estimate the benefit of fixing *every* problematic node.
+
+    Per-node figures are computed under the assumption that all
+    problems are fixed together (the pass mutates shared durations in
+    time order), which is also what makes group/sequence totals simple
+    sums of their members.
+    """
+    config = config if config is not None else BenefitConfig()
+    return _Pass(graph, config).run(graph.problematic_nodes())
+
+
+def expected_benefit_subset(graph: ExecutionGraph, node_indices,
+                            config: BenefitConfig | None = None) -> BenefitResult:
+    """Estimate the benefit of fixing only the given nodes.
+
+    Runs the same pass but treats every node outside ``node_indices``
+    as unproblematic (its wait stays).  Node order is normalised to
+    time order first, as the algorithm requires.
+    """
+    config = config if config is not None else BenefitConfig()
+    wanted = set(node_indices)
+    nodes = [n for n in graph.nodes if n.index in wanted]
+    missing = wanted - {n.index for n in nodes}
+    if missing:
+        raise IndexError(f"unknown node indices: {sorted(missing)}")
+    not_problematic = [n.index for n in nodes if not n.is_problematic()]
+    if not_problematic:
+        raise ValueError(
+            f"nodes {not_problematic} carry no problem annotation; "
+            "subset estimates only apply to problematic nodes"
+        )
+    return _Pass(graph, config).run(nodes)
+
+
+def naive_resource_estimate(graph: ExecutionGraph) -> float:
+    """The resource-consumption "estimate" classic profilers imply.
+
+    Existing tools report time spent at a point and leave the user to
+    assume it is recoverable (§1).  This baseline — the plain sum of
+    problematic durations with no interaction modelling — is what the
+    estimator ablation bench compares against.
+    """
+    return graph.total_problem_wait()

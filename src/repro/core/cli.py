@@ -1,0 +1,178 @@
+"""Command line interface.
+
+Diogenes "is launched in a similar fashion to hpcprof and NVProf" and
+offers a simple terminal interface over the analysed data (§4).  The
+reproduction's CLI runs a registered workload through all five stages
+and renders the displays::
+
+    diogenes run cumf-als                    # full report
+    diogenes run cuibm --view overview       # Figure 7 left
+    diogenes run cuibm --view fold --fold cudaFree
+    diogenes run cumf-als --view sequence    # Figure 6
+    diogenes run cumf-als --view subsequence --from 10 --to 23   # Figure 8
+    diogenes run cuibm --view fixes          # §6: remedy recommendations
+    diogenes run amg --json out.json         # machine-readable export
+    diogenes list                            # available workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.base import registry
+from repro.core.diogenes import Diogenes, DiogenesConfig
+from repro.core import report as reports
+from repro.core.jsonio import dumps_report
+
+
+def _load_workloads() -> None:
+    """Import application modules so they self-register."""
+    import repro.apps.synthetic  # noqa: F401
+    import repro.apps.cumf_als  # noqa: F401
+    import repro.apps.cuibm  # noqa: F401
+    import repro.apps.amg  # noqa: F401
+    import repro.apps.rodinia_gaussian  # noqa: F401
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="diogenes",
+        description="Feed-forward measurement of problematic GPU "
+                    "synchronizations and memory transfers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run = sub.add_parser("run", help="run all FFM stages on a workload")
+    run.add_argument("workload", help="registered workload name")
+    run.add_argument("--view", default="full",
+                     choices=["full", "overview", "fold", "sequence",
+                              "subsequence", "problems", "overhead", "fixes"],
+                     help="which display to render")
+    run.add_argument("--fold", default=None,
+                     help="API name to expand (with --view fold)")
+    run.add_argument("--sequence-index", type=int, default=0,
+                     help="which sequence (rank order) to display")
+    run.add_argument("--from", dest="start_entry", type=int, default=None,
+                     help="subsequence start entry (1-based)")
+    run.add_argument("--to", dest="end_entry", type=int, default=None,
+                     help="subsequence end entry (inclusive)")
+    run.add_argument("--json", dest="json_path", default=None,
+                     help="also export the full report as JSON to this path")
+    run.add_argument("--dedup-policy", default="content",
+                     choices=["content", "content+dst"])
+    run.add_argument("--param", dest="params", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="workload constructor argument, repeatable "
+                          "(e.g. --param iterations=50 --param fix=full); "
+                          "values parse as int/float/bool when possible")
+
+    explore = sub.add_parser(
+        "explore", help="run the stages, then explore interactively")
+    explore.add_argument("workload", help="registered workload name")
+    explore.add_argument("--param", dest="params", action="append",
+                         default=[], metavar="KEY=VALUE")
+    explore.add_argument("--dedup-policy", default="content",
+                         choices=["content", "content+dst"])
+    return parser
+
+
+def _parse_value(raw: str):
+    """Best-effort typed parse of a --param value."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def parse_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _render(args, report) -> str:
+    if args.view == "overview":
+        return reports.render_overview(report)
+    if args.view == "problems":
+        return reports.render_problem_list(report)
+    if args.view == "overhead":
+        return reports.render_overhead(report)
+    if args.view == "fixes":
+        from repro.core.autofix import render_fixes
+
+        return render_fixes(report)
+    if args.view == "fold":
+        if not args.fold:
+            raise SystemExit("--view fold requires --fold <api-name>")
+        for fold in report.api_folds:
+            if fold.label.split()[-1] == args.fold:
+                return reports.render_fold_expansion(report, fold)
+        raise SystemExit(f"no fold on {args.fold!r}; available: "
+                         f"{[f.label.split()[-1] for f in report.api_folds]}")
+    if args.view in ("sequence", "subsequence"):
+        if not report.sequences:
+            raise SystemExit("no problematic sequences found")
+        try:
+            seq = report.sequences[args.sequence_index]
+        except IndexError:
+            raise SystemExit(
+                f"sequence index {args.sequence_index} out of range "
+                f"({len(report.sequences)} sequences)"
+            ) from None
+        if args.view == "sequence":
+            return reports.render_sequence(report, seq)
+        if args.start_entry is None or args.end_entry is None:
+            raise SystemExit("--view subsequence requires --from and --to")
+        from repro.core.sequences import subsequence
+
+        sub = subsequence(report.analysis, seq, args.start_entry,
+                          args.end_entry)
+        return reports.render_subsequence(report, sub, args.start_entry)
+    return reports.render_full_report(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    _load_workloads()
+
+    if args.command == "list":
+        for name in registry.names():
+            print(name)
+        return 0
+
+    try:
+        workload = registry.create(args.workload,
+                                   **parse_params(args.params))
+    except TypeError as exc:
+        raise SystemExit(f"bad --param for {args.workload!r}: {exc}") from exc
+    config = DiogenesConfig(dedup_policy=args.dedup_policy)
+    report = Diogenes(workload, config).run()
+
+    if args.command == "explore":
+        from repro.core.explorer import Explorer
+
+        Explorer(report, sys.stdout, prompt=False).run(sys.stdin)
+        return 0
+
+    print(_render(args, report))
+    if args.json_path:
+        with open(args.json_path, "w") as fp:
+            fp.write(dumps_report(report))
+        print(f"\nJSON report written to {args.json_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

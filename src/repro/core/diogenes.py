@@ -1,0 +1,234 @@
+"""Diogenes — the tool that drives the FFM model end to end (§4).
+
+``Diogenes(workload).run()`` executes the four collection runs and the
+analysis with no user interaction between stages, exactly like the
+paper's tool ("no user involvement is necessary to advance Diogenes
+through the stages").  The result object bundles every stage's data,
+the ranked problems, groupings, sequences, and overhead accounting,
+and exports to JSON (:mod:`repro.core.jsonio`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import AnalysisResult, analyze
+from repro.core.benefit import BenefitConfig
+from repro.core.grouping import ProblemGroup, group_by_api, group_folded_function, group_single_point
+from repro.core.records import Stage1Data, Stage2Data, Stage3Data, Stage4Data
+from repro.core.sequences import Sequence, find_sequences
+from repro.core.stage1_baseline import run_stage1
+from repro.core.stage2_tracing import run_stage2
+from repro.core.stage3_memtrace import run_stage3
+from repro.core.stage4_syncuse import run_stage4
+from repro.sim.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class DiogenesConfig:
+    """All tool knobs in one place.
+
+    Overheads are the virtual cost of instrumentation snippets and are
+    charged to the simulated clock (this is what makes collection runs
+    8×–20× slower, §5.3).  Stage 1 must stay lightweight so the
+    baseline time is honest; later stages may be expensive.
+    """
+
+    machine_config: MachineConfig = field(default_factory=MachineConfig)
+
+    # Instrumentation snippet costs (virtual seconds per probe hit):
+    # a Dyninst-style trampoline, snippet, and stack walk per event.
+    baseline_probe_overhead: float = 0.3e-6
+    tracing_probe_overhead: float = 3.0e-6
+    memtrace_probe_overhead: float = 4.0e-6
+    syncuse_probe_overhead: float = 3.0e-6
+    loadstore_overhead: float = 1.5e-6
+
+    #: Bytes/second the stage-3 hasher sustains (dynamic probe cost).
+    hash_bandwidth: float = 1e9
+
+    #: Collect sync and transfer detail in separate runs, as the paper's
+    #: tool does (§4).  False merges stage 3's two collections into one
+    #: run (cheaper, used by some tests).
+    split_sync_transfer_runs: bool = True
+
+    #: Transfer dedup matching policy ("content" or "content+dst").
+    dedup_policy: str = "content"
+
+    #: Required syncs with a first-use delay at least this long are
+    #: flagged misplaced.
+    misplaced_min_delay: float = 50e-6
+
+    #: Expected-benefit estimator options.
+    benefit: BenefitConfig = field(default_factory=BenefitConfig)
+
+    #: Minimum entries for a run of problems to be reported as a sequence.
+    sequence_min_length: int = 2
+
+
+@dataclass
+class OverheadReport:
+    """Collection cost accounting (§5.3)."""
+
+    baseline_time: float
+    stage_times: dict[str, float]
+
+    @property
+    def total_collection_time(self) -> float:
+        return sum(self.stage_times.values())
+
+    @property
+    def overhead_multiple(self) -> float:
+        """Total collection time as a multiple of one uninstrumented run."""
+        if self.baseline_time <= 0:
+            return 0.0
+        return self.total_collection_time / self.baseline_time
+
+
+@dataclass
+class DiogenesReport:
+    """Everything one Diogenes session produced."""
+
+    workload_name: str
+    stage1: Stage1Data
+    stage2: Stage2Data
+    stage3: Stage3Data
+    stage4: Stage4Data
+    analysis: AnalysisResult
+    api_folds: list[ProblemGroup]
+    single_points: list[ProblemGroup]
+    folded_functions: list[ProblemGroup]
+    sequences: list[Sequence]
+    overhead: OverheadReport
+    #: Run-to-run stability findings (§5.3): FFM matches operations
+    #: across runs by call site + occurrence, so behaviour differences
+    #: between the collection runs degrade the analysis.  Non-empty
+    #: warnings mean results for the named sites are unreliable.
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def total_benefit(self) -> float:
+        return self.analysis.total_benefit
+
+    @property
+    def total_benefit_percent(self) -> float:
+        return self.analysis.percent(self.total_benefit)
+
+    def to_json(self) -> dict:
+        from repro.core.jsonio import report_to_json
+
+        return report_to_json(self)
+
+
+def stability_warnings(stage1: Stage1Data, stage2: Stage2Data,
+                       stage3: Stage3Data) -> list[str]:
+    """Cross-run consistency check (§5.3).
+
+    FFM "performs best when the execution pattern of the application
+    does not change dramatically between runs with the same inputs".
+    We verify the testable core of that assumption: every static sync
+    site must occur the same number of times in the baseline run and
+    in the detailed-tracing run, and the sync occurrences the
+    memory-tracing run saw must be a subset of the traced ones.
+    """
+    warnings: list[str] = []
+
+    def site_label(key: tuple) -> str:
+        return f"{key[-1]:#x}" if key else "<no application frames>"
+
+    baseline_counts: dict[tuple, int] = {}
+    for site in stage1.sync_sites:
+        key = site.stack.address_key()
+        baseline_counts[key] = baseline_counts.get(key, 0) + site.count
+
+    traced_counts: dict[tuple, int] = {}
+    for event in stage2.sync_events():
+        key = event.site.address_key
+        traced_counts[key] = traced_counts.get(key, 0) + 1
+
+    for key, count in sorted(baseline_counts.items()):
+        traced = traced_counts.get(key, 0)
+        if traced != count:
+            warnings.append(
+                f"sync site {site_label(key)}: {count} occurrences in the "
+                f"baseline run but {traced} in the tracing run — "
+                "run-to-run behaviour differs; results for this site are "
+                "unreliable"
+            )
+    for key in sorted(set(traced_counts) - set(baseline_counts)):
+        warnings.append(
+            f"sync site {site_label(key)}: synchronized in the tracing run but "
+            "never in the baseline run — run-to-run behaviour differs"
+        )
+
+    stage3_sites = {r.site for r in stage3.sync_uses}
+    stage2_sites = {e.site for e in stage2.sync_events()}
+    stray = len(stage3_sites - stage2_sites)
+    if stray:
+        warnings.append(
+            f"{stray} sync occurrences in the memory-tracing run have no "
+            "counterpart in the tracing run — run-to-run behaviour differs"
+        )
+    return warnings
+
+
+class Diogenes:
+    """The automated multi-stage/multi-run tool."""
+
+    def __init__(self, workload, config: DiogenesConfig | None = None) -> None:
+        self.workload = workload
+        self.config = config if config is not None else DiogenesConfig()
+
+    def run(self) -> DiogenesReport:
+        """Execute stages 1–5 and assemble the report."""
+        cfg = self.config
+        stage1 = run_stage1(self.workload, cfg)
+        stage2 = run_stage2(self.workload, stage1, cfg)
+        if cfg.split_sync_transfer_runs:
+            # Separate collection runs for synchronization and transfer
+            # detail (§4), merged into one Stage3Data.
+            memtrace = run_stage3(self.workload, stage1, cfg,
+                                  mode="memtrace")
+            hashing = run_stage3(self.workload, stage1, cfg, mode="hashing")
+            stage3 = Stage3Data(
+                execution_time=memtrace.execution_time,
+                sync_uses=memtrace.sync_uses,
+                transfer_hashes=hashing.transfer_hashes,
+            )
+            stage3_times = {
+                "stage3_memtrace": memtrace.execution_time,
+                "stage3_hashing": hashing.execution_time,
+            }
+        else:
+            stage3 = run_stage3(self.workload, stage1, cfg)
+            stage3_times = {"stage3_memtrace": stage3.execution_time}
+        stage4 = run_stage4(self.workload, stage1, stage3, cfg)
+        warnings = stability_warnings(stage1, stage2, stage3)
+        analysis = analyze(
+            stage1, stage2, stage3, stage4,
+            misplaced_min_delay=cfg.misplaced_min_delay,
+            benefit_config=cfg.benefit,
+        )
+        return DiogenesReport(
+            workload_name=getattr(self.workload, "name", "workload"),
+            stage1=stage1,
+            stage2=stage2,
+            stage3=stage3,
+            stage4=stage4,
+            analysis=analysis,
+            api_folds=group_by_api(analysis),
+            single_points=group_single_point(analysis),
+            folded_functions=group_folded_function(analysis),
+            sequences=find_sequences(analysis, cfg.benefit,
+                                     cfg.sequence_min_length),
+            warnings=warnings,
+            overhead=OverheadReport(
+                baseline_time=stage1.execution_time,
+                stage_times={
+                    "stage1_baseline": stage1.execution_time,
+                    "stage2_tracing": stage2.execution_time,
+                    **stage3_times,
+                    "stage4_syncuse": stage4.execution_time,
+                },
+            ),
+        )

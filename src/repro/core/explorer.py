@@ -1,0 +1,166 @@
+"""Interactive terminal explorer for analysed data (§4).
+
+The paper's Diogenes ships "a simple terminal-based command line
+interface to explore data analyzed by FFM", with results sorted by
+potential benefit; Figures 6–8 are screenshots of it (including the
+Back/Previous / Exit footer and the subsequence prompt).  This module
+is that interface: a small line-oriented REPL over a
+:class:`~repro.core.diogenes.DiogenesReport`.
+
+Commands::
+
+    overview               ranked folds and sequences (the home screen)
+    fold <api>             expand a fold by calling function (Figure 7)
+    seq [n]                show the n-th sequence's listing (Figure 6)
+    sub <start> <end>      refined subsequence estimate (Figure 8)
+    problems               flat ranked problem list
+    fixes                  recommended remedies (§6)
+    overhead               collection-cost accounting (§5.3)
+    export <path>          write the JSON report
+    back                   return to the overview
+    exit / quit            leave the explorer
+
+Reads commands from any iterable of lines and writes to any file-like
+object, so it is trivially scriptable and testable; the CLI wires it
+to stdin/stdout.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from repro.core import report as reports
+from repro.core.autofix import render_fixes
+from repro.core.diogenes import DiogenesReport
+from repro.core.jsonio import dumps_report
+from repro.core.sequences import subsequence
+
+_PROMPT = "diogenes> "
+_HELP = __doc__.split("Commands::", 1)[1].rsplit("Reads commands", 1)[0]
+
+
+class Explorer:
+    """Line-oriented explorer session over one report."""
+
+    def __init__(self, report: DiogenesReport, out: TextIO | None = None,
+                 *, prompt: bool = True) -> None:
+        self.report = report
+        self.out = out if out is not None else io.StringIO()
+        self.prompt = prompt
+        self._current_sequence = None
+
+    # ------------------------------------------------------------------
+    def _write(self, text: str) -> None:
+        self.out.write(text)
+        if not text.endswith("\n"):
+            self.out.write("\n")
+
+    def _sequence(self, index: int):
+        sequences = self.report.sequences
+        if not sequences:
+            self._write("no problematic sequences found")
+            return None
+        if not 0 <= index < len(sequences):
+            self._write(f"sequence index out of range "
+                        f"(0..{len(sequences) - 1})")
+            return None
+        return sequences[index]
+
+    # ------------------------------------------------------------------
+    # Command handlers
+    # ------------------------------------------------------------------
+    def cmd_overview(self, *args: str) -> None:
+        self._write(reports.render_overview(self.report))
+
+    cmd_back = cmd_overview
+
+    def cmd_help(self, *args: str) -> None:
+        self._write(_HELP.strip("\n"))
+
+    def cmd_fold(self, *args: str) -> None:
+        if not args:
+            self._write("usage: fold <api-name>   (e.g. fold cudaFree)")
+            return
+        for fold in self.report.api_folds:
+            if fold.label.split()[-1] == args[0]:
+                self._write(reports.render_fold_expansion(self.report, fold))
+                return
+        names = [g.label.split()[-1] for g in self.report.api_folds]
+        self._write(f"no fold on {args[0]!r}; available: {names}")
+
+    def cmd_seq(self, *args: str) -> None:
+        index = 0
+        if args:
+            try:
+                index = int(args[0]) - 1
+            except ValueError:
+                self._write("usage: seq [rank]   (1-based)")
+                return
+        seq = self._sequence(index)
+        if seq is not None:
+            self._current_sequence = seq
+            self._write(reports.render_sequence(self.report, seq))
+
+    def cmd_sub(self, *args: str) -> None:
+        if self._current_sequence is None:
+            self._write("select a sequence first (seq [rank])")
+            return
+        try:
+            start, end = int(args[0]), int(args[1])
+        except (IndexError, ValueError):
+            self._write("usage: sub <start-entry> <end-entry>")
+            return
+        try:
+            refined = subsequence(self.report.analysis,
+                                  self._current_sequence, start, end)
+        except IndexError as exc:
+            self._write(str(exc))
+            return
+        self._write(reports.render_subsequence(self.report, refined, start))
+
+    def cmd_problems(self, *args: str) -> None:
+        self._write(reports.render_problem_list(self.report))
+
+    def cmd_fixes(self, *args: str) -> None:
+        self._write(render_fixes(self.report))
+
+    def cmd_overhead(self, *args: str) -> None:
+        self._write(reports.render_overhead(self.report))
+
+    def cmd_export(self, *args: str) -> None:
+        if not args:
+            self._write("usage: export <path>")
+            return
+        with open(args[0], "w") as fp:
+            fp.write(dumps_report(self.report))
+        self._write(f"JSON report written to {args[0]}")
+
+    # ------------------------------------------------------------------
+    def run(self, lines: Iterable[str]) -> None:
+        """Process commands until exhaustion or an exit command."""
+        self.cmd_overview()
+        for raw in lines:
+            line = raw.strip()
+            if self.prompt:
+                self._write(f"{_PROMPT}{line}")
+            if not line:
+                continue
+            command, *args = line.split()
+            if command in ("exit", "quit"):
+                self._write("bye")
+                return
+            handler = getattr(self, f"cmd_{command}", None)
+            if handler is None:
+                self._write(f"unknown command {command!r} "
+                            f"(try 'help')")
+                continue
+            handler(*args)
+
+
+def explore(report: DiogenesReport, lines: Iterable[str],
+            out: TextIO | None = None) -> str:
+    """Convenience wrapper: run a session, return everything printed."""
+    sink = out if out is not None else io.StringIO()
+    Explorer(report, sink).run(lines)
+    return sink.getvalue() if isinstance(sink, io.StringIO) else ""

@@ -1,0 +1,140 @@
+"""The program execution graph of §3.5.
+
+The paper models execution as a graph ``G = (N, V)`` with CPU and GPU
+nodes (CWork, CLaunch, CWait / GWork, GWait) whose out-edges carry
+real-time durations.  The expected-benefit estimator only needs the
+**CPU graph** — the paper's key observation is that an effective
+upper-bound estimate of GPU idle contraction can be made from CPU
+nodes alone (§3.5.1) — so that is what we materialise from stage-2
+traces: a time-ordered list of CPU nodes where ``duration`` plays the
+role of ``OutCPUEdge(N).Duration``.
+
+GPU node types are retained for hand-built graphs (the Figure 4
+examples and unit tests) but never constructed from traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.records import SiteKey
+from repro.instr.stacks import StackTrace
+
+
+class NodeType(enum.Enum):
+    """Event type of a node (paper's ``NType``)."""
+
+    CWORK = "CWork"       # CPU computation
+    CLAUNCH = "CLaunch"   # CPU requesting asynchronous GPU work / a transfer
+    CWAIT = "CWait"       # CPU waiting on GPU completion
+    EXIT = "Exit"         # program end; treated as a final necessary sync
+    GWORK = "GWork"       # GPU computation (hand-built graphs only)
+    GWAIT = "GWait"       # GPU signalling completion (hand-built graphs only)
+
+
+class ProblemKind(enum.Enum):
+    """Problem annotation of a node (paper's ``Problem`` attribute)."""
+
+    NONE = "none"
+    UNNECESSARY_SYNC = "unnecessary_synchronization"
+    MISPLACED_SYNC = "misplaced_synchronization"
+    UNNECESSARY_TRANSFER = "unnecessary_transfer"
+
+
+#: Node types that terminate a wait-removal window (GetNextSyncNode).
+SYNC_TYPES = (NodeType.CWAIT, NodeType.EXIT)
+
+#: Node types whose durations bound GPU idle contraction
+#: (``CPUNodesBetween(..., CLaunch or CWork)`` in Figure 5).
+IDLE_COVER_TYPES = (NodeType.CLAUNCH, NodeType.CWORK)
+
+
+@dataclass
+class CpuNode:
+    """One CPU event node.
+
+    ``duration`` is the label of the node's out-CPU-edge (the paper
+    writes ``OutCPUEdge(N).Duration``); ``stime`` its start time.
+    ``first_use_time`` is stage 4's measurement for misplaced syncs.
+    """
+
+    ntype: NodeType
+    stime: float
+    duration: float
+    problem: ProblemKind = ProblemKind.NONE
+    first_use_time: float = 0.0
+    api_name: str = ""
+    site: SiteKey | None = None
+    stack: StackTrace | None = None
+    index: int = -1
+
+    def is_sync(self) -> bool:
+        return self.ntype in SYNC_TYPES
+
+    def is_problematic(self) -> bool:
+        return self.problem is not ProblemKind.NONE
+
+
+class ExecutionGraph:
+    """Time-ordered CPU node list with the queries Figure 5 needs."""
+
+    def __init__(self, nodes: list[CpuNode], execution_time: float) -> None:
+        for i, node in enumerate(nodes):
+            node.index = i
+        if not nodes or nodes[-1].ntype is not NodeType.EXIT:
+            exit_node = CpuNode(NodeType.EXIT, execution_time, 0.0)
+            exit_node.index = len(nodes)
+            nodes = list(nodes) + [exit_node]
+        self.nodes = nodes
+        self.execution_time = execution_time
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[CpuNode]:
+        return iter(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Figure 5 helper queries
+    # ------------------------------------------------------------------
+    def problematic_nodes(self) -> list[CpuNode]:
+        """Problem-annotated nodes in time order (Graph.ProblematicNodes)."""
+        return [n for n in self.nodes if n.is_problematic()]
+
+    def next_sync_index(self, index: int) -> int:
+        """Index of the next synchronization node after ``index``.
+
+        The Exit node terminates every search (program end is a
+        synchronization with everything), so a result always exists.
+        """
+        for j in range(index + 1, len(self.nodes)):
+            if self.nodes[j].ntype in SYNC_TYPES:
+                return j
+        raise IndexError(f"no sync node after index {index} (missing Exit?)")
+
+    def nodes_between(self, start: int, end: int,
+                      types=IDLE_COVER_TYPES) -> list[CpuNode]:
+        """Nodes strictly between two indices, filtered by type
+        (``CPUNodesBetween`` in Figure 5)."""
+        return [n for n in self.nodes[start + 1 : end] if n.ntype in types]
+
+    def total_problem_wait(self) -> float:
+        """Summed durations of problematic nodes (a naive estimate)."""
+        return sum(n.duration for n in self.problematic_nodes())
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        prev_end = 0.0
+        for node in self.nodes:
+            if node.duration < 0:
+                raise ValueError(f"node {node.index} has negative duration")
+            if node.stime + 1e-12 < prev_end:
+                raise ValueError(
+                    f"node {node.index} starts at {node.stime} before previous "
+                    f"node ended at {prev_end}"
+                )
+            prev_end = node.stime + node.duration
+        if self.nodes[-1].ntype is not NodeType.EXIT:
+            raise ValueError("graph must end with an Exit node")

@@ -1,0 +1,132 @@
+"""Construction of the CPU execution graph from stage-2 traces.
+
+The builder walks the traced operation sequence and materialises:
+
+* a ``CWork`` node for every untraced CPU interval (application
+  compute, untraced API calls, kernel launches — Diogenes collects no
+  data on non-sync/non-transfer calls, so their time shows up here);
+* for a transfer call, a ``CLaunch`` node covering the non-waiting
+  portion of the call (DMA setup / staging), followed — if the call
+  synchronized — by a ``CWait`` node covering the wait;
+* for a pure synchronization call, a ``CWork`` sliver for the call
+  overhead and a ``CWait`` node for the wait;
+* a final ``Exit`` node, which the benefit algorithm treats as the
+  last synchronization (program end joins the processors).
+
+Problem annotations come from the classifier
+(:func:`repro.core.analysis.classify_operations`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.graph import CpuNode, ExecutionGraph, NodeType, ProblemKind
+from repro.core.records import SiteKey, Stage2Data, TraceEvent
+
+#: Gaps shorter than this are noise from float accumulation, not work.
+_MIN_GAP = 1e-12
+
+
+class _InstrumentationClock:
+    """Cumulative instrumentation time up to any instant (timer
+    compensation).  Built from stage 2's instrumentation intervals."""
+
+    def __init__(self, intervals: list[tuple[float, float]]) -> None:
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._cum: list[float] = []
+        total = 0.0
+        for start, end in sorted(intervals):
+            self._starts.append(start)
+            self._ends.append(end)
+            self._cum.append(total)
+            total += end - start
+
+    def upto(self, t: float) -> float:
+        """Instrumentation seconds spent in [0, t)."""
+        idx = bisect.bisect_right(self._starts, t) - 1
+        if idx < 0:
+            return 0.0
+        inside = min(t, self._ends[idx]) - self._starts[idx]
+        return self._cum[idx] + max(0.0, inside)
+
+    def within(self, a: float, b: float) -> float:
+        """Instrumentation seconds inside [a, b)."""
+        if b <= a:
+            return 0.0
+        return self.upto(b) - self.upto(a)
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Problem verdict for one dynamic operation site."""
+
+    sync_problem: ProblemKind = ProblemKind.NONE
+    transfer_problem: ProblemKind = ProblemKind.NONE
+    first_use_time: float = 0.0
+
+
+def build_graph(stage2: Stage2Data,
+                classifications: dict[SiteKey, Classification] | None = None,
+                ) -> ExecutionGraph:
+    """Build the CPU graph for one traced run."""
+    classifications = classifications or {}
+    instr = _InstrumentationClock(stage2.instrumentation_intervals)
+    nodes: list[CpuNode] = []
+    cursor = 0.0
+
+    def add(ntype: NodeType, stime: float, duration: float,
+            event: TraceEvent | None = None,
+            problem: ProblemKind = ProblemKind.NONE,
+            first_use: float = 0.0) -> None:
+        nodes.append(CpuNode(
+            ntype=ntype, stime=stime, duration=duration, problem=problem,
+            first_use_time=first_use,
+            api_name=event.api_name if event else "",
+            site=event.site if event else None,
+            stack=event.stack if event else None,
+        ))
+
+    for event in sorted(stage2.events, key=lambda e: e.seq):
+        gap = event.t_entry - cursor
+        # Timer compensation: deduct the tool's own snippet time so it
+        # never counts as application work (i.e. as GPU-idle cover).
+        gap -= instr.within(cursor, event.t_entry)
+        if gap > _MIN_GAP:
+            add(NodeType.CWORK, cursor, gap)
+        verdict = classifications.get(event.site, _NO_PROBLEM)
+
+        if event.is_transfer:
+            add(NodeType.CLAUNCH, event.t_entry, event.launch_time, event,
+                problem=verdict.transfer_problem)
+            if event.is_sync:
+                add(NodeType.CWAIT, event.t_entry + event.launch_time,
+                    event.sync_wait, event,
+                    problem=verdict.sync_problem,
+                    first_use=verdict.first_use_time)
+        elif event.is_sync:
+            if event.launch_time > _MIN_GAP:
+                add(NodeType.CWORK, event.t_entry, event.launch_time, event)
+            add(NodeType.CWAIT, event.t_entry + event.launch_time,
+                event.sync_wait, event,
+                problem=verdict.sync_problem,
+                first_use=verdict.first_use_time)
+        else:
+            # Traced but neither synced nor transferred this time (a
+            # conditional site on its fast path): plain CPU time.
+            add(NodeType.CWORK, event.t_entry, event.duration, event)
+        cursor = max(cursor, event.t_exit)
+
+    tail = stage2.execution_time - cursor
+    tail -= instr.within(cursor, stage2.execution_time)
+    if tail > _MIN_GAP:
+        add(NodeType.CWORK, cursor, tail)
+
+    graph = ExecutionGraph(nodes, stage2.execution_time)
+    graph.validate()
+    return graph
+
+
+_NO_PROBLEM = Classification()

@@ -1,0 +1,135 @@
+"""Problem groupings (§3.5.2): single point and folded function.
+
+Real problems rarely come one at a time — one source line or one
+(template) function usually causes many dynamic problematic
+operations, and one fix corrects all of them.  Groupings combine
+per-operation benefits so the report surfaces *fixes*, not events:
+
+* **single point** — identical stack traces matched by instruction
+  address: all dynamic operations from one exact call site.
+* **folded function** — matched by demangled base function name with
+  template parameters stripped: ``contiguous_storage<int>`` and
+  ``contiguous_storage<float4>`` fold together because one source-level
+  fix covers every instantiation (the cuIBM case, Figure 7).
+
+The overview display additionally folds on the *operation* (API) name
+— "Fold on cudaFree" — with the per-function expansion available
+inside each fold; both are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import AnalysisResult, ProblemRecord
+from repro.core.graph import ProblemKind
+
+
+@dataclass
+class ProblemGroup:
+    """A set of problematic operations correctable by one fix."""
+
+    kind: str                    # "single_point" / "folded_function" / "api_fold"
+    label: str
+    members: list[ProblemRecord] = field(default_factory=list)
+
+    @property
+    def total_benefit(self) -> float:
+        return sum(m.est_benefit for m in self.members)
+
+    @property
+    def count(self) -> int:
+        return len(self.members)
+
+    @property
+    def api_names(self) -> list[str]:
+        return sorted({m.api_name for m in self.members})
+
+    def problem_kinds(self) -> set[ProblemKind]:
+        return {m.kind for m in self.members}
+
+
+def _grouped(result: AnalysisResult, kind: str, key_fn, label_fn) -> list[ProblemGroup]:
+    groups: dict = {}
+    for problem in result.problems:
+        key = key_fn(problem)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = ProblemGroup(kind=kind, label=label_fn(problem))
+        group.members.append(problem)
+    return sorted(groups.values(), key=lambda g: g.total_benefit, reverse=True)
+
+
+def group_single_point(result: AnalysisResult) -> list[ProblemGroup]:
+    """Group by exact call site (stack matched by instruction address)."""
+    return _grouped(
+        result, "single_point",
+        key_fn=lambda p: (p.api_name,
+                          p.stack.address_key() if p.stack else (), p.kind),
+        label_fn=lambda p: p.location(),
+    )
+
+
+def group_folded_function(result: AnalysisResult) -> list[ProblemGroup]:
+    """Group by demangled base-name stacks (template params stripped)."""
+    return _grouped(
+        result, "folded_function",
+        key_fn=lambda p: (p.api_name,
+                          p.stack.function_key() if p.stack else (), p.kind),
+        label_fn=lambda p: (p.stack.leaf.base_name if p.stack and p.stack.leaf
+                            else p.api_name),
+    )
+
+
+def group_by_api(result: AnalysisResult) -> list[ProblemGroup]:
+    """The overview display's "Fold on <operation>" grouping."""
+    return _grouped(
+        result, "api_fold",
+        key_fn=lambda p: p.api_name,
+        label_fn=lambda p: f"Fold on {p.api_name}",
+    )
+
+
+@dataclass
+class FoldExpansion:
+    """One row of an expanded API fold (Figure 7 right-hand side).
+
+    ``function`` is the *original* (template-bearing) name of the
+    innermost application function; members whose base names match are
+    combined.  ``conditional`` marks synchronizations that are only
+    unnecessary under the observed data flow ("Conditionally
+    unnecessary (see: conditions)" in the paper's display).
+    """
+
+    function: str
+    base_name: str
+    total_benefit: float
+    count: int
+    conditional: bool
+
+
+def expand_fold(group: ProblemGroup) -> list[FoldExpansion]:
+    """Expand an API fold by calling function (template-folded)."""
+    rows: dict[str, list[ProblemRecord]] = {}
+    originals: dict[str, str] = {}
+    for member in group.members:
+        leaf = member.stack.leaf if member.stack else None
+        base = leaf.base_name if leaf else "<unknown>"
+        rows.setdefault(base, []).append(member)
+        originals.setdefault(base, leaf.function if leaf else "<unknown>")
+    out = [
+        FoldExpansion(
+            function=originals[base],
+            base_name=base,
+            total_benefit=sum(m.est_benefit for m in members),
+            count=len(members),
+            conditional=any(
+                m.kind in (ProblemKind.UNNECESSARY_SYNC,
+                           ProblemKind.UNNECESSARY_TRANSFER)
+                for m in members
+            ),
+        )
+        for base, members in rows.items()
+    ]
+    out.sort(key=lambda r: r.total_benefit, reverse=True)
+    return out

@@ -1,0 +1,348 @@
+"""Serializable data records produced by the FFM collection stages.
+
+Every record is a plain dataclass convertible to/from JSON-compatible
+dicts (:mod:`repro.core.jsonio`), matching the paper's choice of JSON
+as the interchange format so "other tools can read Diogenes data".
+
+Cross-run identity
+------------------
+FFM matches operations *between runs* by their static call site — the
+stack-trace address key — plus the dynamic occurrence index of that
+site within the run (the 7th ``cudaFree`` from line 856 is the 7th in
+every run, provided the application is run-to-run stable, the model's
+stated requirement in §5.3).  :class:`SiteKey` captures that identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instr.stacks import Frame, StackTrace
+
+
+def frames_to_json(stack: StackTrace) -> list[dict]:
+    return [
+        {"function": f.function, "file": f.file, "line": f.line}
+        for f in stack.frames
+    ]
+
+
+def frames_from_json(data: list[dict]) -> StackTrace:
+    return StackTrace(tuple(Frame(d["function"], d["file"], d["line"]) for d in data))
+
+
+@dataclass(frozen=True)
+class SiteKey:
+    """Static call-site identity + dynamic occurrence index."""
+
+    address_key: tuple[int, ...]
+    occurrence: int
+
+    def to_json(self) -> dict:
+        return {"address_key": list(self.address_key), "occurrence": self.occurrence}
+
+    @classmethod
+    def from_json(cls, d: dict) -> "SiteKey":
+        return cls(tuple(d["address_key"]), d["occurrence"])
+
+
+# ----------------------------------------------------------------------
+# Stage 1
+# ----------------------------------------------------------------------
+@dataclass
+class SyncSite:
+    """A static call site observed performing a synchronization."""
+
+    api_name: str                 # outermost public call (e.g. "cudaFree")
+    stack: StackTrace
+    count: int = 0                # dynamic occurrences in the baseline run
+    total_wait: float = 0.0       # summed wait across occurrences
+
+    def to_json(self) -> dict:
+        return {
+            "api_name": self.api_name,
+            "stack": frames_to_json(self.stack),
+            "count": self.count,
+            "total_wait": self.total_wait,
+        }
+
+
+@dataclass
+class Stage1Data:
+    """Baseline measurement output (§3.1)."""
+
+    execution_time: float
+    wait_symbol: str                         # discovered internal funnel
+    sync_sites: list[SyncSite] = field(default_factory=list)
+    #: Public functions observed to synchronize — the trace list for
+    #: stage 2.
+    synchronizing_functions: list[str] = field(default_factory=list)
+    discovery_candidates: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "execution_time": self.execution_time,
+            "wait_symbol": self.wait_symbol,
+            "sync_sites": [s.to_json() for s in self.sync_sites],
+            "synchronizing_functions": list(self.synchronizing_functions),
+            "discovery_candidates": list(self.discovery_candidates),
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Stage1Data":
+        return cls(
+            execution_time=d["execution_time"],
+            wait_symbol=d["wait_symbol"],
+            sync_sites=[
+                SyncSite(
+                    api_name=site["api_name"],
+                    stack=frames_from_json(site["stack"]),
+                    count=site["count"],
+                    total_wait=site["total_wait"],
+                )
+                for site in d["sync_sites"]
+            ],
+            synchronizing_functions=list(d["synchronizing_functions"]),
+            discovery_candidates=list(d.get("discovery_candidates", [])),
+        )
+
+
+# ----------------------------------------------------------------------
+# Stage 2
+# ----------------------------------------------------------------------
+@dataclass
+class TraceEvent:
+    """One traced dynamic operation (sync and/or transfer) from stage 2."""
+
+    seq: int                      # position in the run's traced sequence
+    api_name: str
+    stack: StackTrace
+    site: SiteKey
+    t_entry: float
+    t_exit: float
+    sync_wait: float = 0.0        # time inside the internal wait funnel
+    is_sync: bool = False
+    is_transfer: bool = False
+    nbytes: int = 0
+    direction: str = ""           # "h2d"/"d2h"/"d2d" for transfers
+
+    @property
+    def duration(self) -> float:
+        return self.t_exit - self.t_entry
+
+    @property
+    def launch_time(self) -> float:
+        """Non-waiting portion of the call (API overhead + DMA setup)."""
+        return max(0.0, self.duration - self.sync_wait)
+
+    def to_json(self) -> dict:
+        return {
+            "seq": self.seq,
+            "api_name": self.api_name,
+            "stack": frames_to_json(self.stack),
+            "site": self.site.to_json(),
+            "t_entry": self.t_entry,
+            "t_exit": self.t_exit,
+            "sync_wait": self.sync_wait,
+            "is_sync": self.is_sync,
+            "is_transfer": self.is_transfer,
+            "nbytes": self.nbytes,
+            "direction": self.direction,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "TraceEvent":
+        return cls(
+            seq=d["seq"], api_name=d["api_name"],
+            stack=frames_from_json(d["stack"]),
+            site=SiteKey.from_json(d["site"]),
+            t_entry=d["t_entry"], t_exit=d["t_exit"],
+            sync_wait=d["sync_wait"], is_sync=d["is_sync"],
+            is_transfer=d["is_transfer"], nbytes=d["nbytes"],
+            direction=d["direction"],
+        )
+
+
+@dataclass
+class Stage2Data:
+    """Detailed tracing output (§3.2).
+
+    ``instrumentation_intervals`` records when the tracing run was
+    executing its *own* snippets (timer compensation, in the Paradyn
+    tradition): the graph builder deducts these from CPU-work gaps so
+    instrumentation cost does not masquerade as recoverable idle cover.
+    """
+
+    execution_time: float
+    events: list[TraceEvent] = field(default_factory=list)
+    instrumentation_intervals: list[tuple[float, float]] = field(
+        default_factory=list)
+
+    def sync_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.is_sync]
+
+    def transfer_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.is_transfer]
+
+    def to_json(self) -> dict:
+        return {
+            "execution_time": self.execution_time,
+            "events": [e.to_json() for e in self.events],
+            "instrumentation_intervals": [
+                list(iv) for iv in self.instrumentation_intervals
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Stage2Data":
+        return cls(
+            execution_time=d["execution_time"],
+            events=[TraceEvent.from_json(e) for e in d["events"]],
+            instrumentation_intervals=[
+                (iv[0], iv[1])
+                for iv in d.get("instrumentation_intervals", [])
+            ],
+        )
+
+
+# ----------------------------------------------------------------------
+# Stage 3
+# ----------------------------------------------------------------------
+@dataclass
+class SyncUseRecord:
+    """Per dynamic synchronization: was protected data used before the
+    next synchronization, and by which instruction?"""
+
+    site: SiteKey
+    api_name: str
+    required: bool = False
+    access_file: str = ""
+    access_line: int = 0
+    access_address: int = 0       # fake instruction address of the access
+    access_stack: StackTrace | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "site": self.site.to_json(),
+            "api_name": self.api_name,
+            "required": self.required,
+            "access_file": self.access_file,
+            "access_line": self.access_line,
+            "access_address": self.access_address,
+            "access_stack": frames_to_json(self.access_stack)
+            if self.access_stack is not None else None,
+        }
+
+
+@dataclass
+class TransferHashRecord:
+    """Per dynamic transfer: payload hash and dedup verdict."""
+
+    site: SiteKey
+    api_name: str
+    nbytes: int
+    direction: str
+    digest: str
+    duplicate: bool = False
+    first_site: SiteKey | None = None   # site of the original transfer
+
+    def to_json(self) -> dict:
+        return {
+            "site": self.site.to_json(),
+            "api_name": self.api_name,
+            "nbytes": self.nbytes,
+            "direction": self.direction,
+            "digest": self.digest,
+            "duplicate": self.duplicate,
+            "first_site": self.first_site.to_json() if self.first_site else None,
+        }
+
+
+@dataclass
+class Stage3Data:
+    """Memory tracing and data hashing output (§3.3)."""
+
+    execution_time: float
+    sync_uses: list[SyncUseRecord] = field(default_factory=list)
+    transfer_hashes: list[TransferHashRecord] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "execution_time": self.execution_time,
+            "sync_uses": [r.to_json() for r in self.sync_uses],
+            "transfer_hashes": [r.to_json() for r in self.transfer_hashes],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Stage3Data":
+        return cls(
+            execution_time=d["execution_time"],
+            sync_uses=[
+                SyncUseRecord(
+                    site=SiteKey.from_json(r["site"]),
+                    api_name=r["api_name"],
+                    required=r["required"],
+                    access_file=r["access_file"],
+                    access_line=r["access_line"],
+                    access_address=r["access_address"],
+                    access_stack=frames_from_json(r["access_stack"])
+                    if r.get("access_stack") else None,
+                )
+                for r in d["sync_uses"]
+            ],
+            transfer_hashes=[
+                TransferHashRecord(
+                    site=SiteKey.from_json(r["site"]),
+                    api_name=r["api_name"],
+                    nbytes=r["nbytes"],
+                    direction=r["direction"],
+                    digest=r["digest"],
+                    duplicate=r["duplicate"],
+                    first_site=SiteKey.from_json(r["first_site"])
+                    if r.get("first_site") else None,
+                )
+                for r in d["transfer_hashes"]
+            ],
+        )
+
+
+# ----------------------------------------------------------------------
+# Stage 4
+# ----------------------------------------------------------------------
+@dataclass
+class FirstUseRecord:
+    """Per required synchronization: delay until first protected use."""
+
+    site: SiteKey
+    first_use_delay: float
+
+    def to_json(self) -> dict:
+        return {"site": self.site.to_json(), "first_use_delay": self.first_use_delay}
+
+
+@dataclass
+class Stage4Data:
+    """Sync-use timing output (§3.4)."""
+
+    execution_time: float
+    first_uses: list[FirstUseRecord] = field(default_factory=list)
+
+    def delay_by_site(self) -> dict[SiteKey, float]:
+        return {r.site: r.first_use_delay for r in self.first_uses}
+
+    def to_json(self) -> dict:
+        return {
+            "execution_time": self.execution_time,
+            "first_uses": [r.to_json() for r in self.first_uses],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Stage4Data":
+        return cls(
+            execution_time=d["execution_time"],
+            first_uses=[
+                FirstUseRecord(site=SiteKey.from_json(r["site"]),
+                               first_use_delay=r["first_use_delay"])
+                for r in d["first_uses"]
+            ],
+        )

@@ -1,0 +1,234 @@
+"""Sequence grouping and the subsequence feature (§3.5.2, Figures 6/8).
+
+A *sequence* is a maximal contiguous run of problematic operations on
+the CPU graph: it starts at a problematic operation and ends when a
+synchronization that is **necessary** is reached.  Because no required
+synchronization interrupts the run, the unnecessary waiting inside it
+can be spread across the whole span — the benefit algorithm's
+carry-forward gives large waits more GPU idle to be absorbed by, which
+is why sequences are often the most profitable fixes.
+
+Operations vs nodes
+-------------------
+A problematic synchronous transfer contributes *two* graph nodes (a
+CLaunch carrying the duplicate-transfer problem and a CWait carrying
+the synchronization problem) but is *one* operation — Figure 6 counts
+"cudaMemcpy in als.cpp at line 738" once, as both a sync issue and a
+transfer issue.  Sequences therefore work on operations: adjacent
+problematic nodes sharing a dynamic site are merged.
+
+Static collapsing
+-----------------
+Sequences are reported statically: the 23-entry cumf_als sequence of
+Figure 6 lists 23 source locations while its 155 s benefit sums over
+every dynamic instance of the pattern (≈5000 loop iterations).
+Dynamic runs with identical call-site signatures collapse into one
+:class:`Sequence`; the benefit is a single subset pass over all
+instances' nodes.
+
+The *subsequence* feature (Figure 8) refines the estimate to a chosen
+start/end entry range with **no new data collection** — just another
+subset pass over the already-built graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import AnalysisResult, ProblemRecord
+from repro.core.benefit import BenefitConfig, expected_benefit_subset
+from repro.core.graph import NodeType, ProblemKind
+
+_SYNC_KINDS = (ProblemKind.UNNECESSARY_SYNC, ProblemKind.MISPLACED_SYNC)
+
+
+@dataclass
+class Operation:
+    """One dynamic problematic operation (one or two graph nodes)."""
+
+    records: list[ProblemRecord] = field(default_factory=list)
+
+    @property
+    def api_name(self) -> str:
+        return self.records[0].api_name
+
+    @property
+    def file(self) -> str:
+        return self.records[0].file
+
+    @property
+    def line(self) -> int:
+        return self.records[0].line
+
+    @property
+    def kinds(self) -> frozenset[ProblemKind]:
+        return frozenset(r.kind for r in self.records)
+
+    @property
+    def node_indices(self) -> list[int]:
+        return [r.node_index for r in self.records]
+
+    def address_key(self) -> tuple:
+        stack = self.records[0].stack
+        return stack.address_key() if stack else ()
+
+
+@dataclass(frozen=True)
+class SequenceEntry:
+    """One static call site in a sequence's numbered listing."""
+
+    api_name: str
+    file: str
+    line: int
+    kinds: frozenset[ProblemKind]
+
+    @property
+    def is_sync_issue(self) -> bool:
+        return any(k in _SYNC_KINDS for k in self.kinds)
+
+    @property
+    def is_transfer_issue(self) -> bool:
+        return ProblemKind.UNNECESSARY_TRANSFER in self.kinds
+
+    def location(self) -> str:
+        return f"{self.api_name} in {self.file} at line {self.line}"
+
+
+@dataclass
+class Sequence:
+    """A static problematic sequence with all its dynamic instances."""
+
+    entries: list[SequenceEntry] = field(default_factory=list)
+    #: Dynamic instances: ``instances[i][j]`` is the operation behind
+    #: entry ``j`` in the ``i``-th dynamic occurrence of the pattern.
+    instances: list[list[Operation]] = field(default_factory=list)
+    est_benefit: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.entries)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self.instances)
+
+    @property
+    def sync_issue_count(self) -> int:
+        return sum(1 for e in self.entries if e.is_sync_issue)
+
+    @property
+    def transfer_issue_count(self) -> int:
+        return sum(1 for e in self.entries if e.is_transfer_issue)
+
+    def node_indices(self, start_entry: int = 1,
+                     end_entry: int | None = None) -> list[int]:
+        """Graph node indices of entries [start, end] over all instances."""
+        end_entry = self.length if end_entry is None else end_entry
+        return [
+            idx
+            for instance in self.instances
+            for op in instance[start_entry - 1 : end_entry]
+            for idx in op.node_indices
+        ]
+
+    def listing(self) -> list[str]:
+        """Numbered Figure 6 style entries (1-based)."""
+        return [f"{i + 1}. {e.location()}" for i, e in enumerate(self.entries)]
+
+
+def _merge_operations(run: list[ProblemRecord]) -> list[Operation]:
+    """Merge adjacent problem records sharing a dynamic site."""
+    ops: list[Operation] = []
+    for record in run:
+        if (ops and record.site is not None
+                and ops[-1].records[0].site == record.site):
+            ops[-1].records.append(record)
+        else:
+            ops.append(Operation(records=[record]))
+    return ops
+
+
+def _dynamic_runs(result: AnalysisResult) -> list[list[Operation]]:
+    """Maximal contiguous problematic runs, split at necessary syncs."""
+    problems_by_index = {p.node_index: p for p in result.problems}
+    runs: list[list[Operation]] = []
+    current: list[ProblemRecord] = []
+
+    def flush() -> None:
+        nonlocal current
+        if current:
+            runs.append(_merge_operations(current))
+        current = []
+
+    for node in result.graph.nodes:
+        problem = problems_by_index.get(node.index)
+        if problem is not None:
+            if problem.kind is ProblemKind.MISPLACED_SYNC:
+                # A misplaced synchronization is still *necessary* — the
+                # defining property of a sequence is that no required
+                # sync occurs inside it — so it terminates the current
+                # run and stands as its own single-operation run.
+                flush()
+                current = [problem]
+                flush()
+            else:
+                current.append(problem)
+        elif node.ntype in (NodeType.CWAIT, NodeType.EXIT):
+            flush()
+    flush()
+    return runs
+
+
+def _signature(run: list[Operation]) -> tuple:
+    return tuple((op.api_name, op.address_key(), op.kinds) for op in run)
+
+
+def find_sequences(result: AnalysisResult,
+                   config: BenefitConfig | None = None,
+                   min_length: int = 2) -> list[Sequence]:
+    """Find static sequences (collapsed dynamic runs), ranked by benefit."""
+    grouped: dict[tuple, Sequence] = {}
+    for run in _dynamic_runs(result):
+        if len(run) < min_length:
+            continue
+        sig = _signature(run)
+        seq = grouped.get(sig)
+        if seq is None:
+            seq = grouped[sig] = Sequence(entries=[
+                SequenceEntry(api_name=op.api_name, file=op.file,
+                              line=op.line, kinds=op.kinds)
+                for op in run
+            ])
+        seq.instances.append(run)
+
+    sequences = list(grouped.values())
+    for seq in sequences:
+        seq.est_benefit = expected_benefit_subset(
+            result.graph, seq.node_indices(), config,
+        ).total
+    sequences.sort(key=lambda s: s.est_benefit, reverse=True)
+    return sequences
+
+
+def subsequence(result: AnalysisResult, sequence: Sequence,
+                start_entry: int, end_entry: int,
+                config: BenefitConfig | None = None) -> Sequence:
+    """Refined estimate for entries ``start_entry``..``end_entry``.
+
+    Entries are 1-based and inclusive, matching the numbered display.
+    Requires no new data collection.
+    """
+    if not (1 <= start_entry <= end_entry <= sequence.length):
+        raise IndexError(
+            f"subsequence [{start_entry}, {end_entry}] out of range for a "
+            f"sequence of {sequence.length} entries"
+        )
+    sub = Sequence(
+        entries=sequence.entries[start_entry - 1 : end_entry],
+        instances=[inst[start_entry - 1 : end_entry]
+                   for inst in sequence.instances],
+    )
+    sub.est_benefit = expected_benefit_subset(
+        result.graph, sequence.node_indices(start_entry, end_entry), config,
+    ).total
+    return sub

@@ -1,0 +1,73 @@
+"""FFM Stage 1 — Baseline Measurement (§3.1).
+
+Responsibilities, per the paper:
+
+* identify the internal driver function that implements the blocking
+  wait, using the never-completing-kernel probe tests (done in a
+  sandbox by :mod:`repro.instr.discovery` before the measured run);
+* run the application with *lightweight* instrumentation on only that
+  internal function, collecting a stack trace per synchronization so
+  the synchronizing application-called functions are known;
+* record overall application execution time with behaviour as close
+  to uninstrumented as possible.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import Stage1Data, SyncSite
+from repro.instr.discovery import DiscoveryEvidence, discover_sync_function
+from repro.instr.probes import CallRecord, Probe
+from repro.runtime.context import ExecutionContext
+
+
+def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> Stage1Data:
+    """Run the baseline measurement stage on a fresh context.
+
+    ``config`` is a :class:`repro.core.diogenes.DiogenesConfig`.
+    ``evidence`` allows reusing an earlier discovery result (the funnel
+    does not move between runs of the same driver).
+    """
+    if evidence is None:
+        evidence = discover_sync_function()
+    wait_symbol = evidence.wait_symbol
+    assert wait_symbol is not None
+
+    ctx = ExecutionContext.create(config.machine_config)
+    dispatch = ctx.driver.dispatch
+
+    sites: dict[tuple[str, tuple[int, ...]], SyncSite] = {}
+    sync_functions: set[str] = set()
+
+    def on_wait_exit(record: CallRecord) -> None:
+        root = dispatch.root_record
+        # The funnel can only be reached through some driver entry
+        # point, so a root always exists; its name is the function the
+        # *application* called (runtime, driver, or private symbol).
+        api_name = root.name if root is not None else record.name
+        sync_functions.add(api_name)
+        key = (api_name, record.stack.address_key())
+        site = sites.get(key)
+        if site is None:
+            site = sites[key] = SyncSite(api_name=api_name, stack=record.stack)
+        site.count += 1
+        site.total_wait += record.meta.get("wait_duration", 0.0)
+
+    probe = Probe(
+        {wait_symbol},
+        exit=on_wait_exit,
+        label="stage1-baseline",
+        overhead_per_hit=config.baseline_probe_overhead,
+    )
+    dispatch.attach(probe)
+    try:
+        workload.run(ctx)
+    finally:
+        dispatch.detach(probe)
+
+    return Stage1Data(
+        execution_time=ctx.elapsed,
+        wait_symbol=wait_symbol,
+        sync_sites=list(sites.values()),
+        synchronizing_functions=sorted(sync_functions),
+        discovery_candidates=list(evidence.candidates),
+    )

@@ -1,0 +1,98 @@
+"""FFM Stage 2 — Detailed Tracing (§3.2).
+
+Traces every call to (1) the synchronizing functions stage 1
+identified, (2) the predefined driver memory-transfer functions, and
+(3) the internal synchronization funnel.  For each root operation we
+record a stack trace, the time spent synchronizing (the portion inside
+the funnel), and the total time in the call.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import Stage1Data, Stage2Data, TraceEvent
+from repro.core.rootprobe import DEFAULT_TRANSFER_FUNCTIONS, RootCall, RootTracker
+from repro.instr.probes import Probe
+from repro.runtime.context import ExecutionContext
+
+
+def traced_function_set(stage1: Stage1Data) -> set[str]:
+    """The stage-2 trace list: stage-1 sync functions + transfer APIs."""
+    return set(stage1.synchronizing_functions) | set(DEFAULT_TRANSFER_FUNCTIONS)
+
+
+def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
+    """Run the detailed tracing stage on a fresh context."""
+    ctx = ExecutionContext.create(config.machine_config)
+    dispatch = ctx.driver.dispatch
+
+    events: list[TraceEvent] = []
+    tracker = RootTracker(
+        traced_function_set(stage1),
+        probe_overhead=config.tracing_probe_overhead,
+    )
+
+    def on_root_exit(root: RootCall) -> None:
+        record = root.record
+        meta = record.meta
+        events.append(TraceEvent(
+            seq=root.seq,
+            api_name=record.name,
+            stack=record.stack,
+            site=root.site,
+            t_entry=record.t_entry,
+            t_exit=record.t_exit,
+            sync_wait=meta.get("sync_wait_total", 0.0),
+            is_sync=meta.get("sync_wait_count", 0.0) > 0.0,
+            is_transfer="transfer_nbytes" in meta,
+            nbytes=int(meta.get("transfer_nbytes", 0)),
+            direction=meta.get("transfer_direction", ""),
+        ))
+
+    tracker.on_root_exit.append(on_root_exit)
+    dispatch.attach(tracker.probe)
+
+    # Also probe the internal funnel itself (trace class 3).  The wait
+    # durations already flow into root records via ``sync_wait_total``;
+    # this probe charges the funnel's own instrumentation cost and
+    # guards against syncs outside any traced root (none are expected,
+    # but a driver is allowed to grow one).
+    traced = traced_function_set(stage1)
+
+    stray_syncs: list[float] = []
+
+    def on_wait_exit(record) -> None:
+        # The outermost in-flight dispatched call is the entry point the
+        # application (or fault handler) used; a wait is stray only when
+        # that entry point is not in the traced set.
+        root = dispatch.root_record
+        if root is None or root.name not in traced:
+            stray_syncs.append(record.meta.get("wait_duration", 0.0))
+
+    funnel_probe = Probe(
+        {stage1.wait_symbol},
+        exit=on_wait_exit,
+        label="stage2-funnel",
+        overhead_per_hit=config.tracing_probe_overhead,
+    )
+    dispatch.attach(funnel_probe)
+    try:
+        workload.run(ctx)
+    finally:
+        dispatch.detach(tracker.probe)
+        dispatch.detach(funnel_probe)
+
+    if stray_syncs:
+        # Surface loudly: a sync outside every traced function means
+        # stage 1 missed a synchronizing entry point.
+        raise RuntimeError(
+            f"{len(stray_syncs)} synchronizations occurred outside all traced "
+            "functions; stage 1 sync-function list is incomplete"
+        )
+
+    instr_intervals = [
+        (iv.start, iv.end)
+        for iv in ctx.machine.timeline.intervals("api")
+        if iv.label in ("instrumentation", "loadstore-instr")
+    ]
+    return Stage2Data(execution_time=ctx.elapsed, events=events,
+                      instrumentation_intervals=instr_intervals)

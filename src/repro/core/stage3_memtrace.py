@@ -1,0 +1,212 @@
+"""FFM Stage 3 — Memory Tracing and Data Hashing (§3.3).
+
+Two collection mechanisms run in the same instrumented execution:
+
+* **Memory tracing (sync necessity, §3.3.1).**  The stage intercepts
+  every operation that makes CPU memory GPU-writable (D2H transfers,
+  managed allocations) and records those address regions.  After each
+  synchronization, load/store instrumentation watches for the first
+  CPU access to a protected region: an access before the *next*
+  synchronization means the sync was required for correctness, and the
+  accessing instruction's location is saved for stage 4.  No access →
+  the synchronization is potentially unnecessary.
+
+* **Data hashing (duplicate transfers, §3.3.2).**  Every transferred
+  payload is hashed (BLAKE2b) and compared against all prior hashes;
+  a match marks the transfer as a duplicate, recording the site of the
+  original.  Hashing cost is charged to the virtual clock in
+  proportion to bytes hashed — this stage is expensive, exactly as in
+  the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.records import (
+    SiteKey,
+    Stage1Data,
+    Stage3Data,
+    SyncUseRecord,
+    TransferHashRecord,
+)
+from repro.core.rootprobe import RootCall, RootTracker
+from repro.core.stage2_tracing import traced_function_set
+from repro.hostmem.accesshooks import AccessEvent
+from repro.instr.loadstore import LoadStoreInstrumenter, WatchedRegion
+from repro.instr.probes import Probe
+from repro.instr.stacks import StackTrace
+from repro.runtime.context import ExecutionContext
+
+#: Allocation entry points that create GPU-writable CPU memory.
+#: Entry points that create CPU memory the GPU can write directly:
+#: unified-memory allocations and pinned (zero-copy-capable) host pages.
+_MANAGED_ALLOC_FUNCTIONS = frozenset({
+    "cudaMallocManaged", "cuMemAllocManaged",
+    "cudaMallocHost", "cuMemAllocHost",
+})
+
+
+def hash_payload(payload) -> str:
+    """Content hash used for transfer deduplication."""
+    return hashlib.blake2b(payload.tobytes(), digest_size=16).hexdigest()
+
+
+@dataclass
+class DedupStore:
+    """Hash store with the configurable matching policy.
+
+    ``policy`` is ``"content"`` (the paper's description: a transfer is
+    duplicate if its bytes were ever transferred before) or
+    ``"content+dst"`` (additionally require the same destination,
+    matching the fix actually applied in cumf_als — "retransfer the
+    same data to the same destination").
+    """
+
+    policy: str = "content"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("content", "content+dst"):
+            raise ValueError(f"unknown dedup policy {self.policy!r}")
+        self._seen: dict = {}
+
+    def check(self, digest: str, dst: int, site: SiteKey) -> SiteKey | None:
+        """Return the site of the first transfer of this data, or None."""
+        key = digest if self.policy == "content" else (digest, dst)
+        first = self._seen.get(key)
+        if first is None:
+            self._seen[key] = site
+            return None
+        return first
+
+
+def run_stage3(workload, stage1: Stage1Data, config,
+               mode: str = "both") -> Stage3Data:
+    """Run the memory tracing and data hashing stage on a fresh context.
+
+    ``mode`` selects what this run collects: ``"memtrace"`` (sync
+    necessity via protected-region load/store tracing), ``"hashing"``
+    (transfer payload dedup), or ``"both"``.  The Diogenes tool runs
+    the two collections in *separate* runs, as §4 of the paper
+    describes ("Diogenes runs stages 1 through 3 to separately collect
+    performance data for problematic synchronization and memory
+    transfer operations"); ``"both"`` is a convenience for tests.
+    """
+    if mode not in ("both", "memtrace", "hashing"):
+        raise ValueError(f"unknown stage-3 mode {mode!r}")
+    do_memtrace = mode in ("both", "memtrace")
+    do_hashing = mode in ("both", "hashing")
+    ctx = ExecutionContext.create(config.machine_config)
+    dispatch = ctx.driver.dispatch
+    machine = ctx.machine
+
+    tracker = RootTracker(
+        traced_function_set(stage1),
+        probe_overhead=config.memtrace_probe_overhead,
+    )
+    loadstore = LoadStoreInstrumenter(
+        ctx.hostspace, ctx.stacks, machine,
+        overhead_per_access=config.loadstore_overhead,
+    )
+    dedup = DedupStore(policy=config.dedup_policy)
+
+    sync_uses: list[SyncUseRecord] = []
+    transfer_hashes: list[TransferHashRecord] = []
+    open_sync: SyncUseRecord | None = None
+
+    # --- transfer hashing + protected-region registration -------------
+    def on_root_exit(root: RootCall) -> None:
+        meta = root.record.meta
+        payload = meta.get("transfer_payload")
+        if payload is not None:
+            nbytes = int(meta["transfer_nbytes"])
+            if do_hashing:
+                machine.cpu_api(nbytes / config.hash_bandwidth,
+                                "instrumentation")
+                digest = hash_payload(payload)
+                first = dedup.check(digest, int(meta["transfer_dst"]),
+                                    root.site)
+                transfer_hashes.append(TransferHashRecord(
+                    site=root.site,
+                    api_name=root.record.name,
+                    nbytes=nbytes,
+                    direction=meta.get("transfer_direction", ""),
+                    digest=digest,
+                    duplicate=first is not None,
+                    first_site=first,
+                ))
+            if do_memtrace and meta.get("transfer_direction") == "d2h":
+                loadstore.regions.add(
+                    int(meta["transfer_dst"]), nbytes,
+                    origin="d2h", site=root.site,
+                )
+
+    # --- sync-use bookkeeping ------------------------------------------
+    def on_root_exit_sync(root: RootCall) -> None:
+        nonlocal open_sync
+        if not do_memtrace:
+            return
+        if root.record.meta.get("sync_wait_count", 0.0) > 0.0:
+            if open_sync is not None:
+                sync_uses.append(open_sync)
+            open_sync = SyncUseRecord(site=root.site, api_name=root.record.name)
+
+    tracker.on_root_exit.append(on_root_exit)
+    tracker.on_root_exit.append(on_root_exit_sync)
+
+    def on_access(event: AccessEvent, stack: StackTrace,
+                  regions: list[WatchedRegion]) -> None:
+        nonlocal open_sync
+        if open_sync is None or open_sync.required:
+            return
+        leaf = stack.leaf
+        open_sync.required = True
+        if leaf is not None:
+            open_sync.access_file = leaf.file
+            open_sync.access_line = leaf.line
+            open_sync.access_address = leaf.address
+        open_sync.access_stack = stack
+
+    loadstore.on_access(on_access)
+
+    # --- managed allocations create protected regions ------------------
+    def on_managed_alloc(record) -> None:
+        addr = record.meta.get("managed_host_address")
+        if addr is not None:
+            loadstore.regions.add(
+                int(addr), int(record.meta["managed_nbytes"]), origin="managed",
+            )
+        pinned = record.meta.get("pinned_host_address")
+        if pinned is not None:
+            loadstore.regions.add(
+                int(pinned), int(record.meta["pinned_nbytes"]), origin="pinned",
+            )
+
+    managed_probe = Probe(
+        set(_MANAGED_ALLOC_FUNCTIONS),
+        exit=on_managed_alloc,
+        label="stage3-managed",
+        overhead_per_hit=config.memtrace_probe_overhead,
+    )
+
+    dispatch.attach(tracker.probe)
+    if do_memtrace:
+        dispatch.attach(managed_probe)
+        loadstore.install()
+    try:
+        workload.run(ctx)
+    finally:
+        if do_memtrace:
+            loadstore.uninstall()
+            dispatch.detach(managed_probe)
+        dispatch.detach(tracker.probe)
+
+    if open_sync is not None:
+        sync_uses.append(open_sync)
+
+    return Stage3Data(
+        execution_time=ctx.elapsed,
+        sync_uses=sync_uses,
+        transfer_hashes=transfer_hashes,
+    )

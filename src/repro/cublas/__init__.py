@@ -1,0 +1,12 @@
+"""Fake vendor BLAS library built on the *private* driver API.
+
+Reproduces the paper's observation that vendor libraries (cuBLAS)
+perform driver operations through proprietary entry points that CUPTI
+never reports, including hidden synchronizations.  Any workload using
+this package exercises the "operations unreported by existing tools"
+path of the evaluation.
+"""
+
+from repro.cublas.gemm import CublasHandle
+
+__all__ = ["CublasHandle"]

@@ -1,0 +1,74 @@
+"""Dense linear algebra entry points of the fake vendor library.
+
+The routines model cuBLAS behaviourally:
+
+* all device work is submitted through the **private** driver API
+  (:mod:`repro.driver.private`) — invisible to CUPTI;
+* small solves (`getrf_batched`-style) end with an internal *fence*,
+  a hidden synchronization that only direct instrumentation of the
+  internal wait funnel can observe;
+* results are computed for real with numpy so downstream hashes and
+  application output are honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.driver import private as priv
+from repro.driver.api import CudaDriver
+from repro.driver.handles import DeviceBuffer
+from repro.sim.costs import KernelCost
+
+
+class CublasHandle:
+    """A cuBLAS-like handle bound to one driver/context."""
+
+    def __init__(self, driver: CudaDriver) -> None:
+        self.driver = driver
+        priv.install(driver)
+        # Handle creation allocates an internal workspace, like cuBLAS.
+        self._workspace = driver.devmem.allocate(4 << 20, label="cublas_workspace")
+
+    def destroy(self) -> None:
+        self.driver.devmem.free(self._workspace)
+
+    # ------------------------------------------------------------------
+    def _read_matrix(self, buf: DeviceBuffer, rows: int, cols: int,
+                     dtype=np.float32) -> np.ndarray:
+        n = rows * cols * np.dtype(dtype).itemsize
+        return buf.read_shadow(0, n).view(dtype).reshape(rows, cols).copy()
+
+    def gemm(self, a: DeviceBuffer, b: DeviceBuffer, c: DeviceBuffer,
+             m: int, n: int, k: int, dtype=np.float32,
+             stream: int = 0) -> None:
+        """C = A @ B on the device, asynchronously, via the private API."""
+        am = self._read_matrix(a, m, k, dtype)
+        bm = self._read_matrix(b, k, n, dtype)
+        result = (am @ bm).astype(dtype)
+        priv.private_launch(
+            self.driver, "cublas_gemm",
+            KernelCost(flops=2.0 * m * n * k,
+                       bytes_moved=(m * k + k * n + m * n) * np.dtype(dtype).itemsize),
+            stream=stream,
+            writes=[(c, result)],
+        )
+
+    def potrf_batched(self, mats: DeviceBuffer, n: int, batch: int,
+                      dtype=np.float32, stream: int = 0) -> None:
+        """Batched Cholesky-like factorization ending in a hidden fence.
+
+        The fence models the synchronization cuBLAS performs when it
+        must read back info/status words — the class of operation the
+        paper found CUPTI silently omits.
+        """
+        priv.private_launch(
+            self.driver, "cublas_potrf_batched",
+            KernelCost(flops=batch * (n ** 3) / 3.0),
+            stream=stream,
+        )
+        priv.private_fence(self.driver)
+
+    def workspace_spill(self, host_scratch, nbytes: int | None = None) -> None:
+        """Spill internal workspace to host scratch (private sync D2H)."""
+        priv.private_memcpy_dtoh(self.driver, host_scratch, self._workspace, nbytes)

@@ -1,0 +1,106 @@
+"""The CUPTI subscription object.
+
+One subscription may be attached to a driver
+(:meth:`repro.driver.api.CudaDriver.attach_cupti`) and, through the
+runtime layer, receives runtime-API intervals as well.  It buffers
+activity records and offers the callback interface vendor tools use.
+
+Honest reproduction of the framework's *limits*:
+
+* record emission itself costs virtual CPU time per record
+  (``emission_overhead``) — CUPTI-based profiling is not free, which
+  matters for Table 2-style comparisons;
+* an optional ``max_records`` models resource exhaustion: exceeding it
+  raises :class:`CuptiOverflowError`, which the NVProf reproduction
+  translates into the profiler crash the paper hit on cuIBM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cupti.records import (
+    ApiRecord,
+    KernelActivity,
+    MemcpyActivity,
+    MemsetActivity,
+    SyncActivity,
+)
+
+
+class CuptiOverflowError(RuntimeError):
+    """Activity buffers exhausted (too many records for the session)."""
+
+
+class CuptiSubscription:
+    """Buffered activity collection plus optional callbacks.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine; emission overhead is charged to its
+        clock when ``emission_overhead > 0``.
+    emission_overhead:
+        Virtual seconds charged per emitted record.
+    max_records:
+        Total record budget across all kinds; ``None`` = unbounded.
+    """
+
+    def __init__(self, machine=None, *, emission_overhead: float = 120e-9,
+                 max_records: int | None = None) -> None:
+        self.machine = machine
+        self.emission_overhead = float(emission_overhead)
+        self.max_records = max_records
+        self.api_records: list[ApiRecord] = []
+        self.kernel_records: list[KernelActivity] = []
+        self.memcpy_records: list[MemcpyActivity] = []
+        self.memset_records: list[MemsetActivity] = []
+        self.sync_records: list[SyncActivity] = []
+        self._callbacks: list[Callable[[object], None]] = []
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[object], None]) -> None:
+        """Register a callback invoked with every record as it is emitted."""
+        self._callbacks.append(callback)
+
+    @property
+    def total_records(self) -> int:
+        return (
+            len(self.api_records) + len(self.kernel_records)
+            + len(self.memcpy_records) + len(self.memset_records)
+            + len(self.sync_records)
+        )
+
+    def _emit(self, bucket: list, record) -> None:
+        if self.max_records is not None and self.total_records >= self.max_records:
+            raise CuptiOverflowError(
+                f"CUPTI activity buffers exhausted after {self.total_records} records"
+            )
+        if self.machine is not None and self.emission_overhead > 0:
+            self.machine.cpu_api(self.emission_overhead, "cupti")
+        bucket.append(record)
+        for cb in self._callbacks:
+            cb(record)
+
+    # ------------------------------------------------------------------
+    # Emission entry points (called by the driver and runtime layers)
+    # ------------------------------------------------------------------
+    def record_api(self, name: str, layer: str, start: float, end: float) -> None:
+        self._emit(self.api_records, ApiRecord(name, layer, start, end))
+
+    def record_kernel(self, op) -> None:
+        self._emit(self.kernel_records,
+                   KernelActivity(op.name, op.stream_id, op.start_time, op.end_time))
+
+    def record_memcpy(self, op, direction: str) -> None:
+        self._emit(self.memcpy_records,
+                   MemcpyActivity(direction, op.nbytes, op.stream_id,
+                                  op.start_time, op.end_time))
+
+    def record_memset(self, op) -> None:
+        self._emit(self.memset_records,
+                   MemsetActivity(op.nbytes, op.stream_id,
+                                  op.start_time, op.end_time))
+
+    def record_sync(self, kind: str, start: float, end: float, api_name: str) -> None:
+        self._emit(self.sync_records, SyncActivity(kind, api_name, start, end))

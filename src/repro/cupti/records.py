@@ -1,0 +1,85 @@
+"""CUPTI activity record types.
+
+Field names follow the CUPTI activity API loosely
+(``CUpti_ActivityKernel``, ``CUpti_ActivityMemcpy``,
+``CUpti_ActivityAPI``, ``CUpti_ActivitySynchronization``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ApiRecord:
+    """A runtime- or driver-API call interval (CUPTI_ACTIVITY_KIND_*_API)."""
+
+    name: str
+    layer: str          # "runtime" or "driver"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class KernelActivity:
+    """Device-side kernel execution (CUPTI_ACTIVITY_KIND_KERNEL)."""
+
+    name: str
+    stream_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MemcpyActivity:
+    """Device-side copy execution (CUPTI_ACTIVITY_KIND_MEMCPY)."""
+
+    direction: str      # "h2d" / "d2h" / "d2d"
+    nbytes: int
+    stream_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MemsetActivity:
+    """Device-side memset execution (CUPTI_ACTIVITY_KIND_MEMSET)."""
+
+    nbytes: int
+    stream_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SyncActivity:
+    """Explicit synchronization (CUPTI_ACTIVITY_KIND_SYNCHRONIZATION).
+
+    Only ever produced for explicit sync API calls — reproducing the
+    gap the paper documents for implicit/conditional synchronization.
+    """
+
+    kind: str           # "context" or "stream"
+    api_name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

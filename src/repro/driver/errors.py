@@ -1,0 +1,19 @@
+"""Driver error types, loosely mirroring CUDA error codes."""
+
+from __future__ import annotations
+
+
+class CudaDriverError(RuntimeError):
+    """Base class for all simulated driver failures."""
+
+
+class InvalidHandleError(CudaDriverError):
+    """A device pointer or stream handle was invalid or already freed."""
+
+
+class InvalidValueError(CudaDriverError):
+    """Bad argument to a driver call (size mismatch, bad direction...)."""
+
+
+class OutOfMemoryError(CudaDriverError):
+    """Device memory exhausted (the allocator enforces a capacity)."""

@@ -1,0 +1,28 @@
+"""Trackable host memory.
+
+Diogenes instruments CPU loads/stores of addresses the GPU can write
+(Dyninst binary instrumentation in the paper).  Our applications are
+Python, so the equivalent instrumentable surface is this package:
+every host buffer an application shares with the GPU is a
+:class:`HostBuffer` whose :meth:`~HostBuffer.read` /
+:meth:`~HostBuffer.write` accessors fire registered access hooks.
+
+The package also provides the ``mprotect`` analogue the paper uses to
+guard removed transfers (write-protection that faults on store), and a
+page-aligned fake address space so tools can reason about address
+ranges the way a binary tool would.
+"""
+
+from repro.hostmem.accesshooks import AccessEvent, AccessHookRegistry
+from repro.hostmem.allocator import PAGE_SIZE, HostAddressSpace
+from repro.hostmem.buffer import HostBuffer
+from repro.hostmem.protection import ProtectionError
+
+__all__ = [
+    "PAGE_SIZE",
+    "AccessEvent",
+    "AccessHookRegistry",
+    "HostAddressSpace",
+    "HostBuffer",
+    "ProtectionError",
+]

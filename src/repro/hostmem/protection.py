@@ -1,0 +1,45 @@
+"""``mprotect`` analogue for host buffers.
+
+The paper's fix recipe for removed transfers (§5.1, cumf_als) combines
+``const`` qualifiers with ``mprotect`` write protection on page-aligned
+variables so any stray store faults instead of silently corrupting
+data.  :class:`WriteProtection` reproduces the runtime half: buffers
+marked read-only raise :class:`ProtectionError` on :meth:`write`.
+"""
+
+from __future__ import annotations
+
+
+class ProtectionError(RuntimeError):
+    """A store hit a write-protected host page (SIGSEGV analogue)."""
+
+    def __init__(self, address: int, size: int) -> None:
+        super().__init__(
+            f"store of {size} bytes at {address:#x} hit a write-protected page"
+        )
+        self.address = address
+        self.size = size
+
+
+class WriteProtection:
+    """Per-buffer protection state.
+
+    Kept as its own object (rather than a bool on the buffer) so tests
+    and the fix-verification example can inspect fault history.
+    """
+
+    def __init__(self) -> None:
+        self.read_only = False
+        self.faults: list[tuple[int, int]] = []
+
+    def protect(self) -> None:
+        self.read_only = True
+
+    def unprotect(self) -> None:
+        self.read_only = False
+
+    def check_store(self, address: int, size: int) -> None:
+        """Raise if a store is not allowed; records the fault either way."""
+        if self.read_only:
+            self.faults.append((address, size))
+            raise ProtectionError(address, size)

@@ -1,0 +1,151 @@
+"""Load/store instrumentation over tracked address regions.
+
+FFM stage 3 needs to know the first CPU instruction that touches data
+the GPU may have written ("protected data"); stage 4 needs the virtual
+time of that access.  This module watches a set of address regions and
+reports accesses, with the application stack captured at the access —
+the same information Dyninst load/store snippets deliver.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.hostmem.accesshooks import AccessEvent
+from repro.instr.stacks import CallStackTracker, StackTrace
+
+
+@dataclass
+class WatchedRegion:
+    """A half-open address interval ``[start, start + size)`` with metadata."""
+
+    start: int
+    size: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def overlaps(self, address: int, size: int) -> bool:
+        return address < self.end and self.start < address + size
+
+
+class RegionSet:
+    """Sorted set of watched regions with overlap queries.
+
+    Regions may overlap each other (a whole-buffer region plus a
+    sub-range from a partial transfer); queries return every match.
+    """
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._regions: list[WatchedRegion] = []
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def add(self, start: int, size: int, **meta: Any) -> WatchedRegion:
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        region = WatchedRegion(start, size, meta)
+        idx = bisect.bisect_left(self._starts, start)
+        self._starts.insert(idx, start)
+        self._regions.insert(idx, region)
+        return region
+
+    def remove(self, region: WatchedRegion) -> None:
+        idx = bisect.bisect_left(self._starts, region.start)
+        while idx < len(self._regions) and self._starts[idx] == region.start:
+            if self._regions[idx] is region:
+                del self._starts[idx]
+                del self._regions[idx]
+                return
+            idx += 1
+        raise KeyError(f"region {region!r} not present")
+
+    def drop_range(self, start: int, size: int) -> int:
+        """Remove every region fully contained in ``[start, start+size)``.
+
+        Used when a buffer is freed.  Returns the number removed.
+        """
+        victims = [r for r in self._regions
+                   if r.start >= start and r.end <= start + size]
+        for victim in victims:
+            self.remove(victim)
+        return len(victims)
+
+    def matches(self, address: int, size: int) -> list[WatchedRegion]:
+        """Every region overlapping ``[address, address + size)``."""
+        # Candidates start before the access ends; scan left from there.
+        # Regions are bounded in size, but we do not know the bound, so
+        # scan all regions starting at or before the access end.  In
+        # practice region counts are modest (one per live GPU-writable
+        # buffer) and accesses are hot, so keep the constant small.
+        hi = bisect.bisect_right(self._starts, address + size - 1)
+        return [r for r in self._regions[:hi] if r.overlaps(address, size)]
+
+    def regions(self) -> list[WatchedRegion]:
+        return list(self._regions)
+
+
+#: Callback type: (access event, app stack at the access, matched regions).
+LoadStoreCallback = Callable[[AccessEvent, StackTrace, list[WatchedRegion]], None]
+
+
+class LoadStoreInstrumenter:
+    """Watches a :class:`RegionSet` through a host address space's hooks.
+
+    ``overhead_per_access`` models the cost of the inserted load/store
+    snippet; it is charged to the machine clock on every *matching*
+    access, so stage 3/4 runs really are slower (§5.3).
+    """
+
+    def __init__(self, hostspace, stacks: CallStackTracker, machine=None, *,
+                 overhead_per_access: float = 0.0) -> None:
+        self.hostspace = hostspace
+        self.stacks = stacks
+        self.machine = machine
+        self.regions = RegionSet()
+        self.overhead_per_access = float(overhead_per_access)
+        self._callbacks: list[LoadStoreCallback] = []
+        self._hook = None
+        self.access_count = 0
+        self.match_count = 0
+
+    # ------------------------------------------------------------------
+    def on_access(self, callback: LoadStoreCallback) -> None:
+        self._callbacks.append(callback)
+
+    def install(self) -> None:
+        if self._hook is not None:
+            raise RuntimeError("load/store instrumentation already installed")
+        self._hook = self.hostspace.hooks.add(self._handle)
+
+    def uninstall(self) -> None:
+        if self._hook is None:
+            return
+        self.hostspace.hooks.remove(self._hook)
+        self._hook = None
+
+    def __enter__(self) -> "LoadStoreInstrumenter":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    def _handle(self, event: AccessEvent) -> None:
+        self.access_count += 1
+        matched = self.regions.matches(event.address, event.size)
+        if not matched:
+            return
+        self.match_count += 1
+        if self.machine is not None and self.overhead_per_access > 0:
+            self.machine.cpu_api(self.overhead_per_access, "loadstore-instr")
+        stack = self.stacks.current()
+        for callback in self._callbacks:
+            callback(event, stack, matched)

@@ -1,0 +1,46 @@
+"""Instrumentation session management.
+
+Owns groups of probes attached to a dispatcher so a whole stage's
+instrumentation can be attached and torn down atomically — the
+analogue of Dyninst inserting and removing snippet sets.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.instr.probes import Probe
+
+
+class InstrumentationManager:
+    """Attach/detach probe groups on one dispatcher."""
+
+    def __init__(self, dispatcher) -> None:
+        self.dispatcher = dispatcher
+        self._attached: list[Probe] = []
+
+    def attach(self, probe: Probe) -> Probe:
+        self.dispatcher.attach(probe)
+        self._attached.append(probe)
+        return probe
+
+    def detach(self, probe: Probe) -> None:
+        self.dispatcher.detach(probe)
+        self._attached.remove(probe)
+
+    def detach_all(self) -> None:
+        for probe in self._attached:
+            self.dispatcher.detach(probe)
+        self._attached.clear()
+
+    @property
+    def attached(self) -> list[Probe]:
+        return list(self._attached)
+
+    @contextmanager
+    def session(self):
+        """Context manager guaranteeing teardown of this manager's probes."""
+        try:
+            yield self
+        finally:
+            self.detach_all()

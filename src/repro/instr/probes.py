@@ -1,0 +1,130 @@
+"""Entry/exit probes.
+
+A :class:`Probe` is the unit of instrumentation the FFM stages attach
+to driver and runtime functions.  Probes receive a
+:class:`CallRecord` describing the in-flight call; entry callbacks see
+it before the implementation runs, exit callbacks after (with timings
+and implementation-published metadata filled in).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.instr.stacks import StackTrace
+
+_record_ids = itertools.count(1)
+
+
+@dataclass
+class CallRecord:
+    """One dynamic call through the interceptable dispatch layer.
+
+    Attributes
+    ----------
+    name:
+        Function symbol (``"cudaFree"``, ``"cuMemcpyHtoD"``,
+        ``"__int_wait_on_cc"`` ...).
+    layer:
+        ``"runtime"``, ``"driver"``, ``"driver-internal"`` or
+        ``"driver-private"``.
+    t_entry / t_exit:
+        Virtual CPU time at entry and exit.  ``t_exit`` is ``None``
+        while the call is in flight.
+    depth:
+        Dynamic nesting depth within the dispatch layer (a runtime call
+        invoking a driver call invoking the internal wait yields depths
+        0, 1, 2).
+    parent:
+        Name of the enclosing dispatched call, if any.
+    stack:
+        Application stack snapshot at entry (leaf = call site).
+    meta:
+        Implementation-published facts: ``wait_duration``, ``nbytes``,
+        ``direction``, ``payload`` (for hashing), ``dst``/``src``
+        addresses, ``synchronized`` ...
+    """
+
+    name: str
+    layer: str
+    t_entry: float
+    depth: int
+    stack: StackTrace
+    parent: str | None = None
+    t_exit: float | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    record_id: int = field(default_factory=lambda: next(_record_ids))
+
+    @property
+    def duration(self) -> float:
+        if self.t_exit is None:
+            raise RuntimeError(f"call {self.name!r} still in flight")
+        return self.t_exit - self.t_entry
+
+
+EntryCallback = Callable[[CallRecord], None]
+ExitCallback = Callable[[CallRecord], None]
+
+
+class Probe:
+    """An attachable entry/exit instrumentation point.
+
+    ``names`` selects which functions to intercept; ``None`` matches
+    every dispatched call (the wildcard used by the tracing stage to
+    watch for newly synchronous functions).  ``layers`` optionally
+    restricts matching to specific dispatch layers.
+    """
+
+    def __init__(
+        self,
+        names: set[str] | None,
+        *,
+        entry: EntryCallback | None = None,
+        exit: ExitCallback | None = None,
+        layers: set[str] | None = None,
+        label: str = "",
+        overhead_per_hit: float = 0.0,
+    ) -> None:
+        if entry is None and exit is None:
+            raise ValueError("a probe needs an entry or exit callback")
+        if overhead_per_hit < 0:
+            raise ValueError("probe overhead must be >= 0")
+        self.names = set(names) if names is not None else None
+        self.layers = set(layers) if layers is not None else None
+        self.entry = entry
+        self.exit = exit
+        self.label = label or "probe"
+        #: Fixed virtual-time cost charged each time the probe fires —
+        #: models the trampoline + snippet cost of binary
+        #: instrumentation.  Callbacks may additionally *return* a float
+        #: of dynamic cost (e.g. hashing time proportional to bytes).
+        self.overhead_per_hit = float(overhead_per_hit)
+        self.hits = 0
+
+    def matches(self, name: str, layer: str) -> bool:
+        if self.names is not None and name not in self.names:
+            return False
+        if self.layers is not None and layer not in self.layers:
+            return False
+        return True
+
+    def fire_entry(self, record: CallRecord):
+        """Run the entry callback; returns its (optional) dynamic cost."""
+        if self.entry is not None:
+            self.hits += 1
+            return self.entry(record)
+        return None
+
+    def fire_exit(self, record: CallRecord):
+        """Run the exit callback; returns its (optional) dynamic cost."""
+        if self.exit is not None:
+            if self.entry is None:
+                self.hits += 1
+            return self.exit(record)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = "*" if self.names is None else ",".join(sorted(self.names))
+        return f"Probe({self.label!r} on {target})"

@@ -1,0 +1,120 @@
+"""Synthetic application call stacks.
+
+Diogenes attributes every traced driver call to the application source
+location that caused it ("``cudaFree`` in ``als.cpp`` at line 856").
+Our workloads are Python models of C/C++ applications, so each one
+carries explicit source annotations: the application pushes
+:class:`Frame` objects describing its (simulated) C++ call stack, and
+the instrumentation captures the stack at driver-call entry exactly as
+a stack walker would.
+
+Two stack-trace identities matter for grouping (§3.5.2):
+
+* address identity (:meth:`StackTrace.address_key`) — frames matched
+  by fake instruction address → the *single point* grouping;
+* function identity (:meth:`StackTrace.function_key`) — frames
+  matched by demangled base name → the *folded function* grouping.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.instr.symbols import demangle_base_name, instruction_address
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One application stack frame: function, source file, line."""
+
+    function: str
+    file: str
+    line: int
+
+    @property
+    def address(self) -> int:
+        return instruction_address(self.file, self.line)
+
+    @property
+    def base_name(self) -> str:
+        return demangle_base_name(self.function)
+
+    def pretty(self) -> str:
+        return f"{self.function} at {self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class StackTrace:
+    """An immutable stack snapshot, innermost frame last."""
+
+    frames: tuple[Frame, ...]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    @property
+    def leaf(self) -> Frame | None:
+        return self.frames[-1] if self.frames else None
+
+    def address_key(self) -> tuple[int, ...]:
+        """Identity for the *single point* grouping."""
+        return tuple(f.address for f in self.frames)
+
+    def function_key(self) -> tuple[str, ...]:
+        """Identity for the *folded function* grouping."""
+        return tuple(f.base_name for f in self.frames)
+
+    def pretty(self, indent: str = "  ") -> str:
+        if not self.frames:
+            return f"{indent}<no application frames>"
+        return "\n".join(indent + f.pretty() for f in reversed(self.frames))
+
+
+class CallStackTracker:
+    """Mutable per-run stack of application frames.
+
+    Applications use :meth:`frame` as a context manager around scopes,
+    and typically wrap each GPU API call in a leaf frame naming the
+    call site::
+
+        with stack.frame("runALS", "als.cpp", 700):
+            ...
+            with stack.frame("runALS", "als.cpp", 738):
+                cudart.cudaMemcpy(...)
+
+    The tracker is intentionally not thread-safe: the simulated host
+    is a single thread, as in the paper's evaluation workloads.
+    """
+
+    def __init__(self) -> None:
+        self._frames: list[Frame] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @contextmanager
+    def frame(self, function: str, file: str, line: int):
+        f = Frame(function, file, line)
+        self._frames.append(f)
+        try:
+            yield f
+        finally:
+            if self._frames:
+                popped = self._frames.pop()
+                if popped is not f:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "call stack tracker corrupted (mismatched pop)")
+            # An empty stack here means clear() reset the tracker while
+            # frames were live (a deliberate between-phases reset).
+
+    def current(self) -> StackTrace:
+        """Snapshot the current stack (cheap immutable copy)."""
+        return StackTrace(tuple(self._frames))
+
+    def clear(self) -> None:
+        self._frames.clear()

@@ -1,0 +1,103 @@
+"""Symbol handling: fake instruction addresses and C++ demangling-lite.
+
+Diogenes groups problematic operations two ways that both hinge on
+symbols (§3.5.2):
+
+* **single point** — identical stack traces matched by *instruction
+  address*;
+* **folded function** — identical stack traces matched by *base
+  function name*, where C++ names are demangled and template parameter
+  types discarded, so ``thrust::pair<int, float>`` and
+  ``thrust::pair<double, double>`` fold together (the cuIBM case in
+  Figure 7).
+
+Our applications carry C++-style source annotations, so we implement
+the template-stripping normalisation for real rather than stubbing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+
+@lru_cache(maxsize=65536)
+def instruction_address(file: str, line: int, column: int = 0) -> int:
+    """Deterministic fake instruction address for a source location.
+
+    Real binary tools key on the PC of the call instruction; we key on
+    the source coordinate, hashed into a plausible text-segment
+    address.  Stable across runs and processes (no ``hash()``
+    randomisation), which the multi-run FFM model requires to match
+    operations between stages.
+    """
+    digest = hashlib.blake2b(
+        f"{file}:{line}:{column}".encode(), digest_size=6
+    ).digest()
+    return 0x400000 + (int.from_bytes(digest, "big") & 0x3FFF_FFFF)
+
+
+def strip_template_params(name: str) -> str:
+    """Remove every balanced ``<...>`` group from a C++ name.
+
+    Handles nesting (``a<b<c>>``), and is careful to leave
+    ``operator<``/``operator<<``/``operator<=`` and ``operator>``
+    variants intact, since those angle brackets are not template
+    parameter lists.
+    """
+    out: list[str] = []
+    depth = 0
+    i = 0
+    n = len(name)
+    while i < n:
+        ch = name[i]
+        if depth == 0 and name.startswith("operator", i):
+            # Copy the operator token and its symbol verbatim.
+            j = i + len("operator")
+            out.append(name[i:j])
+            while j < n and name[j] in "<>=!+-*/%&|^~[]() ":
+                out.append(name[j])
+                j += 1
+            i = j
+            continue
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            if depth > 0:
+                depth -= 1
+            else:
+                out.append(ch)
+        elif depth == 0:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def demangle_base_name(name: str) -> str:
+    """Base function name used by the folded-function grouping.
+
+    Strips template parameters, a trailing argument list, and leading
+    return-type tokens, keeping namespace qualification:
+    ``void cusp::detail::multiply<int, float>(A, B)`` →
+    ``cusp::detail::multiply``.
+    """
+    base = strip_template_params(name).strip()
+    # Drop one trailing (...) argument list if present and balanced.
+    if base.endswith(")"):
+        depth = 0
+        for idx in range(len(base) - 1, -1, -1):
+            if base[idx] == ")":
+                depth += 1
+            elif base[idx] == "(":
+                depth -= 1
+                if depth == 0:
+                    if not base[:idx].rstrip().endswith("operator"):
+                        base = base[:idx]
+                    break
+    base = base.strip()
+    # Drop leading return-type words: keep the last space-separated
+    # token (C++ qualified names contain no spaces once templates and
+    # arguments are gone).
+    if " " in base:
+        base = base.rsplit(" ", 1)[1]
+    return base

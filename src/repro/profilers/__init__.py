@@ -1,0 +1,30 @@
+"""Comparison profilers (the Table 2 baselines).
+
+Reproductions of the two tools the paper compares Diogenes against:
+
+* :mod:`repro.profilers.nvprof` — a CUPTI-summary profiler: exact
+  per-API-call totals from activity records, inheriting every CUPTI
+  blind spot, and crashing when the activity volume exceeds its
+  buffers (as NVProf did on cuIBM, §5.2).
+* :mod:`repro.profilers.hpctoolkit` — a sampling profiler attributing
+  periodic samples to the in-flight API call, with an attribution-loss
+  model for samples taken inside opaque driver waits (the paper
+  observed HPCToolkit under-reporting long waits and left the cause
+  open; we model it as unwind failures in vendor code).
+
+Both report *resource consumption at points in the program* — the
+paper's central argument is that this is not the same thing as
+*obtainable benefit*, which is what Diogenes estimates instead.
+"""
+
+from repro.profilers.base import ProfileEntry, ProfileResult
+from repro.profilers.hpctoolkit import HpcToolkitProfiler
+from repro.profilers.nvprof import NvprofCrashedError, NvprofProfiler
+
+__all__ = [
+    "HpcToolkitProfiler",
+    "NvprofCrashedError",
+    "NvprofProfiler",
+    "ProfileEntry",
+    "ProfileResult",
+]

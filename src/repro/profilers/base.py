@@ -1,0 +1,57 @@
+"""Common profiler output types.
+
+Both baselines produce a ranked per-API summary: total time, percent
+of execution, rank — the three columns Table 2 reports for each tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileEntry:
+    """Aggregated time for one API function."""
+
+    name: str
+    total_time: float
+    percent: float
+    rank: int
+    calls: int = 0
+
+
+@dataclass
+class ProfileResult:
+    """One profiling run's summary, entries ranked by time."""
+
+    tool: str
+    workload_name: str
+    execution_time: float
+    entries: list[ProfileEntry] = field(default_factory=list)
+
+    def entry(self, name: str) -> ProfileEntry | None:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        return None
+
+    def rank_of(self, name: str) -> int | None:
+        e = self.entry(name)
+        return e.rank if e is not None else None
+
+    def top(self, n: int = 10) -> list[ProfileEntry]:
+        return self.entries[:n]
+
+
+def rank_entries(totals: dict[str, float], calls: dict[str, int],
+                 execution_time: float) -> list[ProfileEntry]:
+    """Build ranked entries from per-name totals."""
+    ordered = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+    entries = []
+    for rank, (name, total) in enumerate(ordered, start=1):
+        percent = 100.0 * total / execution_time if execution_time > 0 else 0.0
+        entries.append(ProfileEntry(
+            name=name, total_time=total, percent=percent, rank=rank,
+            calls=calls.get(name, 0),
+        ))
+    return entries

@@ -1,0 +1,78 @@
+"""Text rendering of profiler results in each tool's house style.
+
+``render_nvprof_summary`` mimics ``nvprof``'s two-section summary
+("GPU activities" from device records, "API calls" from runtime
+intervals); ``render_hpctoolkit_profile`` mimics a flattened
+``hpcviewer`` exclusive-cost listing.  Used by the comparison example
+and handy when eyeballing Table 2 outputs.
+"""
+
+from __future__ import annotations
+
+from repro.profilers.base import ProfileResult
+
+
+def _time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.4f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.3f}ms"
+    return f"{seconds * 1e6:7.2f}us"
+
+
+def render_nvprof_summary(result: ProfileResult,
+                          gpu_activities: dict[str, float] | None = None,
+                          limit: int = 12) -> str:
+    """An nvprof-style profile summary.
+
+    ``gpu_activities`` optionally supplies device-side totals (kernel /
+    memcpy time by name) for the "GPU activities" section; the "API
+    calls" section always comes from the result's entries.
+    """
+    lines = [f"==PROF== Profiling result ({result.workload_name}):",
+             f"            Type  Time(%)      Time  Calls  Name"]
+    if gpu_activities:
+        total_gpu = sum(gpu_activities.values()) or 1.0
+        ordered = sorted(gpu_activities.items(), key=lambda kv: -kv[1])
+        for i, (name, seconds) in enumerate(ordered[:limit]):
+            prefix = " GPU activities:" if i == 0 else "                "
+            lines.append(
+                f"{prefix}  {100 * seconds / total_gpu:6.2f}%  "
+                f"{_time(seconds)}  {'':>5}  {name}"
+            )
+    for i, entry in enumerate(result.top(limit)):
+        prefix = "      API calls:" if i == 0 else "                "
+        lines.append(
+            f"{prefix}  {entry.percent:6.2f}%  {_time(entry.total_time)}  "
+            f"{entry.calls:>5}  {entry.name}"
+        )
+    return "\n".join(lines)
+
+
+def render_hpctoolkit_profile(result: ProfileResult, limit: int = 12) -> str:
+    """A flattened hpcviewer-style exclusive-cost listing."""
+    lines = [
+        f"hpcviewer: {result.workload_name} "
+        f"(CPUTIME, {result.execution_time:.4f}s total)",
+        f"{'Scope':<34} {'Exclusive':>12} {'%':>7}",
+        "-" * 56,
+    ]
+    for entry in result.top(limit):
+        lines.append(f"{entry.name:<34} {_time(entry.total_time):>12} "
+                     f"{entry.percent:6.1f}%")
+    return "\n".join(lines)
+
+
+def gpu_activity_totals(cupti_subscription) -> dict[str, float]:
+    """Aggregate a CUPTI subscription's device records by display name
+    (the "GPU activities" section's input)."""
+    totals: dict[str, float] = {}
+    for rec in cupti_subscription.kernel_records:
+        totals[rec.name] = totals.get(rec.name, 0.0) + rec.duration
+    for rec in cupti_subscription.memcpy_records:
+        name = f"[CUDA memcpy {rec.direction.upper()}]"
+        totals[name] = totals.get(name, 0.0) + rec.duration
+    for rec in cupti_subscription.memset_records:
+        totals["[CUDA memset]"] = totals.get("[CUDA memset]", 0.0) \
+            + rec.duration
+    return totals

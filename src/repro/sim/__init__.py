@@ -1,0 +1,47 @@
+"""Virtual-time CPU/GPU execution simulator.
+
+This package is the hardware substrate for the Diogenes reproduction.
+The paper ran on real Pascal GPUs; here every timing comes from a
+deterministic discrete-event model driven by an analytic cost model
+(:mod:`repro.sim.costs`).  Applications execute as ordinary Python on
+the simulated CPU; GPU work is enqueued onto streams and scheduled
+eagerly onto device engines.
+
+Design notes
+------------
+* **Eager scheduling.**  Because the host enqueues operations in
+  program order and all durations are deterministic, every GPU
+  operation's start/end time is computable at enqueue time.  No event
+  loop is needed; the "discrete event" structure collapses to a small
+  amount of per-stream/per-engine bookkeeping, which keeps simulating
+  hundreds of thousands of operations cheap.
+* **Virtual time, real payloads.**  The clock is virtual (float
+  seconds) so runs are reproducible; application arithmetic is real
+  numpy so content-based deduplication downstream is honest.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.device import GpuDevice
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.ops import DeviceOp, OpKind
+from repro.sim.render import render_timeline
+from repro.sim.stream import Stream
+from repro.sim.trace import CpuInterval, GpuOpRecord, TimelineRecorder
+
+__all__ = [
+    "CostModel",
+    "CpuInterval",
+    "DeviceOp",
+    "Engine",
+    "GpuDevice",
+    "GpuOpRecord",
+    "Machine",
+    "MachineConfig",
+    "OpKind",
+    "Stream",
+    "TimelineRecorder",
+    "render_timeline",
+    "VirtualClock",
+]

@@ -1,0 +1,59 @@
+"""Virtual clock for the simulated host processor.
+
+All times in the simulator are float seconds on a single virtual
+timeline shared by the CPU and the GPU.  The CPU owns the clock: it
+advances when the application performs work, when a driver call burns
+call overhead, and when a blocking call waits for the device.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised on attempts to move a :class:`VirtualClock` backwards."""
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The clock never reads wall time; it only moves via :meth:`advance`
+    and :meth:`advance_to`, which keeps every simulation deterministic.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move the clock forward by ``duration`` seconds.
+
+        Returns the new time.  Negative durations are rejected because
+        they would silently corrupt every downstream trace.
+        """
+        if duration < 0.0:
+            raise ClockError(f"cannot advance clock by negative duration {duration!r}")
+        self._now += duration
+        return self._now
+
+    def advance_to(self, deadline: float) -> float:
+        """Move the clock forward to ``deadline`` if it is in the future.
+
+        A deadline in the past is a no-op (the CPU polled something
+        that had already completed); the method returns the possibly
+        unchanged current time.  This matches the semantics of waiting
+        on a device whose work already finished.
+        """
+        if deadline > self._now:
+            self._now = float(deadline)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.9f})"

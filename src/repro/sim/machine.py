@@ -1,0 +1,81 @@
+"""The simulated machine: one CPU host thread plus one GPU.
+
+:class:`Machine` is what an application "runs on".  Application code
+advances the CPU clock through :meth:`Machine.cpu_work`; the driver
+layer (:mod:`repro.driver`) advances it for API overheads and waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel, CostParameters
+from repro.sim.device import GpuDevice
+from repro.sim.trace import TimelineRecorder
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Configuration for a simulated machine.
+
+    ``cost_params`` feeds the analytic :class:`CostModel`;
+    ``record_cpu_timeline`` can be disabled for very long runs where
+    only the tool-observed data matters (it is required ground truth
+    for the HPCToolkit-like sampling profiler and for tests).
+    """
+
+    cost_params: CostParameters = field(default_factory=CostParameters)
+    record_cpu_timeline: bool = True
+    #: Concurrent-kernel width of the simulated GPU.
+    compute_engines: int = 1
+
+
+class Machine:
+    """A host thread, its clock, one GPU, and the ground-truth recorder."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config if config is not None else MachineConfig()
+        self.clock = VirtualClock()
+        self.costs = CostModel(self.config.cost_params)
+        self.gpu = GpuDevice(device_id=0,
+                             compute_engines=self.config.compute_engines)
+        self.timeline = TimelineRecorder()
+
+    # ------------------------------------------------------------------
+    # CPU time accounting
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def cpu_work(self, duration: float, label: str = "cpu") -> None:
+        """Application compute on the host for ``duration`` seconds."""
+        start = self.clock.now
+        end = self.clock.advance(duration)
+        if self.config.record_cpu_timeline:
+            self.timeline.record_cpu(start, end, "work", label)
+
+    def cpu_api(self, duration: float, label: str) -> None:
+        """Driver-call overhead on the host clock."""
+        start = self.clock.now
+        end = self.clock.advance(duration)
+        if self.config.record_cpu_timeline:
+            self.timeline.record_cpu(start, end, "api", label)
+
+    def cpu_wait_until(self, deadline: float, label: str) -> float:
+        """Block the host until ``deadline``; returns the wait duration.
+
+        A deadline already in the past costs nothing (the device work
+        had finished before the host asked).
+        """
+        start = self.clock.now
+        end = self.clock.advance_to(deadline)
+        waited = end - start
+        if waited > 0.0 and self.config.record_cpu_timeline:
+            self.timeline.record_cpu(start, end, "wait", label)
+        return waited
+
+    def elapsed(self) -> float:
+        """Total virtual run time so far."""
+        return self.clock.now

@@ -1,0 +1,66 @@
+"""CUDA-style streams.
+
+A stream is an ordered queue of device operations: operation *i+1* may
+not begin before operation *i* completed, even when the two run on
+different engines (a kernel followed by a D2H copy of its output, for
+example).  Distinct streams have no ordering relationship and may
+overlap on different engines.
+
+Stream 0 is the legacy default stream.  The simulator models its
+classic synchronizing behaviour at the driver layer
+(:mod:`repro.driver.api`), not here; at this level stream 0 is an
+ordinary stream.
+"""
+
+from __future__ import annotations
+
+from repro.sim.ops import DeviceOp
+
+
+class Stream:
+    """Ordered FIFO of device operations.
+
+    The stream records every operation enqueued on it (so the GPU
+    timeline can be reconstructed) plus the completion time of the most
+    recent one, which is all the dependency tracking the eager
+    scheduler needs.
+    """
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+        self.last_end = 0.0
+        self.ops: list[DeviceOp] = []
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops)
+
+    def record(self, op: DeviceOp) -> None:
+        """Append a scheduled op and update the dependency bound."""
+        self.ops.append(op)
+        self.last_end = op.end_time
+
+    def completion_time(self) -> float:
+        """Virtual time at which all currently-enqueued work finishes."""
+        return self.last_end
+
+    def idle_periods(self) -> list[tuple[float, float]]:
+        """Gaps between consecutive ops on this stream.
+
+        Returns ``(gap_start, gap_end)`` pairs.  Used by tests and by
+        ground-truth validation of the expected-benefit estimator: the
+        contraction of these gaps is exactly what bounds the benefit of
+        removing a synchronization (§3.5.1 of the paper).
+        """
+        gaps: list[tuple[float, float]] = []
+        prev_end: float | None = None
+        for op in self.ops:
+            if op.cancelled:
+                continue
+            if prev_end is not None and op.start_time > prev_end:
+                gaps.append((prev_end, op.start_time))
+            prev_end = max(prev_end, op.end_time) if prev_end is not None else op.end_time
+        return gaps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream(id={self.stream_id} ops={len(self.ops)} last_end={self.last_end})"

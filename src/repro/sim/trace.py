@@ -1,0 +1,109 @@
+"""Ground-truth timeline recording.
+
+The simulator records what *actually happened* — every GPU op and
+every labelled CPU interval.  This is distinct from what the FFM
+stages *observe* through instrumentation: the tool must earn its data
+through probes, and tests use the ground truth here to check that it
+did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class GpuOpRecord:
+    """Immutable snapshot of a completed GPU operation."""
+
+    op_id: int
+    kind: str
+    name: str
+    stream_id: int
+    nbytes: int
+    enqueue_time: float
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True)
+class CpuInterval:
+    """A labelled interval on the CPU timeline.
+
+    ``category`` is one of ``"work"`` (application compute),
+    ``"api"`` (driver call overhead), or ``"wait"`` (blocked in the
+    internal synchronization function).  ``label`` carries the API
+    function or application tag.
+    """
+
+    start: float
+    end: float
+    category: str
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TimelineRecorder:
+    """Accumulates CPU intervals and exposes simple aggregations."""
+
+    def __init__(self) -> None:
+        self.cpu_intervals: list[CpuInterval] = []
+
+    def record_cpu(self, start: float, end: float, category: str, label: str) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: [{start}, {end}]")
+        if category not in ("work", "api", "wait"):
+            raise ValueError(f"unknown CPU interval category {category!r}")
+        self.cpu_intervals.append(CpuInterval(start, end, category, label))
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def total(self, category: str | None = None, label: str | None = None) -> float:
+        """Summed duration of matching intervals."""
+        return sum(
+            iv.duration
+            for iv in self.cpu_intervals
+            if (category is None or iv.category == category)
+            and (label is None or iv.label == label)
+        )
+
+    def intervals(self, category: str | None = None) -> Iterator[CpuInterval]:
+        for iv in self.cpu_intervals:
+            if category is None or iv.category == category:
+                yield iv
+
+    def by_label(self, category: str | None = None) -> dict[str, float]:
+        """Total duration per label, optionally filtered by category."""
+        out: dict[str, float] = {}
+        for iv in self.cpu_intervals:
+            if category is not None and iv.category != category:
+                continue
+            out[iv.label] = out.get(iv.label, 0.0) + iv.duration
+        return out
+
+
+def snapshot_gpu_ops(device) -> list[GpuOpRecord]:
+    """Freeze the device's op list into immutable records."""
+    return [
+        GpuOpRecord(
+            op_id=op.op_id,
+            kind=op.kind.value,
+            name=op.name,
+            stream_id=op.stream_id,
+            nbytes=op.nbytes,
+            enqueue_time=op.enqueue_time,
+            start_time=op.start_time,
+            end_time=op.end_time,
+        )
+        for op in device.all_ops
+        if not op.cancelled
+    ]

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.context import ExecutionContext
+
+
+@pytest.fixture
+def ctx() -> ExecutionContext:
+    """A fresh simulated process."""
+    return ExecutionContext.create()
+
+
+@pytest.fixture
+def machine(ctx):
+    return ctx.machine
+
+
+@pytest.fixture
+def driver(ctx):
+    return ctx.driver
+
+
+@pytest.fixture
+def cudart(ctx):
+    return ctx.cudart

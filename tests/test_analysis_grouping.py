@@ -1,0 +1,176 @@
+"""Tests for stage-5 classification, grouping, and sequences."""
+
+import pytest
+
+from repro.apps.synthetic import (
+    DuplicateTransferApp,
+    MisplacedSyncApp,
+    QuietApp,
+    UnnecessarySyncApp,
+)
+from repro.apps.cuibm import CuIbm
+from repro.core.diogenes import Diogenes, DiogenesConfig
+from repro.core.graph import ProblemKind
+from repro.core.grouping import expand_fold, group_by_api, group_folded_function, group_single_point
+from repro.core.sequences import find_sequences, subsequence
+
+
+def run_tool(app, **cfg):
+    return Diogenes(app, DiogenesConfig(**cfg)).run()
+
+
+class TestClassification:
+    def test_unnecessary_syncs_classified(self):
+        report = run_tool(UnnecessarySyncApp(iterations=4))
+        kinds = {p.kind for p in report.analysis.problems}
+        assert kinds == {ProblemKind.UNNECESSARY_SYNC}
+        assert len(report.analysis.problems) == 4
+
+    def test_misplaced_syncs_classified(self):
+        report = run_tool(MisplacedSyncApp(iterations=4))
+        kinds = {p.kind for p in report.analysis.problems}
+        assert ProblemKind.MISPLACED_SYNC in kinds
+        misplaced = [p for p in report.analysis.problems
+                     if p.kind is ProblemKind.MISPLACED_SYNC]
+        assert all(p.first_use_time > 0 for p in misplaced)
+
+    def test_duplicate_transfers_classified(self):
+        report = run_tool(DuplicateTransferApp(iterations=4))
+        kinds = {p.kind for p in report.analysis.problems}
+        assert ProblemKind.UNNECESSARY_TRANSFER in kinds
+        dups = report.analysis.transfer_problems()
+        assert len(dups) == 3  # first upload is legitimate
+
+    def test_quiet_app_reports_nothing(self):
+        report = run_tool(QuietApp(iterations=4))
+        assert report.analysis.problems == []
+        assert report.total_benefit == 0.0
+
+    def test_misplaced_threshold_filters(self):
+        app = MisplacedSyncApp(iterations=3, independent_cpu_time=30e-6)
+        report = run_tool(app, misplaced_min_delay=50e-6)
+        assert not report.analysis.sync_problems()
+
+    def test_problems_ranked_by_benefit(self):
+        report = run_tool(DuplicateTransferApp(iterations=5))
+        benefits = [p.est_benefit for p in report.analysis.problems]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_location_rendering(self):
+        report = run_tool(UnnecessarySyncApp(iterations=1))
+        p = report.analysis.problems[0]
+        assert p.location() == \
+            "cudaDeviceSynchronize in synthetic.cpp at line 23"
+
+
+class TestGrouping:
+    def test_single_point_groups_by_call_site(self):
+        report = run_tool(UnnecessarySyncApp(iterations=5))
+        points = group_single_point(report.analysis)
+        assert len(points) == 1
+        assert points[0].count == 5
+        assert points[0].total_benefit == pytest.approx(
+            report.total_benefit)
+
+    def test_api_fold_collects_all_members(self):
+        report = run_tool(DuplicateTransferApp(iterations=4))
+        folds = group_by_api(report.analysis)
+        assert [g.label for g in folds] == ["Fold on cudaMemcpy"]
+
+    def test_folded_function_merges_template_instances(self):
+        report = run_tool(CuIbm(steps=2, cg_iters=4))
+        folds = group_by_api(report.analysis)
+        free_fold = next(g for g in folds if "cudaFree" in g.label)
+        rows = expand_fold(free_fold)
+        names = [r.base_name for r in rows]
+        # Template parameters must be stripped in the folded names.
+        assert "thrust::detail::contiguous_storage::allocate" in names
+        assert all("<" not in n for n in names)
+        # ...but the display keeps one original template-bearing name.
+        storage = next(r for r in rows if "contiguous_storage" in r.base_name)
+        assert "<" in storage.function
+
+    def test_fold_expansion_sorted_by_benefit(self):
+        report = run_tool(CuIbm(steps=2, cg_iters=4))
+        free_fold = next(g for g in group_by_api(report.analysis)
+                         if "cudaFree" in g.label)
+        rows = expand_fold(free_fold)
+        benefits = [r.total_benefit for r in rows]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_folded_function_grouping_distinct_from_single_point(self):
+        report = run_tool(CuIbm(steps=2, cg_iters=4))
+        points = group_single_point(report.analysis)
+        folds = group_folded_function(report.analysis)
+        # Same members distributed, totals conserved.
+        assert sum(g.count for g in points) == sum(g.count for g in folds)
+        # Folding is at least as coarse as point grouping.
+        assert len(folds) <= len(points)
+
+
+class TestSequences:
+    def test_loop_pattern_collapses_to_static_sequence(self):
+        # Misplaced syncs are necessary, so each forms its own run; the
+        # six iterations collapse to one static 1-entry sequence.
+        report = run_tool(MisplacedSyncApp(iterations=6))
+        sequences = find_sequences(report.analysis, min_length=1)
+        assert sequences
+        seq = sequences[0]
+        assert seq.instance_count == 6
+        assert seq.length == 1
+
+    def test_misplaced_sync_terminates_runs(self):
+        report = run_tool(MisplacedSyncApp(iterations=6))
+        # With the default min length of 2 no multi-op sequence exists.
+        assert all(s.length >= 2 for s in report.sequences)
+
+    def test_sequence_issue_counts(self):
+        report = run_tool(DuplicateTransferApp(iterations=5))
+        seq = report.sequences[0]
+        # A duplicate synchronous transfer counts once in each tally.
+        assert seq.transfer_issue_count >= 1
+        assert seq.sync_issue_count >= seq.transfer_issue_count
+
+    def test_combined_operation_is_single_entry(self):
+        report = run_tool(DuplicateTransferApp(iterations=3))
+        seq = report.sequences[0]
+        for entry in seq.entries:
+            if ProblemKind.UNNECESSARY_TRANSFER in entry.kinds:
+                assert ProblemKind.UNNECESSARY_SYNC in entry.kinds
+
+    def test_subsequence_estimates_bounded_by_full(self):
+        report = run_tool(UnnecessarySyncApp(iterations=8))
+        seq = report.sequences[0]
+        sub = subsequence(report.analysis, seq, 1, max(1, seq.length // 2))
+        assert 0.0 <= sub.est_benefit <= seq.est_benefit * 1.0001
+
+    def test_full_range_subsequence_equals_sequence(self):
+        report = run_tool(UnnecessarySyncApp(iterations=6))
+        seq = report.sequences[0]
+        sub = subsequence(report.analysis, seq, 1, seq.length)
+        assert sub.est_benefit == pytest.approx(seq.est_benefit)
+
+    def test_subsequence_bounds_checked(self):
+        report = run_tool(UnnecessarySyncApp(iterations=4))
+        seq = report.sequences[0]
+        with pytest.raises(IndexError):
+            subsequence(report.analysis, seq, 0, 1)
+        with pytest.raises(IndexError):
+            subsequence(report.analysis, seq, 1, seq.length + 1)
+        with pytest.raises(IndexError):
+            subsequence(report.analysis, seq, 3, 2)
+
+    def test_min_length_filter(self):
+        report = run_tool(UnnecessarySyncApp(iterations=5))
+        long_only = find_sequences(report.analysis, min_length=10_000)
+        assert long_only == []
+
+    def test_sequences_ranked_by_benefit(self):
+        report = run_tool(CuIbm(steps=2, cg_iters=4))
+        benefits = [s.est_benefit for s in report.sequences]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_listing_is_numbered(self):
+        report = run_tool(UnnecessarySyncApp(iterations=4))
+        listing = report.sequences[0].listing()
+        assert listing[0].startswith("1. ")

@@ -1,0 +1,175 @@
+"""Tests for the fix recommendation engine (§6 future work)."""
+
+import pytest
+
+from repro.apps.amg import Amg
+from repro.apps.cuibm import CuIbm
+from repro.apps.cumf_als import CumfAls
+from repro.apps.rodinia_gaussian import RodiniaGaussian
+from repro.apps.synthetic import (
+    DuplicateTransferApp,
+    MisplacedSyncApp,
+    QuietApp,
+    UnnecessarySyncApp,
+)
+from repro.core.autofix import (
+    Confidence,
+    FixStrategy,
+    fixes_to_json,
+    recommend_fixes,
+    render_fixes,
+)
+from repro.core.diogenes import Diogenes
+
+
+def fixes_for(app):
+    report = Diogenes(app).run()
+    return report, recommend_fixes(report)
+
+
+class TestRules:
+    def test_unnecessary_explicit_sync_gets_remove(self):
+        _, recs = fixes_for(UnnecessarySyncApp(iterations=5))
+        assert recs
+        assert recs[0].strategy is FixStrategy.REMOVE_SYNC
+        assert recs[0].confidence is Confidence.HIGH
+        assert recs[0].occurrences == 5
+
+    def test_duplicate_upload_gets_hoist_transfer(self):
+        _, recs = fixes_for(DuplicateTransferApp(iterations=5))
+        strategies = {r.strategy for r in recs}
+        assert FixStrategy.HOIST_TRANSFER in strategies
+        hoist = next(r for r in recs
+                     if r.strategy is FixStrategy.HOIST_TRANSFER)
+        assert "write-protect" in hoist.rationale
+
+    def test_misplaced_sync_gets_move(self):
+        _, recs = fixes_for(MisplacedSyncApp(iterations=5))
+        assert recs[0].strategy is FixStrategy.MOVE_SYNC
+        assert "us later" in recs[0].rationale
+
+    def test_quiet_app_gets_nothing(self):
+        report, recs = fixes_for(QuietApp(iterations=3))
+        assert recs == []
+        assert render_fixes(report, recs) == "No fixable problems found."
+
+
+class TestOnEvaluationApps:
+    def test_cuibm_recommends_pool_for_thrust_frees(self):
+        _, recs = fixes_for(CuIbm(steps=2, cg_iters=6))
+        top = recs[0]
+        assert top.strategy is FixStrategy.HOIST_ALLOC_FREE
+        assert "pool" in top.rationale
+        strategies = {r.strategy for r in recs}
+        assert FixStrategy.USE_PINNED in strategies  # the async memcpys
+
+    def test_amg_recommends_host_memset(self):
+        _, recs = fixes_for(Amg(cycles=8))
+        memset_recs = [r for r in recs
+                       if r.strategy is FixStrategy.HOST_MEMSET]
+        assert memset_recs
+        assert memset_recs[0].confidence is Confidence.HIGH
+        move_recs = [r for r in recs if r.strategy is FixStrategy.MOVE_SYNC]
+        assert move_recs  # the misplaced cudaStreamSynchronize
+
+    def test_rodinia_recommends_removing_threadsync(self):
+        _, recs = fixes_for(RodiniaGaussian(n=40))
+        assert recs[0].strategy is FixStrategy.REMOVE_SYNC
+        assert "cudaThreadSynchronize" in recs[0].target
+
+    def test_cumf_mixes_hoists(self):
+        _, recs = fixes_for(CumfAls(iterations=3))
+        strategies = {r.strategy for r in recs}
+        assert FixStrategy.HOIST_ALLOC_FREE in strategies
+        assert FixStrategy.HOIST_TRANSFER in strategies
+
+    def test_recommended_benefit_tracks_measured_fix(self):
+        report, recs = fixes_for(RodiniaGaussian(n=40))
+        total_rec = sum(r.est_benefit for r in recs)
+        t0 = RodiniaGaussian(n=40).uninstrumented_time()
+        t1 = RodiniaGaussian(n=40, fixed=True).uninstrumented_time()
+        assert total_rec == pytest.approx(t0 - t1, rel=3.0)
+
+
+class TestOutput:
+    def test_ranked_by_benefit(self):
+        _, recs = fixes_for(CumfAls(iterations=3))
+        benefits = [r.est_benefit for r in recs]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_min_benefit_filter(self):
+        report, recs = fixes_for(CumfAls(iterations=3))
+        filtered = recommend_fixes(report, min_benefit=recs[0].est_benefit)
+        assert len(filtered) <= len(recs)
+        assert all(r.est_benefit >= recs[0].est_benefit for r in filtered)
+
+    def test_render_contains_locations_and_percent(self):
+        report, recs = fixes_for(UnnecessarySyncApp(iterations=4))
+        text = render_fixes(report, recs)
+        assert "synthetic.cpp" in text
+        assert "% of execution" in text
+
+    def test_json_export(self):
+        import json
+
+        _, recs = fixes_for(UnnecessarySyncApp(iterations=4))
+        blob = json.dumps(fixes_to_json(recs))
+        parsed = json.loads(blob)
+        assert parsed[0]["strategy"] == "remove_synchronization"
+        assert parsed[0]["occurrences"] == 4
+
+
+class TestStabilityWarnings:
+    """§5.3: run-to-run behaviour changes are detected and surfaced."""
+
+    def test_stable_app_has_no_warnings(self):
+        report = Diogenes(UnnecessarySyncApp(iterations=4)).run()
+        assert report.warnings == []
+
+    def test_nondeterministic_app_is_flagged(self):
+        from repro.apps.base import Workload
+
+        class DriftingApp(Workload):
+            """Violates the stability contract: each run performs one
+            more synchronization than the previous one."""
+
+            name = "drifting-app"
+
+            def __init__(self):
+                self.run_count = 0
+
+            def run(self, ctx):
+                rt = ctx.cudart
+                self.run_count += 1
+                with ctx.frame("main", "drift.cpp", 5):
+                    for i in range(2 + self.run_count):
+                        with ctx.frame("main", "drift.cpp", 10):
+                            rt.cudaLaunchKernel("k", 100e-6)
+                            rt.cudaDeviceSynchronize()
+
+        report = Diogenes(DriftingApp()).run()
+        assert report.warnings
+        assert any("run-to-run" in w for w in report.warnings)
+
+    def test_warnings_exported_to_json(self):
+        from repro.core.jsonio import report_to_json
+
+        report = Diogenes(UnnecessarySyncApp(iterations=3)).run()
+        assert report_to_json(report)["warnings"] == []
+
+
+class TestMergedRecommendations:
+    def test_hoisted_transfer_subsumes_same_site_sync_removal(self):
+        report, recs = fixes_for(DuplicateTransferApp(iterations=6))
+        dup_site_recs = [r for r in recs
+                         if "line 221" in r.target]
+        # One edit per call site: the hoist carries the sync benefit too.
+        assert len(dup_site_recs) == 1
+        rec = dup_site_recs[0]
+        assert rec.strategy is FixStrategy.HOIST_TRANSFER
+        from repro.core.graph import ProblemKind
+
+        assert ProblemKind.UNNECESSARY_SYNC in rec.kinds
+        assert ProblemKind.UNNECESSARY_TRANSFER in rec.kinds
+        assert rec.est_benefit == pytest.approx(report.total_benefit,
+                                                rel=0.01)

@@ -1,0 +1,310 @@
+"""Tests for the expected-benefit algorithm (Figure 5), including the
+Figure 4 worked examples."""
+
+import pytest
+
+from repro.core.benefit import (
+    BenefitConfig,
+    expected_benefit,
+    expected_benefit_subset,
+    naive_resource_estimate,
+)
+from repro.core.graph import CpuNode, ExecutionGraph, NodeType, ProblemKind
+
+U = ProblemKind.UNNECESSARY_SYNC
+M = ProblemKind.MISPLACED_SYNC
+T = ProblemKind.UNNECESSARY_TRANSFER
+
+
+def make_graph(spec):
+    """Build a graph from (ntype, duration[, problem[, first_use]]) tuples."""
+    nodes = []
+    t = 0.0
+    for entry in spec:
+        ntype, duration = entry[0], entry[1]
+        problem = entry[2] if len(entry) > 2 else ProblemKind.NONE
+        first_use = entry[3] if len(entry) > 3 else 0.0
+        nodes.append(CpuNode(ntype, t, duration, problem=problem,
+                             first_use_time=first_use))
+        t += duration
+    return ExecutionGraph(nodes, execution_time=t)
+
+
+class TestRemoveSynchronization:
+    def test_fully_absorbed_wait(self):
+        # 10 units of wait, 10 units of CPU work before the next sync.
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 10.0),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(10.0)
+        assert result.final_durations[0] == 0.0
+        assert result.final_durations[2] == pytest.approx(1.0)  # unchanged
+
+    def test_unabsorbed_wait_moves_to_next_sync(self):
+        # Only 2 units of cover: benefit 2, the other 8 reappear later.
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 2.0),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(2.0)
+        assert result.final_durations[2] == pytest.approx(1.0 + 8.0)
+
+    def test_no_cover_means_no_benefit(self):
+        g = make_graph([
+            (NodeType.CWAIT, 5.0, U),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.total == 0.0
+        assert result.final_durations[1] == pytest.approx(6.0)
+
+    def test_claunch_counts_as_cover(self):
+        g = make_graph([
+            (NodeType.CWAIT, 4.0, U),
+            (NodeType.CLAUNCH, 3.0),
+            (NodeType.CWAIT, 1.0),
+        ])
+        assert expected_benefit(g).total == pytest.approx(3.0)
+
+    def test_exit_node_terminates_search(self):
+        # A trailing unnecessary sync with CPU work after it.
+        g = make_graph([
+            (NodeType.CWAIT, 5.0, U),
+            (NodeType.CWORK, 3.0),
+        ])
+        assert expected_benefit(g).total == pytest.approx(3.0)
+
+    def test_sequence_carry_forward(self):
+        # A's unabsorbed wait carries into B (also problematic) and gets
+        # absorbed by the large cover after B — the §3.5.2 mechanism.
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),   # A
+            (NodeType.CWORK, 2.0),
+            (NodeType.CWAIT, 5.0, U),    # B
+            (NodeType.CWORK, 20.0),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        # A absorbs 2; carry 8 lands on B, which then removes 13 against
+        # a cover of 20.
+        by_index = result.by_index()
+        assert by_index[0].est_benefit == pytest.approx(2.0)
+        assert by_index[2].est_benefit == pytest.approx(13.0)
+        assert result.total == pytest.approx(15.0)
+
+    def test_carry_lost_at_necessary_sync(self):
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 2.0),
+            (NodeType.CWAIT, 5.0),       # necessary: absorbs the carry
+            (NodeType.CWORK, 100.0),
+        ])
+        assert expected_benefit(g).total == pytest.approx(2.0)
+
+
+class TestMisplacedSynchronization:
+    def test_benefit_is_first_use_time(self):
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, M, 4.0),
+            (NodeType.CWORK, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(4.0)
+        assert result.final_durations[0] == pytest.approx(6.0)
+
+    def test_capped_at_wait_by_default(self):
+        g = make_graph([
+            (NodeType.CWAIT, 3.0, M, 10.0),
+            (NodeType.CWORK, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(3.0)
+        assert result.final_durations[0] == 0.0
+
+    def test_uncapped_runs_figure5_verbatim(self):
+        g = make_graph([
+            (NodeType.CWAIT, 3.0, M, 10.0),
+            (NodeType.CWORK, 1.0),
+        ])
+        result = expected_benefit(g, BenefitConfig(cap_misplaced_at_wait=False))
+        assert result.total == pytest.approx(10.0)  # the pseudocode's answer
+        assert result.final_durations[0] == 0.0     # max(0, 3 - 10)
+
+
+class TestRemoveMemoryTransfer:
+    def test_benefit_is_launch_duration(self):
+        g = make_graph([
+            (NodeType.CLAUNCH, 2.5, T),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(2.5)
+        assert result.final_durations[0] == 0.0
+
+    def test_earlier_removed_transfer_no_longer_covers_idle(self):
+        # Figure 5 processes nodes in time order and mutates durations
+        # in place: a transfer removed *before* a sync is evaluated no
+        # longer counts as idle cover for it...
+        g = make_graph([
+            (NodeType.CLAUNCH, 3.0, T),
+            (NodeType.CWAIT, 5.0, U),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        assert result.by_index()[1].est_benefit == pytest.approx(0.0)
+
+    def test_later_removed_transfer_still_covers_idle(self):
+        # ...whereas a transfer *after* the sync has not been zeroed yet
+        # when the sync is processed, so it still counts — a documented
+        # optimism of the published algorithm, preserved faithfully.
+        g = make_graph([
+            (NodeType.CLAUNCH, 3.0, T),
+            (NodeType.CWAIT, 5.0, U),
+            (NodeType.CLAUNCH, 2.0, T),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        by_index = result.by_index()
+        assert by_index[0].est_benefit == pytest.approx(3.0)
+        assert by_index[1].est_benefit == pytest.approx(2.0)
+        assert by_index[2].est_benefit == pytest.approx(2.0)
+
+
+class TestSubset:
+    def _graph(self):
+        return make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 2.0),
+            (NodeType.CWAIT, 5.0, U),
+            (NodeType.CWORK, 20.0),
+            (NodeType.CWAIT, 1.0),
+        ])
+
+    def test_subset_of_one(self):
+        g = self._graph()
+        result = expected_benefit_subset(g, [2])
+        assert result.total == pytest.approx(5.0)
+
+    def test_subset_equals_full_when_all_selected(self):
+        g = self._graph()
+        full = expected_benefit(g).total
+        subset = expected_benefit_subset(g, [0, 2]).total
+        assert subset == pytest.approx(full)
+
+    def test_subset_order_normalised(self):
+        g = self._graph()
+        assert expected_benefit_subset(g, [2, 0]).total == \
+            pytest.approx(expected_benefit_subset(g, [0, 2]).total)
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(IndexError):
+            expected_benefit_subset(self._graph(), [99])
+
+    def test_unproblematic_node_rejected(self):
+        with pytest.raises(ValueError):
+            expected_benefit_subset(self._graph(), [1])
+
+    def test_does_not_mutate_graph(self):
+        g = self._graph()
+        before = [n.duration for n in g.nodes]
+        expected_benefit_subset(g, [0])
+        expected_benefit(g)
+        assert [n.duration for n in g.nodes] == before
+
+
+class TestFigure4:
+    """The paper's Figure 4: identical waits, different outcomes."""
+
+    def _case(self, cover: float, k1: float):
+        return make_graph([
+            (NodeType.CWORK, 8.0),            # CWork0
+            (NodeType.CLAUNCH, 0.1),          # launch the big kernel
+            (NodeType.CWAIT, 10.0, U),        # CWait0 — removed in both
+            (NodeType.CWORK, cover),          # CPU work before next sync
+            (NodeType.CLAUNCH, 0.1),
+            (NodeType.CWAIT, k1),             # CWait1 (necessary)
+        ])
+
+    def test_large_benefit_case(self):
+        g = self._case(cover=10.0, k1=4.0)
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(10.0, rel=0.02)
+        # the second wait barely grows
+        assert result.final_durations[5] == pytest.approx(4.0, abs=0.2)
+
+    def test_small_benefit_case(self):
+        g = self._case(cover=2.0, k1=4.0)
+        result = expected_benefit(g)
+        assert result.total == pytest.approx(2.1, abs=0.2)
+        # the second wait grows to fill most of the removed time
+        assert result.final_durations[5] > 4.0 + 7.0
+
+    def test_identical_waits_different_outcomes(self):
+        large = expected_benefit(self._case(10.0, 4.0)).total
+        small = expected_benefit(self._case(2.0, 4.0)).total
+        assert large > 4 * small
+
+
+class TestNaiveEstimate:
+    def test_naive_is_sum_of_problem_durations(self):
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 1.0),
+            (NodeType.CLAUNCH, 2.0, T),
+        ])
+        assert naive_resource_estimate(g) == pytest.approx(12.0)
+
+    def test_ffm_estimate_never_exceeds_naive(self):
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 1.0),
+            (NodeType.CWAIT, 3.0, U),
+            (NodeType.CWORK, 0.5),
+        ])
+        assert expected_benefit(g).total <= naive_resource_estimate(g)
+
+
+class TestProvenance:
+    """NodeBenefit carries window/carry bookkeeping for explanations."""
+
+    def test_carry_bookkeeping_balances(self):
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, U),
+            (NodeType.CWORK, 2.0),
+            (NodeType.CWAIT, 5.0, U),
+            (NodeType.CWORK, 20.0),
+            (NodeType.CWAIT, 1.0),
+        ])
+        result = expected_benefit(g)
+        first, second = result.per_node
+        assert first.window == pytest.approx(2.0)
+        assert first.carried_in == 0.0
+        assert first.carried_out == pytest.approx(8.0)
+        assert second.carried_in == pytest.approx(8.0)
+        assert second.carried_out == 0.0
+        # Conservation: benefit + carried_out = duration + carried_in.
+        for nb in result.per_node:
+            node = g.nodes[nb.node_index]
+            assert nb.est_benefit + nb.carried_out == pytest.approx(
+                node.duration + nb.carried_in)
+
+    def test_misplaced_window_is_first_use(self):
+        g = make_graph([
+            (NodeType.CWAIT, 10.0, M, 4.0),
+            (NodeType.CWORK, 1.0),
+        ])
+        (nb,) = expected_benefit(g).per_node
+        assert nb.window == pytest.approx(4.0)
+
+    def test_transfer_window_is_launch_duration(self):
+        g = make_graph([
+            (NodeType.CLAUNCH, 2.5, T),
+            (NodeType.CWAIT, 1.0),
+        ])
+        (nb,) = expected_benefit(g).per_node
+        assert nb.window == pytest.approx(2.5)

@@ -1,0 +1,152 @@
+"""Direct unit tests of the stage-5 classification matrix.
+
+The integration tests exercise classification through real runs; these
+construct stage records by hand so each rule of
+:func:`repro.core.analysis.classify_operations` is pinned down in
+isolation.
+"""
+
+import pytest
+
+from repro.core.analysis import classify_operations
+from repro.core.graph import ProblemKind
+from repro.core.records import (
+    FirstUseRecord,
+    SiteKey,
+    Stage2Data,
+    Stage3Data,
+    Stage4Data,
+    SyncUseRecord,
+    TraceEvent,
+    TransferHashRecord,
+)
+from repro.instr.stacks import Frame, StackTrace
+
+
+def _site(line: int, occurrence: int = 0) -> SiteKey:
+    stack = StackTrace((Frame("main", "unit.cpp", line),))
+    return SiteKey(stack.address_key(), occurrence)
+
+
+def _event(site, *, is_sync=False, is_transfer=False, seq=0):
+    stack = StackTrace((Frame("main", "unit.cpp", 1),))
+    return TraceEvent(seq=seq, api_name="cudaX", stack=stack, site=site,
+                      t_entry=0.0, t_exit=1.0, sync_wait=0.5 if is_sync else 0,
+                      is_sync=is_sync, is_transfer=is_transfer)
+
+
+def _sync_use(site, required, address=0xBEEF):
+    return SyncUseRecord(site=site, api_name="cudaX", required=required,
+                         access_address=address if required else 0)
+
+
+def _hash(site, duplicate):
+    return TransferHashRecord(site=site, api_name="cudaX", nbytes=64,
+                              direction="h2d", digest="d", duplicate=duplicate)
+
+
+class TestClassificationMatrix:
+    def test_unrequired_sync_is_unnecessary(self):
+        site = _site(1)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True)]),
+            Stage3Data(1.0, sync_uses=[_sync_use(site, required=False)]),
+            Stage4Data(1.0),
+        )
+        assert verdicts[site].sync_problem is ProblemKind.UNNECESSARY_SYNC
+
+    def test_required_with_long_delay_is_misplaced(self):
+        site = _site(2)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True)]),
+            Stage3Data(1.0, sync_uses=[_sync_use(site, required=True)]),
+            Stage4Data(1.0, first_uses=[FirstUseRecord(site, 500e-6)]),
+            misplaced_min_delay=50e-6,
+        )
+        assert verdicts[site].sync_problem is ProblemKind.MISPLACED_SYNC
+        assert verdicts[site].first_use_time == pytest.approx(500e-6)
+
+    def test_required_with_prompt_use_is_clean(self):
+        site = _site(3)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True)]),
+            Stage3Data(1.0, sync_uses=[_sync_use(site, required=True)]),
+            Stage4Data(1.0, first_uses=[FirstUseRecord(site, 1e-6)]),
+            misplaced_min_delay=50e-6,
+        )
+        assert site not in verdicts
+
+    def test_required_without_stage4_delay_is_clean(self):
+        # Stage 4 saw no first use for this site: no misplacement claim.
+        site = _site(4)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True)]),
+            Stage3Data(1.0, sync_uses=[_sync_use(site, required=True)]),
+            Stage4Data(1.0),
+        )
+        assert site not in verdicts
+
+    def test_duplicate_transfer_flagged(self):
+        site = _site(5)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_transfer=True)]),
+            Stage3Data(1.0, transfer_hashes=[_hash(site, duplicate=True)]),
+            Stage4Data(1.0),
+        )
+        assert verdicts[site].transfer_problem is \
+            ProblemKind.UNNECESSARY_TRANSFER
+
+    def test_fresh_transfer_clean(self):
+        site = _site(6)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_transfer=True)]),
+            Stage3Data(1.0, transfer_hashes=[_hash(site, duplicate=False)]),
+            Stage4Data(1.0),
+        )
+        assert site not in verdicts
+
+    def test_combined_sync_and_transfer_problem(self):
+        site = _site(7)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True, is_transfer=True)]),
+            Stage3Data(1.0,
+                       sync_uses=[_sync_use(site, required=False)],
+                       transfer_hashes=[_hash(site, duplicate=True)]),
+            Stage4Data(1.0),
+        )
+        verdict = verdicts[site]
+        assert verdict.sync_problem is ProblemKind.UNNECESSARY_SYNC
+        assert verdict.transfer_problem is ProblemKind.UNNECESSARY_TRANSFER
+
+    def test_sync_unseen_by_stage3_is_left_alone(self):
+        # Cross-run divergence: stage 3 never observed this sync site;
+        # without necessity data the operation must not be flagged.
+        site = _site(8)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True)]),
+            Stage3Data(1.0),
+            Stage4Data(1.0),
+        )
+        assert site not in verdicts
+
+    def test_occurrences_classified_independently(self):
+        first, second = _site(9, 0), _site(9, 1)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(first, is_sync=True, seq=0),
+                             _event(second, is_sync=True, seq=1)]),
+            Stage3Data(1.0, sync_uses=[_sync_use(first, required=False),
+                                       _sync_use(second, required=True)]),
+            Stage4Data(1.0, first_uses=[FirstUseRecord(second, 900e-6)]),
+        )
+        assert verdicts[first].sync_problem is ProblemKind.UNNECESSARY_SYNC
+        assert verdicts[second].sync_problem is ProblemKind.MISPLACED_SYNC
+
+    def test_threshold_boundary_inclusive(self):
+        site = _site(10)
+        verdicts = classify_operations(
+            Stage2Data(1.0, [_event(site, is_sync=True)]),
+            Stage3Data(1.0, sync_uses=[_sync_use(site, required=True)]),
+            Stage4Data(1.0, first_uses=[FirstUseRecord(site, 50e-6)]),
+            misplaced_min_delay=50e-6,
+        )
+        assert verdicts[site].sync_problem is ProblemKind.MISPLACED_SYNC

@@ -1,0 +1,68 @@
+"""Tests for the CUPTI-like activity framework."""
+
+import pytest
+
+from repro.cupti.activity import CuptiOverflowError, CuptiSubscription
+from repro.cupti.records import ApiRecord, SyncActivity
+from repro.sim.machine import Machine
+from repro.sim.ops import DeviceOp, OpKind
+
+
+def sample_op(kind=OpKind.KERNEL, nbytes=0):
+    op = DeviceOp(kind=kind, duration=1e-3, stream_id=0, name="k",
+                  nbytes=nbytes)
+    op.start_time, op.end_time = 1.0, 1.001
+    return op
+
+
+class TestRecords:
+    def test_api_record_duration(self):
+        assert ApiRecord("cudaFree", "runtime", 1.0, 3.5).duration == 2.5
+
+    def test_sync_record_duration(self):
+        assert SyncActivity("context", "cuCtxSynchronize", 0.0, 2.0).duration == 2.0
+
+
+class TestSubscription:
+    def test_records_are_bucketed(self):
+        sub = CuptiSubscription()
+        sub.record_api("cudaMalloc", "runtime", 0.0, 1.0)
+        sub.record_kernel(sample_op())
+        sub.record_memcpy(sample_op(OpKind.COPY_H2D, 64), "h2d")
+        sub.record_memset(sample_op(OpKind.MEMSET, 64))
+        sub.record_sync("context", 0.0, 1.0, "cuCtxSynchronize")
+        assert sub.total_records == 5
+        assert len(sub.api_records) == 1
+        assert sub.memcpy_records[0].direction == "h2d"
+
+    def test_callbacks_receive_records(self):
+        sub = CuptiSubscription()
+        seen = []
+        sub.subscribe(seen.append)
+        sub.record_api("x", "runtime", 0.0, 1.0)
+        assert len(seen) == 1
+        assert isinstance(seen[0], ApiRecord)
+
+    def test_overflow_raises(self):
+        sub = CuptiSubscription(max_records=2)
+        sub.record_api("a", "runtime", 0, 1)
+        sub.record_api("b", "runtime", 1, 2)
+        with pytest.raises(CuptiOverflowError):
+            sub.record_api("c", "runtime", 2, 3)
+
+    def test_unbounded_by_default(self):
+        sub = CuptiSubscription()
+        for i in range(1000):
+            sub.record_api("a", "runtime", i, i + 1)
+        assert sub.total_records == 1000
+
+    def test_emission_overhead_charged(self):
+        machine = Machine()
+        sub = CuptiSubscription(machine=machine, emission_overhead=1e-6)
+        sub.record_api("a", "runtime", 0, 1)
+        sub.record_api("b", "runtime", 1, 2)
+        assert machine.now == pytest.approx(2e-6)
+
+    def test_zero_overhead_without_machine(self):
+        sub = CuptiSubscription(machine=None)
+        sub.record_api("a", "runtime", 0, 1)  # must not raise

@@ -1,0 +1,148 @@
+"""Tests for the data generators and the shared root-call tracker."""
+
+import numpy as np
+import pytest
+
+from repro.apps.data import (
+    gaussian_matrix,
+    lid_driven_cavity,
+    movielens_like,
+    poisson_system,
+)
+from repro.core.rootprobe import RootTracker
+from repro.driver.dispatch import Dispatcher
+from repro.instr.stacks import CallStackTracker
+from repro.sim.machine import Machine
+
+
+class TestDataGenerators:
+    def test_movielens_shape_and_determinism(self):
+        a = movielens_like(users=100, items=50, ratings_per_user=5, seed=3)
+        b = movielens_like(users=100, items=50, ratings_per_user=5, seed=3)
+        assert a.nnz == 500
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.item_idx, b.item_idx)
+
+    def test_movielens_ratings_are_half_stars(self):
+        data = movielens_like(users=50, items=40, seed=1)
+        assert set(np.unique(data.values * 2)) <= set(range(1, 11))
+
+    def test_movielens_popularity_is_skewed(self):
+        data = movielens_like(users=400, items=200, seed=2)
+        counts = np.bincount(data.item_idx, minlength=200)
+        head = counts[:20].sum()
+        tail = counts[-20:].sum()
+        assert head > 3 * tail  # blockbusters vs long tail
+
+    def test_movielens_no_duplicate_ratings_per_user(self):
+        data = movielens_like(users=30, items=50, ratings_per_user=10, seed=4)
+        pairs = set(zip(data.user_idx.tolist(), data.item_idx.tolist()))
+        assert len(pairs) == data.nnz
+
+    def test_dense_matrix_roundtrip(self):
+        data = movielens_like(users=10, items=8, ratings_per_user=3, seed=5)
+        dense = data.dense()
+        assert dense.shape == (10, 8)
+        assert np.count_nonzero(dense) == data.nnz
+
+    def test_cavity_initial_condition(self):
+        case = lid_driven_cavity(n=16, reynolds=5000.0)
+        assert np.all(case.u[-1, :] == 1.0)   # moving lid
+        assert not np.any(case.u[:-1, :])     # fluid at rest
+        assert case.dx == pytest.approx(1 / 15)
+
+    def test_poisson_operator_is_spd_like(self):
+        system = poisson_system(n=8, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.standard_normal(system.unknowns)
+            assert x @ system.apply_operator(x) > 0  # positive definite
+
+    def test_poisson_operator_matches_stencil(self):
+        system = poisson_system(n=4)
+        e = np.zeros(16)
+        e[5] = 1.0  # interior point (1,1)
+        y = system.apply_operator(e).reshape(4, 4)
+        assert y[1, 1] == 4.0
+        assert y[0, 1] == y[2, 1] == y[1, 0] == y[1, 2] == -1.0
+
+    def test_gaussian_matrix_is_diagonally_dominant(self):
+        a, b = gaussian_matrix(n=32, seed=9)
+        off_diag = np.abs(a).sum(axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) > off_diag)
+        assert b.shape == (32,)
+
+
+class TestRootTracker:
+    def _dispatcher(self):
+        d = Dispatcher(Machine(), CallStackTracker())
+        for name in ("outer", "inner", "other"):
+            d.register_symbol(name, "runtime")
+        return d
+
+    def test_nested_traced_calls_yield_one_root(self):
+        d = self._dispatcher()
+        tracker = RootTracker({"outer", "inner"})
+        roots = []
+        tracker.on_root_exit.append(lambda r: roots.append(r.record.name))
+        d.attach(tracker.probe)
+        d.call("outer", "runtime",
+               lambda: d.call("inner", "runtime", lambda: None))
+        assert roots == ["outer"]
+
+    def test_untraced_wrapper_does_not_hide_roots(self):
+        d = self._dispatcher()
+        tracker = RootTracker({"inner"})
+        roots = []
+        tracker.on_root_exit.append(lambda r: roots.append(r.record.name))
+        d.attach(tracker.probe)
+        d.call("other", "runtime",
+               lambda: d.call("inner", "runtime", lambda: None))
+        assert roots == ["inner"]
+
+    def test_occurrence_counting_per_site(self):
+        d = self._dispatcher()
+        tracker = RootTracker({"outer"})
+        sites = []
+        tracker.on_root_exit.append(lambda r: sites.append(r.site))
+        d.attach(tracker.probe)
+        with d.stacks.frame("app", "a.cpp", 1):
+            d.call("outer", "runtime", lambda: None)
+            d.call("outer", "runtime", lambda: None)
+        with d.stacks.frame("app", "a.cpp", 2):
+            d.call("outer", "runtime", lambda: None)
+        assert [s.occurrence for s in sites] == [0, 1, 0]
+        assert sites[0].address_key != sites[2].address_key
+
+    def test_sequence_numbers_are_global(self):
+        d = self._dispatcher()
+        tracker = RootTracker({"outer", "inner"})
+        seqs = []
+        tracker.on_root_exit.append(lambda r: seqs.append(r.seq))
+        d.attach(tracker.probe)
+        d.call("outer", "runtime", lambda: None)
+        d.call("inner", "runtime", lambda: None)
+        assert seqs == [0, 1]
+
+    def test_entry_callbacks_fire_before_impl(self):
+        d = self._dispatcher()
+        tracker = RootTracker({"outer"})
+        order = []
+        tracker.on_root_entry.append(lambda r: order.append("entry"))
+        tracker.on_root_exit.append(lambda r: order.append("exit"))
+        d.attach(tracker.probe)
+        d.call("outer", "runtime", lambda: order.append("impl"))
+        assert order == ["entry", "impl", "exit"]
+
+    def test_current_root_visible_during_call(self):
+        d = self._dispatcher()
+        tracker = RootTracker({"outer"})
+        d.attach(tracker.probe)
+        seen = []
+
+        def impl():
+            seen.append(tracker.current_root.record.name)
+
+        d.call("outer", "runtime", impl)
+        assert seen == ["outer"]
+        assert tracker.current_root is None

@@ -1,0 +1,164 @@
+"""Tests for sync-function discovery and load/store instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.driver.api import INTERNAL_WAIT_SYMBOL
+from repro.hostmem.buffer import HostBuffer
+from repro.instr.discovery import discover_sync_function
+from repro.instr.loadstore import LoadStoreInstrumenter, RegionSet
+from repro.sim.machine import Machine
+
+
+class TestDiscovery:
+    def test_finds_the_internal_wait_symbol(self):
+        evidence = discover_sync_function()
+        assert evidence.wait_symbol == INTERNAL_WAIT_SYMBOL
+
+    def test_every_trigger_blocked_in_the_funnel(self):
+        evidence = discover_sync_function()
+        for api, stack in evidence.blocked_in.items():
+            assert stack[-1] == INTERNAL_WAIT_SYMBOL, api
+
+    def test_blocked_stack_shows_calling_api(self):
+        evidence = discover_sync_function()
+        assert evidence.blocked_in["cuCtxSynchronize"][0] == "cuCtxSynchronize"
+
+    def test_non_blocking_trigger_is_an_error(self):
+        def never_blocks(ctx):
+            ctx.driver.cuMemAlloc(64)
+
+        with pytest.raises(RuntimeError, match="did not block"):
+            discover_sync_function({"cuMemAlloc": never_blocks})
+
+    def test_candidates_ordered_outermost_first(self):
+        evidence = discover_sync_function()
+        assert evidence.candidates[-1] == evidence.wait_symbol
+
+
+class TestRegionSet:
+    def test_add_and_match(self):
+        regions = RegionSet()
+        r = regions.add(100, 50, tag="a")
+        assert regions.matches(100, 1) == [r]
+        assert regions.matches(149, 1) == [r]
+        assert regions.matches(150, 1) == []
+        assert regions.matches(99, 1) == []
+
+    def test_overlap_straddling_start(self):
+        regions = RegionSet()
+        r = regions.add(100, 50)
+        assert regions.matches(90, 20) == [r]
+
+    def test_multiple_overlapping_regions(self):
+        regions = RegionSet()
+        a = regions.add(0, 100)
+        b = regions.add(50, 100)
+        assert set(map(id, regions.matches(60, 1))) == {id(a), id(b)}
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegionSet().add(0, 0)
+
+    def test_remove(self):
+        regions = RegionSet()
+        r = regions.add(10, 10)
+        regions.remove(r)
+        assert regions.matches(10, 1) == []
+        with pytest.raises(KeyError):
+            regions.remove(r)
+
+    def test_remove_picks_identity_among_same_start(self):
+        regions = RegionSet()
+        a = regions.add(10, 10)
+        b = regions.add(10, 20)
+        regions.remove(a)
+        assert regions.matches(10, 1) == [b]
+
+    def test_drop_range(self):
+        regions = RegionSet()
+        regions.add(0, 10)
+        regions.add(20, 10)
+        regions.add(25, 100)  # extends past the dropped range
+        dropped = regions.drop_range(0, 40)
+        assert dropped == 2
+        assert len(regions) == 1
+
+
+class TestLoadStoreInstrumenter:
+    def _setup(self):
+        machine = Machine()
+        from repro.hostmem.allocator import HostAddressSpace
+        from repro.instr.stacks import CallStackTracker
+
+        space = HostAddressSpace(machine.clock)
+        stacks = CallStackTracker()
+        instr = LoadStoreInstrumenter(space, stacks, machine)
+        return machine, space, stacks, instr
+
+    def test_matching_access_reported_with_stack(self):
+        machine, space, stacks, instr = self._setup()
+        buf = HostBuffer(space, 64)
+        instr.regions.add(buf.address, buf.nbytes)
+        hits = []
+        instr.on_access(lambda e, s, r: hits.append((e.kind, s)))
+        with instr:
+            with stacks.frame("reader", "app.cpp", 42):
+                buf.read()
+        assert len(hits) == 1
+        kind, stack = hits[0]
+        assert kind == "load"
+        assert stack.leaf.line == 42
+
+    def test_non_matching_access_ignored(self):
+        machine, space, stacks, instr = self._setup()
+        watched = HostBuffer(space, 64)
+        other = HostBuffer(space, 64)
+        instr.regions.add(watched.address, watched.nbytes)
+        hits = []
+        instr.on_access(lambda e, s, r: hits.append(e))
+        with instr:
+            other.read()
+        assert hits == []
+        assert instr.access_count == 1
+        assert instr.match_count == 0
+
+    def test_overhead_charged_only_on_match(self):
+        machine, space, stacks, instr = self._setup()
+        instr.overhead_per_access = 1e-4
+        watched = HostBuffer(space, 64)
+        other = HostBuffer(space, 64)
+        instr.regions.add(watched.address, watched.nbytes)
+        with instr:
+            other.read()
+            assert machine.now == 0.0
+            watched.read()
+            assert machine.now == pytest.approx(1e-4)
+
+    def test_uninstall_stops_reporting(self):
+        machine, space, stacks, instr = self._setup()
+        buf = HostBuffer(space, 64)
+        instr.regions.add(buf.address, buf.nbytes)
+        hits = []
+        instr.on_access(lambda e, s, r: hits.append(e))
+        instr.install()
+        buf.read()
+        instr.uninstall()
+        buf.read()
+        assert len(hits) == 1
+
+    def test_double_install_rejected(self):
+        _, _, _, instr = self._setup()
+        instr.install()
+        with pytest.raises(RuntimeError):
+            instr.install()
+
+    def test_store_access_matches(self):
+        machine, space, stacks, instr = self._setup()
+        buf = HostBuffer(space, 64)
+        instr.regions.add(buf.address, buf.nbytes)
+        kinds = []
+        instr.on_access(lambda e, s, r: kinds.append(e.kind))
+        with instr:
+            buf.write(np.array([1.0]))
+        assert kinds == ["store"]

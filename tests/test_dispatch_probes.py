@@ -1,0 +1,228 @@
+"""Unit tests for the dispatch layer and probes."""
+
+import pytest
+
+from repro.driver.dispatch import Dispatcher
+from repro.instr.manager import InstrumentationManager
+from repro.instr.probes import Probe
+from repro.instr.stacks import CallStackTracker
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def dispatcher():
+    d = Dispatcher(Machine(), CallStackTracker())
+    d.register_symbol("outer", "runtime")
+    d.register_symbol("inner", "driver")
+    d.register_symbol("wait", "driver-internal")
+    return d
+
+
+class TestSymbolRegistry:
+    def test_unregistered_call_rejected(self, dispatcher):
+        with pytest.raises(KeyError):
+            dispatcher.call("nope", "runtime", lambda: None)
+
+    def test_conflicting_layer_rejected(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.register_symbol("outer", "driver")
+
+    def test_reregistration_same_layer_ok(self, dispatcher):
+        dispatcher.register_symbol("outer", "runtime")
+
+    def test_symbols_in_layer(self, dispatcher):
+        assert dispatcher.symbols_in_layer("runtime") == ["outer"]
+        assert dispatcher.symbols_in_layer("driver", "driver-internal") == \
+            ["inner", "wait"]
+
+
+class TestProbeMatching:
+    def test_probe_requires_callback(self):
+        with pytest.raises(ValueError):
+            Probe({"x"})
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            Probe({"x"}, entry=lambda r: None, overhead_per_hit=-1.0)
+
+    def test_name_matching(self):
+        p = Probe({"a", "b"}, entry=lambda r: None)
+        assert p.matches("a", "runtime")
+        assert not p.matches("c", "runtime")
+
+    def test_wildcard_matches_everything(self):
+        p = Probe(None, entry=lambda r: None)
+        assert p.matches("anything", "driver-private")
+
+    def test_layer_restriction(self):
+        p = Probe(None, entry=lambda r: None, layers={"driver"})
+        assert p.matches("x", "driver")
+        assert not p.matches("x", "runtime")
+
+    def test_hits_counted_once_per_call(self, dispatcher):
+        p = Probe({"outer"}, entry=lambda r: None, exit=lambda r: None)
+        dispatcher.attach(p)
+        dispatcher.call("outer", "runtime", lambda: None)
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert p.hits == 2
+
+    def test_exit_only_probe_counts_hits(self, dispatcher):
+        p = Probe({"outer"}, exit=lambda r: None)
+        dispatcher.attach(p)
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert p.hits == 1
+
+
+class TestDispatch:
+    def test_returns_impl_result(self, dispatcher):
+        assert dispatcher.call("outer", "runtime", lambda: 42) == 42
+
+    def test_records_have_entry_exit_times(self, dispatcher):
+        seen = []
+        dispatcher.attach(Probe({"outer"}, exit=seen.append))
+        machine = dispatcher.machine
+
+        def impl():
+            machine.cpu_work(0.5)
+
+        dispatcher.call("outer", "runtime", impl)
+        (rec,) = seen
+        assert rec.t_exit - rec.t_entry == pytest.approx(0.5)
+        assert rec.duration == pytest.approx(0.5)
+
+    def test_nesting_depth_and_parent(self, dispatcher):
+        depths = {}
+
+        def entry(rec):
+            depths[rec.name] = (rec.depth, rec.parent)
+
+        dispatcher.attach(Probe(None, entry=entry))
+
+        def outer_impl():
+            dispatcher.call("inner", "driver", lambda: None)
+
+        dispatcher.call("outer", "runtime", outer_impl)
+        assert depths == {"outer": (0, None), "inner": (1, "outer")}
+
+    def test_root_record_is_outermost(self, dispatcher):
+        roots = []
+        dispatcher.attach(Probe(
+            {"inner"}, entry=lambda r: roots.append(
+                dispatcher.root_record.name)))
+        dispatcher.call(
+            "outer", "runtime",
+            lambda: dispatcher.call("inner", "driver", lambda: None))
+        assert roots == ["outer"]
+
+    def test_publish_attaches_to_current_record(self, dispatcher):
+        seen = []
+        dispatcher.attach(Probe({"outer"}, exit=seen.append))
+        dispatcher.call("outer", "runtime",
+                        lambda: dispatcher.publish(marker=7))
+        assert seen[0].meta["marker"] == 7
+
+    def test_publish_outside_call_raises(self, dispatcher):
+        with pytest.raises(RuntimeError):
+            dispatcher.publish(x=1)
+
+    def test_publish_up_reaches_ancestors(self, dispatcher):
+        seen = []
+        dispatcher.attach(Probe({"outer"}, exit=seen.append))
+
+        def outer_impl():
+            dispatcher.call("inner", "driver",
+                            lambda: dispatcher.publish_up(nbytes=9))
+
+        dispatcher.call("outer", "runtime", outer_impl)
+        assert seen[0].meta["nbytes"] == 9
+
+    def test_stack_snapshot_captured_at_entry(self, dispatcher):
+        seen = []
+        dispatcher.attach(Probe({"outer"}, entry=seen.append))
+        with dispatcher.stacks.frame("app", "a.cpp", 3):
+            dispatcher.call("outer", "runtime", lambda: None)
+        assert [f.function for f in seen[0].stack] == ["app"]
+
+    def test_detach_stops_probe(self, dispatcher):
+        count = []
+        probe = dispatcher.attach(Probe({"outer"}, entry=count.append))
+        dispatcher.call("outer", "runtime", lambda: None)
+        dispatcher.detach(probe)
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert len(count) == 1
+
+    def test_detach_unknown_raises(self, dispatcher):
+        with pytest.raises(KeyError):
+            dispatcher.detach(Probe({"x"}, entry=lambda r: None))
+
+    def test_exception_unwinds_frames(self, dispatcher):
+        def impl():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            dispatcher.call("outer", "runtime", impl)
+        assert dispatcher.current_record is None
+
+    def test_exit_probes_skipped_on_exception(self, dispatcher):
+        exits = []
+        dispatcher.attach(Probe({"outer"}, exit=exits.append))
+
+        def impl():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            dispatcher.call("outer", "runtime", impl)
+        assert exits == []
+
+    def test_dispatch_count(self, dispatcher):
+        dispatcher.call("outer", "runtime", lambda: None)
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert dispatcher.dispatch_count == 2
+
+
+class TestOverheadCharging:
+    def test_fixed_overhead_charged_per_hit(self, dispatcher):
+        dispatcher.attach(Probe({"outer"}, entry=lambda r: None,
+                                overhead_per_hit=1e-3))
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert dispatcher.machine.now == pytest.approx(1e-3)
+
+    def test_dynamic_cost_from_callback_return(self, dispatcher):
+        dispatcher.attach(Probe({"outer"}, entry=lambda r: 2e-3))
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert dispatcher.machine.now == pytest.approx(2e-3)
+
+    def test_uninstrumented_call_is_free(self, dispatcher):
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert dispatcher.machine.now == 0.0
+
+    def test_overhead_precedes_entry_timestamp(self, dispatcher):
+        seen = []
+        dispatcher.attach(Probe({"outer"}, entry=seen.append,
+                                overhead_per_hit=5e-3))
+        dispatcher.call("outer", "runtime", lambda: None)
+        assert seen[0].t_entry == pytest.approx(5e-3)
+
+
+class TestInstrumentationManager:
+    def test_session_detaches_on_exit(self, dispatcher):
+        manager = InstrumentationManager(dispatcher)
+        with manager.session():
+            manager.attach(Probe({"outer"}, entry=lambda r: None))
+            assert dispatcher.probe_count == 1
+        assert dispatcher.probe_count == 0
+
+    def test_session_detaches_on_error(self, dispatcher):
+        manager = InstrumentationManager(dispatcher)
+        with pytest.raises(RuntimeError):
+            with manager.session():
+                manager.attach(Probe({"outer"}, entry=lambda r: None))
+                raise RuntimeError("boom")
+        assert dispatcher.probe_count == 0
+
+    def test_detach_single(self, dispatcher):
+        manager = InstrumentationManager(dispatcher)
+        p = manager.attach(Probe({"outer"}, entry=lambda r: None))
+        manager.detach(p)
+        assert dispatcher.probe_count == 0
+        assert manager.attached == []

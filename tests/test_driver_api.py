@@ -1,0 +1,265 @@
+"""Unit tests for the driver API: synchronization semantics and shadows.
+
+The implicit/conditional synchronization matrix (paper §2.2) is the
+heart of the reproduction; each cell gets a test.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cupti import CuptiSubscription
+from repro.driver.api import INTERNAL_WAIT_SYMBOL
+from repro.driver.errors import InvalidHandleError, InvalidValueError, OutOfMemoryError
+from repro.driver.handles import DeviceAllocator
+from repro.instr.probes import Probe
+from repro.sim.device import InfiniteWaitError
+
+
+def wait_log(ctx):
+    """Attach a probe logging every internal wait's duration."""
+    waits = []
+    ctx.driver.dispatch.attach(Probe(
+        {INTERNAL_WAIT_SYMBOL},
+        exit=lambda r: waits.append(r.meta.get("wait_duration", 0.0)),
+    ))
+    return waits
+
+
+class TestDeviceAllocator:
+    def test_alignment(self):
+        alloc = DeviceAllocator()
+        assert alloc.allocate(100).dptr % 256 == 0
+        assert alloc.allocate(100).dptr % 256 == 0
+
+    def test_oom(self):
+        alloc = DeviceAllocator(capacity_bytes=1000)
+        alloc.allocate(800)
+        with pytest.raises(OutOfMemoryError):
+            alloc.allocate(300)
+
+    def test_free_returns_capacity(self):
+        alloc = DeviceAllocator(capacity_bytes=1000)
+        buf = alloc.allocate(800)
+        alloc.free(buf)
+        alloc.allocate(900)  # must not raise
+
+    def test_double_free_raises(self):
+        alloc = DeviceAllocator()
+        buf = alloc.allocate(10)
+        alloc.free(buf)
+        with pytest.raises(InvalidHandleError):
+            alloc.free(buf)
+
+    def test_counters(self):
+        alloc = DeviceAllocator()
+        a = alloc.allocate(100)
+        alloc.allocate(200)
+        alloc.free(a)
+        assert (alloc.alloc_count, alloc.free_count) == (2, 1)
+        assert alloc.live_bytes == 200
+        assert alloc.peak_live_bytes == 300
+
+    def test_shadow_roundtrip(self):
+        buf = DeviceAllocator().allocate(64)
+        buf.write_shadow(np.arange(8, dtype=np.float64))
+        back = buf.read_shadow(0, 64).view(np.float64)
+        assert np.array_equal(back, np.arange(8))
+
+    def test_shadow_bounds(self):
+        buf = DeviceAllocator().allocate(16)
+        with pytest.raises(InvalidValueError):
+            buf.read_shadow(0, 17)
+
+    def test_use_after_free(self):
+        alloc = DeviceAllocator()
+        buf = alloc.allocate(16)
+        alloc.free(buf)
+        with pytest.raises(InvalidHandleError):
+            buf.read_shadow()
+
+
+class TestImplicitSyncs:
+    def test_cumemfree_synchronizes_whole_device(self, ctx):
+        waits = wait_log(ctx)
+        buf = ctx.driver.cuMemAlloc(1024)
+        ctx.driver.cuLaunchKernel("k", 1e-3)
+        ctx.driver.cuMemFree(buf)
+        assert len(waits) == 1
+        assert waits[0] == pytest.approx(1e-3, rel=0.05)
+
+    def test_sync_memcpy_htod_waits_for_copy(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(1 << 20)
+        host = ctx.host_array(1 << 17)
+        ctx.driver.cuMemcpyHtoD(dev, host)
+        assert len(waits) == 1
+        assert waits[0] > 0
+
+    def test_sync_memcpy_dtoh_waits_for_producer_kernel(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(1024)
+        host = ctx.host_array(128)
+        ctx.driver.cuLaunchKernel("produce", 2e-3)
+        ctx.driver.cuMemcpyDtoH(host, dev)
+        # Copy is stream-ordered behind the kernel, so the wait spans it.
+        assert waits[0] >= 2e-3 * 0.9
+
+
+class TestConditionalSyncs:
+    def test_async_dtoh_to_pageable_synchronizes(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        pageable = ctx.host_array(512)
+        ctx.driver.cuMemcpyDtoHAsync(pageable, dev)
+        assert len(waits) == 1
+
+    def test_async_dtoh_to_pinned_does_not_synchronize(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        pinned = ctx.driver.cuMemAllocHost(512)
+        ctx.driver.cuMemcpyDtoHAsync(pinned, dev)
+        assert waits == []
+
+    def test_async_htod_from_pageable_synchronizes(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        ctx.driver.cuMemcpyHtoDAsync(dev, ctx.host_array(512))
+        assert len(waits) == 1
+
+    def test_async_htod_from_pinned_does_not_synchronize(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        ctx.driver.cuMemcpyHtoDAsync(dev, ctx.driver.cuMemAllocHost(512))
+        assert waits == []
+
+    def test_memset_on_device_memory_is_async(self, ctx):
+        waits = wait_log(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        ctx.driver.cuMemsetD8(dev, 0)
+        assert waits == []
+
+    def test_memset_on_managed_memory_synchronizes(self, ctx):
+        waits = wait_log(ctx)
+        managed = ctx.driver.cuMemAllocManaged(512)
+        ctx.driver.cuLaunchKernel("k", 1e-3)
+        ctx.driver.cuMemsetD8(managed, 0)
+        assert len(waits) == 1
+        assert waits[0] == pytest.approx(1e-3, rel=0.1)
+
+    def test_memset_on_managed_sets_host_pages(self, ctx):
+        managed = ctx.driver.cuMemAllocManaged(64)
+        managed.managed_host.raw_write_bytes(
+            np.full(512, 7, dtype=np.uint8))
+        ctx.driver.cuMemsetD8(managed, 0)
+        assert not np.any(managed.managed_host.raw_bytes())
+
+
+class TestExplicitSyncs:
+    def test_ctx_synchronize_drains_device(self, ctx):
+        ctx.driver.cuLaunchKernel("k", 5e-3)
+        ctx.driver.cuCtxSynchronize()
+        assert ctx.machine.now >= 5e-3
+
+    def test_stream_synchronize_waits_only_its_stream(self, ctx):
+        s1 = ctx.driver.cuStreamCreate()
+        ctx.driver.cuLaunchKernel("long", 10e-3, stream=0)
+        dev = ctx.driver.cuMemAlloc(4096)
+        pinned = ctx.driver.cuMemAllocHost(512)
+        ctx.driver.cuMemcpyDtoHAsync(pinned, dev, stream=s1)
+        ctx.driver.cuStreamSynchronize(s1)
+        assert ctx.machine.now < 5e-3  # did not wait for the stream-0 kernel
+
+    def test_infinite_kernel_makes_sync_raise(self, ctx):
+        ctx.driver.cuLaunchKernel("never", math.inf)
+        with pytest.raises(InfiniteWaitError):
+            ctx.driver.cuCtxSynchronize()
+
+
+class TestDataMovement:
+    def test_kernel_writes_visible_after_dtoh(self, ctx):
+        dev = ctx.driver.cuMemAlloc(8 * 128)
+        out = ctx.host_array(128)
+        ctx.driver.cuLaunchKernel("fill", 1e-4,
+                                  writes=[(dev, np.full(128, 3.5))])
+        ctx.driver.cuMemcpyDtoH(out, dev)
+        assert np.all(np.asarray(out.read()) == 3.5)
+
+    def test_htod_then_dtoh_roundtrip(self, ctx):
+        dev = ctx.driver.cuMemAlloc(8 * 64)
+        src = ctx.host_array(64)
+        src.write(np.arange(64, dtype=np.float64))
+        dst = ctx.host_array(64)
+        ctx.driver.cuMemcpyHtoD(dev, src)
+        ctx.driver.cuMemcpyDtoH(dst, dev)
+        assert np.array_equal(np.asarray(dst.read()), np.arange(64))
+
+    def test_dtod_copies_shadow(self, ctx):
+        a = ctx.driver.cuMemAlloc(64)
+        b = ctx.driver.cuMemAlloc(64)
+        a.write_shadow(np.arange(8, dtype=np.float64))
+        ctx.driver.cuMemcpyDtoD(b, a)
+        assert np.array_equal(b.read_shadow(), a.read_shadow())
+
+    def test_kernel_writes_to_managed_demand_fault_to_host(self, ctx):
+        managed = ctx.driver.cuMemAllocManaged(128)
+        ctx.driver.cuLaunchKernel(
+            "produce", 1e-4, writes=[(managed, np.full(128, 2.0))])
+        # The result lives on the device until the CPU touches it...
+        assert managed.managed_residency == "device"
+        # ...at which point the driver demand-migrates (and blocks).
+        values = np.asarray(managed.managed_host.read())
+        assert np.all(values == 2.0)
+        assert managed.managed_residency == "host"
+        assert ctx.machine.now >= 1e-4  # waited for the producing kernel
+
+
+class TestCuptiGaps:
+    """The black-box reporting gaps of §2.2, cell by cell."""
+
+    def _with_cupti(self, ctx):
+        sub = CuptiSubscription(machine=ctx.machine)
+        ctx.driver.attach_cupti(sub)
+        return sub
+
+    def test_explicit_sync_produces_sync_record(self, ctx):
+        sub = self._with_cupti(ctx)
+        ctx.driver.cuLaunchKernel("k", 1e-4)
+        ctx.driver.cuCtxSynchronize()
+        assert len(sub.sync_records) == 1
+        assert sub.sync_records[0].api_name == "cuCtxSynchronize"
+
+    def test_stream_sync_produces_sync_record(self, ctx):
+        sub = self._with_cupti(ctx)
+        ctx.driver.cuStreamSynchronize(0)
+        assert [r.kind for r in sub.sync_records] == ["stream"]
+
+    def test_implicit_free_sync_has_no_sync_record(self, ctx):
+        sub = self._with_cupti(ctx)
+        buf = ctx.driver.cuMemAlloc(1024)
+        ctx.driver.cuLaunchKernel("k", 1e-3)
+        ctx.driver.cuMemFree(buf)
+        assert sub.sync_records == []
+        assert any(r.name == "cuMemFree" for r in sub.api_records)
+
+    def test_conditional_async_sync_has_no_sync_record(self, ctx):
+        sub = self._with_cupti(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        ctx.driver.cuMemcpyDtoHAsync(ctx.host_array(512), dev)
+        assert sub.sync_records == []
+        assert len(sub.memcpy_records) == 1  # the copy itself is visible
+
+    def test_sync_memcpy_has_no_sync_record(self, ctx):
+        sub = self._with_cupti(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        ctx.driver.cuMemcpyHtoD(dev, ctx.host_array(512))
+        assert sub.sync_records == []
+
+    def test_kernel_and_memset_activities_recorded(self, ctx):
+        sub = self._with_cupti(ctx)
+        dev = ctx.driver.cuMemAlloc(4096)
+        ctx.driver.cuLaunchKernel("k", 1e-4)
+        ctx.driver.cuMemsetD8(dev, 0)
+        assert len(sub.kernel_records) == 1
+        assert len(sub.memset_records) == 1

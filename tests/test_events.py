@@ -1,0 +1,186 @@
+"""Tests for CUDA events: record/synchronize semantics and their place
+in the synchronization funnel."""
+
+import pytest
+
+from repro.cupti import CuptiSubscription
+from repro.driver.api import INTERNAL_WAIT_SYMBOL, CudaEvent
+from repro.driver.errors import InvalidHandleError, InvalidValueError
+from repro.instr.probes import Probe
+
+
+class TestEventSemantics:
+    def test_event_fires_at_record_time_stream_completion(self, ctx):
+        rt = ctx.cudart
+        rt.cudaLaunchKernel("k1", 2e-3)
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev)          # covers k1
+        rt.cudaLaunchKernel("k2", 5e-3)  # after the record: not covered
+        rt.cudaEventSynchronize(ev)
+        # Waited for k1 only, not k2.
+        assert 2e-3 <= ctx.machine.now < 4e-3
+
+    def test_event_sync_after_completion_is_free(self, ctx):
+        rt = ctx.cudart
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev)
+        ctx.cpu_work(1e-3)
+        before = ctx.machine.now
+        rt.cudaEventSynchronize(ev)
+        assert ctx.machine.now - before < 50e-6
+
+    def test_elapsed_time_between_events(self, ctx):
+        rt = ctx.cudart
+        a = rt.cudaEventCreate()
+        b = rt.cudaEventCreate()
+        rt.cudaEventRecord(a)
+        rt.cudaLaunchKernel("k", 3e-3)
+        rt.cudaEventRecord(b)
+        ms = rt.cudaEventElapsedTime(a, b)
+        assert ms == pytest.approx(3.0, rel=0.1)
+
+    def test_sync_on_unrecorded_event_rejected(self, ctx):
+        ev = ctx.cudart.cudaEventCreate()
+        with pytest.raises(InvalidValueError):
+            ctx.cudart.cudaEventSynchronize(ev)
+
+    def test_elapsed_on_unrecorded_rejected(self, ctx):
+        a = ctx.cudart.cudaEventCreate()
+        b = ctx.cudart.cudaEventCreate()
+        ctx.cudart.cudaEventRecord(a)
+        with pytest.raises(InvalidValueError):
+            ctx.cudart.cudaEventElapsedTime(a, b)
+
+    def test_destroyed_event_unusable(self, ctx):
+        ev = ctx.cudart.cudaEventCreate()
+        ctx.cudart.cudaEventDestroy(ev)
+        with pytest.raises(InvalidHandleError):
+            ctx.cudart.cudaEventRecord(ev)
+
+    def test_event_on_side_stream(self, ctx):
+        rt = ctx.cudart
+        s1 = rt.cudaStreamCreate()
+        rt.cudaLaunchKernel("long", 10e-3, stream=0)
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev, stream=s1)  # empty stream: fires now
+        rt.cudaEventSynchronize(ev)
+        assert ctx.machine.now < 5e-3
+
+
+class TestEventInstrumentationVisibility:
+    def test_event_sync_goes_through_the_funnel(self, ctx):
+        waits = []
+        ctx.driver.dispatch.attach(Probe(
+            {INTERNAL_WAIT_SYMBOL},
+            exit=lambda r: waits.append(r.meta.get("wait_duration", 0.0))))
+        rt = ctx.cudart
+        rt.cudaLaunchKernel("k", 1e-3)
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev)
+        rt.cudaEventSynchronize(ev)
+        assert len(waits) == 1
+        assert waits[0] == pytest.approx(1e-3, rel=0.1)
+
+    def test_event_sync_is_cupti_visible(self, ctx):
+        sub = CuptiSubscription(machine=ctx.machine)
+        ctx.driver.attach_cupti(sub)
+        rt = ctx.cudart
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev)
+        rt.cudaEventSynchronize(ev)
+        assert [r.kind for r in sub.sync_records] == ["event"]
+
+    def test_stage1_discovers_event_sync_sites(self):
+        from repro.apps.base import Workload
+        from repro.core.diogenes import DiogenesConfig
+        from repro.core.stage1_baseline import run_stage1
+
+        class EventApp(Workload):
+            name = "event-app"
+
+            def run(self, ctx):
+                rt = ctx.cudart
+                with ctx.frame("main", "ev.cu", 5):
+                    rt.cudaLaunchKernel("k", 1e-3)
+                    ev = rt.cudaEventCreate()
+                    rt.cudaEventRecord(ev)
+                    with ctx.frame("main", "ev.cu", 9):
+                        rt.cudaEventSynchronize(ev)
+
+        data = run_stage1(EventApp(), DiogenesConfig())
+        assert "cudaEventSynchronize" in data.synchronizing_functions
+
+    def test_diogenes_classifies_unused_event_sync(self):
+        import numpy as np
+
+        from repro.apps.base import Workload
+        from repro.core.diogenes import Diogenes
+        from repro.core.graph import ProblemKind
+
+        class EventLoopApp(Workload):
+            name = "event-loop-app"
+
+            def run(self, ctx):
+                rt = ctx.cudart
+                with ctx.frame("main", "ev.cu", 5):
+                    dev = rt.cudaMalloc(4096)
+                    out = ctx.host_array(512)
+                    for i in range(5):
+                        with ctx.frame("step", "ev.cu", 10):
+                            rt.cudaLaunchKernel(
+                                "k", 500e-6,
+                                writes=[(dev, np.full(512, float(i)))])
+                            ev = rt.cudaEventCreate()
+                            rt.cudaEventRecord(ev)
+                        with ctx.frame("step", "ev.cu", 14):
+                            rt.cudaEventSynchronize(ev)  # nothing read
+                        ctx.cpu_work(300e-6, "between")
+                    with ctx.frame("main", "ev.cu", 20):
+                        rt.cudaMemcpy(out, dev)
+                    with ctx.frame("main", "ev.cu", 21):
+                        self.checksum = float(out.read().sum())
+
+        report = Diogenes(EventLoopApp()).run()
+        event_problems = [p for p in report.analysis.problems
+                          if p.api_name == "cudaEventSynchronize"]
+        assert len(event_problems) == 5
+        assert all(p.kind is ProblemKind.UNNECESSARY_SYNC
+                   for p in event_problems)
+        assert report.total_benefit > 0
+
+
+class TestQueries:
+    """Non-blocking completion polls never enter the wait funnel."""
+
+    def test_stream_query_reflects_completion(self, ctx):
+        rt = ctx.cudart
+        rt.cudaLaunchKernel("k", 2e-3)
+        assert rt.cudaStreamQuery(0) is False
+        rt.cudaDeviceSynchronize()
+        assert rt.cudaStreamQuery(0) is True
+
+    def test_event_query_reflects_firing(self, ctx):
+        rt = ctx.cudart
+        rt.cudaLaunchKernel("k", 2e-3)
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev)
+        assert rt.cudaEventQuery(ev) is False
+        ctx.cpu_work(3e-3)
+        assert rt.cudaEventQuery(ev) is True
+
+    def test_queries_never_block(self, ctx):
+        from repro.driver.api import INTERNAL_WAIT_SYMBOL
+        from repro.instr.probes import Probe
+
+        waits = []
+        ctx.driver.dispatch.attach(Probe(
+            {INTERNAL_WAIT_SYMBOL}, exit=lambda r: waits.append(1)))
+        rt = ctx.cudart
+        rt.cudaLaunchKernel("k", 10e-3)
+        ev = rt.cudaEventCreate()
+        rt.cudaEventRecord(ev)
+        for _ in range(5):
+            rt.cudaStreamQuery(0)
+            rt.cudaEventQuery(ev)
+        assert waits == []
+        assert ctx.machine.now < 1e-3

@@ -1,0 +1,93 @@
+"""Tests for the interactive terminal explorer (§4)."""
+
+import io
+
+import pytest
+
+from repro.apps.cumf_als import CumfAls
+from repro.apps.synthetic import QuietApp, UnnecessarySyncApp
+from repro.core.diogenes import Diogenes
+from repro.core.explorer import Explorer, explore
+
+
+@pytest.fixture(scope="module")
+def als_report():
+    return Diogenes(CumfAls(iterations=3)).run()
+
+
+@pytest.fixture(scope="module")
+def simple_report():
+    return Diogenes(UnnecessarySyncApp(iterations=4)).run()
+
+
+class TestExplorerSession:
+    def test_opens_with_overview(self, simple_report):
+        out = explore(simple_report, [])
+        assert "Diogenes Overview Display" in out
+
+    def test_figure_678_walk(self, als_report):
+        out = explore(als_report, [
+            "fold cudaFree",
+            "seq 1",
+            "sub 10 23",
+            "exit",
+        ])
+        assert "Fold on cudaFree" in out
+        assert "Number of Sync Issues: 23" in out
+        assert "Time Recoverable In Subsequence" in out
+        assert "10. cudaFree in als.cpp at line 856" in out
+        assert out.rstrip().endswith("bye")
+
+    def test_sub_requires_selected_sequence(self, als_report):
+        out = explore(als_report, ["sub 1 3"])
+        assert "select a sequence first" in out
+
+    def test_sub_range_errors_are_friendly(self, als_report):
+        out = explore(als_report, ["seq 1", "sub 0 99"])
+        assert "out of range" in out
+
+    def test_unknown_command_suggests_help(self, simple_report):
+        out = explore(simple_report, ["frobnicate"])
+        assert "unknown command 'frobnicate'" in out
+
+    def test_help_lists_commands(self, simple_report):
+        out = explore(simple_report, ["help"])
+        for command in ("overview", "fold", "seq", "sub", "export"):
+            assert command in out
+
+    def test_problems_fixes_overhead_views(self, simple_report):
+        out = explore(simple_report, ["problems", "fixes", "overhead"])
+        assert "Unnecessary synchronization" in out
+        assert "remove_synchronization" in out
+        assert "x baseline" in out
+
+    def test_export_writes_json(self, simple_report, tmp_path):
+        target = tmp_path / "session.json"
+        out = explore(simple_report, [f"export {target}"])
+        assert "JSON report written" in out
+        import json
+
+        assert json.loads(target.read_text())["workload"] == \
+            "synthetic-unnecessary-sync"
+
+    def test_bad_fold_lists_alternatives(self, simple_report):
+        out = explore(simple_report, ["fold cudaNothing"])
+        assert "available" in out
+
+    def test_back_returns_to_overview(self, als_report):
+        out = explore(als_report, ["seq 1", "back"])
+        assert out.count("Diogenes Overview Display") == 2
+
+    def test_empty_lines_ignored(self, simple_report):
+        out = explore(simple_report, ["", "   ", "exit"])
+        assert "unknown command" not in out
+
+    def test_quiet_app_seq_is_graceful(self):
+        report = Diogenes(QuietApp(iterations=2)).run()
+        out = explore(report, ["seq 1"])
+        assert "no problematic sequences" in out
+
+    def test_custom_output_stream(self, simple_report):
+        sink = io.StringIO()
+        Explorer(simple_report, sink).run(["problems"])
+        assert "Estimated total recoverable" in sink.getvalue()

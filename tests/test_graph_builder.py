@@ -1,0 +1,157 @@
+"""Tests for the execution graph and its construction from traces."""
+
+import pytest
+
+from repro.core.graph import (
+    CpuNode,
+    ExecutionGraph,
+    NodeType,
+    ProblemKind,
+)
+from repro.core.graph_builder import Classification, build_graph
+from repro.core.records import SiteKey, Stage2Data, TraceEvent
+from repro.instr.stacks import Frame, StackTrace
+
+
+def trace_event(seq, t_entry, t_exit, *, api="cudaDeviceSynchronize",
+                sync_wait=0.0, is_sync=False, is_transfer=False,
+                nbytes=0, direction="", line=None):
+    line = 100 + seq if line is None else line
+    stack = StackTrace((Frame("main", "t.cpp", line),))
+    return TraceEvent(
+        seq=seq, api_name=api, stack=stack,
+        site=SiteKey(stack.address_key(), 0),
+        t_entry=t_entry, t_exit=t_exit, sync_wait=sync_wait,
+        is_sync=is_sync, is_transfer=is_transfer, nbytes=nbytes,
+        direction=direction,
+    )
+
+
+class TestExecutionGraph:
+    def _graph(self):
+        nodes = [
+            CpuNode(NodeType.CWORK, 0.0, 1.0),
+            CpuNode(NodeType.CLAUNCH, 1.0, 0.1),
+            CpuNode(NodeType.CWAIT, 1.1, 2.0),
+            CpuNode(NodeType.CWORK, 3.1, 0.5),
+            CpuNode(NodeType.CWAIT, 3.6, 1.0),
+        ]
+        return ExecutionGraph(nodes, execution_time=4.6)
+
+    def test_exit_node_appended(self):
+        g = self._graph()
+        assert g.nodes[-1].ntype is NodeType.EXIT
+        assert len(g) == 6
+
+    def test_indices_assigned(self):
+        g = self._graph()
+        assert [n.index for n in g.nodes] == list(range(6))
+
+    def test_next_sync_index(self):
+        g = self._graph()
+        assert g.next_sync_index(0) == 2
+        assert g.next_sync_index(2) == 4
+        assert g.next_sync_index(4) == 5  # the Exit node
+
+    def test_nodes_between_filters_types(self):
+        g = self._graph()
+        between = g.nodes_between(2, 4)
+        assert [n.ntype for n in between] == [NodeType.CWORK]
+
+    def test_problematic_nodes_in_order(self):
+        g = self._graph()
+        g.nodes[2].problem = ProblemKind.UNNECESSARY_SYNC
+        g.nodes[4].problem = ProblemKind.MISPLACED_SYNC
+        assert [n.index for n in g.problematic_nodes()] == [2, 4]
+
+    def test_validate_accepts_well_formed(self):
+        self._graph().validate()
+
+    def test_validate_rejects_negative_duration(self):
+        g = self._graph()
+        g.nodes[0].duration = -1.0
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_validate_rejects_time_travel(self):
+        g = self._graph()
+        g.nodes[3].stime = 0.0
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestBuildGraph:
+    def test_gaps_become_cwork(self):
+        stage2 = Stage2Data(execution_time=3.0, events=[
+            trace_event(0, 1.0, 1.5, is_sync=True, sync_wait=0.4),
+        ])
+        g = build_graph(stage2)
+        types = [n.ntype for n in g.nodes]
+        # leading gap, call-overhead sliver, wait, trailing gap, exit
+        assert types == [NodeType.CWORK, NodeType.CWORK, NodeType.CWAIT,
+                         NodeType.CWORK, NodeType.EXIT]
+        assert g.nodes[0].duration == pytest.approx(1.0)
+        assert g.nodes[2].duration == pytest.approx(0.4)
+        assert g.nodes[3].duration == pytest.approx(1.5)
+
+    def test_sync_transfer_splits_into_launch_and_wait(self):
+        stage2 = Stage2Data(execution_time=1.0, events=[
+            trace_event(0, 0.0, 0.5, api="cudaMemcpy", sync_wait=0.3,
+                        is_sync=True, is_transfer=True, nbytes=64,
+                        direction="h2d"),
+        ])
+        g = build_graph(stage2)
+        launch = g.nodes[0]
+        wait = g.nodes[1]
+        assert launch.ntype is NodeType.CLAUNCH
+        assert launch.duration == pytest.approx(0.2)
+        assert wait.ntype is NodeType.CWAIT
+        assert wait.duration == pytest.approx(0.3)
+
+    def test_pure_transfer_is_single_claunch(self):
+        stage2 = Stage2Data(execution_time=1.0, events=[
+            trace_event(0, 0.0, 0.2, api="cudaMemcpyAsync",
+                        is_transfer=True, nbytes=64, direction="d2h"),
+        ])
+        g = build_graph(stage2)
+        assert g.nodes[0].ntype is NodeType.CLAUNCH
+        assert g.nodes[0].duration == pytest.approx(0.2)
+
+    def test_traced_non_sync_non_transfer_is_cwork(self):
+        stage2 = Stage2Data(execution_time=1.0, events=[
+            trace_event(0, 0.0, 0.2, api="cudaMemset"),
+        ])
+        g = build_graph(stage2)
+        assert g.nodes[0].ntype is NodeType.CWORK
+
+    def test_problem_annotations_applied(self):
+        ev = trace_event(0, 0.0, 0.5, api="cudaMemcpy", sync_wait=0.3,
+                         is_sync=True, is_transfer=True)
+        verdict = Classification(
+            sync_problem=ProblemKind.UNNECESSARY_SYNC,
+            transfer_problem=ProblemKind.UNNECESSARY_TRANSFER,
+        )
+        g = build_graph(Stage2Data(1.0, [ev]), {ev.site: verdict})
+        assert g.nodes[0].problem is ProblemKind.UNNECESSARY_TRANSFER
+        assert g.nodes[1].problem is ProblemKind.UNNECESSARY_SYNC
+
+    def test_misplaced_annotation_carries_first_use(self):
+        ev = trace_event(0, 0.0, 0.5, sync_wait=0.3, is_sync=True)
+        verdict = Classification(sync_problem=ProblemKind.MISPLACED_SYNC,
+                                 first_use_time=0.123)
+        g = build_graph(Stage2Data(1.0, [ev]), {ev.site: verdict})
+        wait = next(n for n in g.nodes if n.ntype is NodeType.CWAIT)
+        assert wait.first_use_time == 0.123
+
+    def test_events_sorted_by_seq(self):
+        events = [
+            trace_event(1, 2.0, 2.5, is_sync=True, sync_wait=0.5),
+            trace_event(0, 0.0, 1.0, is_sync=True, sync_wait=1.0),
+        ]
+        g = build_graph(Stage2Data(3.0, events))
+        g.validate()
+
+    def test_empty_trace_yields_single_work_plus_exit(self):
+        g = build_graph(Stage2Data(execution_time=2.0, events=[]))
+        assert [n.ntype for n in g.nodes] == [NodeType.CWORK, NodeType.EXIT]
+        assert g.nodes[0].duration == 2.0

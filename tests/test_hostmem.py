@@ -1,0 +1,215 @@
+"""Unit tests for the trackable host memory substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hostmem.accesshooks import AccessEvent, AccessHookRegistry
+from repro.hostmem.allocator import PAGE_SIZE, HostAddressSpace
+from repro.hostmem.buffer import HostBuffer
+from repro.hostmem.protection import ProtectionError
+
+
+@pytest.fixture
+def space():
+    return HostAddressSpace()
+
+
+class TestAllocator:
+    def test_addresses_are_page_aligned(self, space):
+        for nbytes in (1, 100, PAGE_SIZE, PAGE_SIZE + 1):
+            assert space.allocate(nbytes) % PAGE_SIZE == 0
+
+    def test_allocations_do_not_overlap(self, space):
+        a = space.allocate(10_000)
+        b = space.allocate(10_000)
+        assert b >= a + 10_000
+
+    def test_zero_allocation_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.allocate(0)
+
+    def test_find_locates_owner(self, space):
+        buf = HostBuffer(space, 100)
+        assert space.find(buf.address) is buf
+        assert space.find(buf.address + buf.nbytes - 1) is buf
+
+    def test_find_misses_outside_region(self, space):
+        buf = HostBuffer(space, 100)
+        assert space.find(buf.address + buf.nbytes) is None
+        assert space.find(buf.address - 1) is None
+
+    def test_unregister_removes_buffer(self, space):
+        buf = HostBuffer(space, 100)
+        buf.free()
+        assert space.find(buf.address) is None
+        assert buf not in space.live_buffers
+
+    def test_unregister_unknown_raises(self, space):
+        buf = HostBuffer(space, 10)
+        space.unregister(buf)
+        with pytest.raises(KeyError):
+            space.unregister(buf)
+
+
+class TestHostBuffer:
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(ValueError):
+            HostBuffer(space, 0)
+
+    def test_write_then_read_roundtrip(self, space):
+        buf = HostBuffer(space, 16)
+        data = np.arange(16, dtype=np.float64)
+        buf.write(data)
+        assert np.array_equal(buf.read(), data)
+
+    def test_read_view_is_readonly(self, space):
+        buf = HostBuffer(space, 8)
+        view = buf.read()
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_partial_write_at_offset(self, space):
+        buf = HostBuffer(space, 8)
+        buf.write(np.array([7.0]), offset=8)
+        assert buf.read()[1] == 7.0
+        assert buf.read()[0] == 0.0
+
+    def test_out_of_bounds_access_rejected(self, space):
+        buf = HostBuffer(space, 4)
+        with pytest.raises(IndexError):
+            buf.read(0, buf.nbytes + 1)
+        with pytest.raises(IndexError):
+            buf.write(np.zeros(5), offset=0)
+        with pytest.raises(IndexError):
+            buf.read(-1, 4)
+
+    def test_unaligned_read_returns_bytes(self, space):
+        buf = HostBuffer(space, 4)
+        view = buf.read(1, 3)
+        assert view.dtype == np.uint8
+        assert view.shape == (3,)
+
+    def test_fill_sets_values(self, space):
+        buf = HostBuffer(space, 4)
+        buf.fill(2.5)
+        assert np.all(np.asarray(buf.read()) == 2.5)
+
+    def test_double_free_raises(self, space):
+        buf = HostBuffer(space, 4)
+        buf.free()
+        with pytest.raises(RuntimeError):
+            buf.free()
+
+    def test_use_after_free_raises(self, space):
+        buf = HostBuffer(space, 4)
+        buf.free()
+        with pytest.raises(RuntimeError):
+            buf.read()
+        with pytest.raises(RuntimeError):
+            buf.write(np.zeros(1))
+
+    def test_raw_write_bypasses_hooks(self, space):
+        events = []
+        space.hooks.add(events.append)
+        buf = HostBuffer(space, 8)
+        buf.raw_write_bytes(np.zeros(64, dtype=np.uint8))
+        assert events == []
+
+    def test_flags(self, space):
+        pinned = HostBuffer(space, 4, pinned=True)
+        managed = HostBuffer(space, 4, managed=True)
+        plain = HostBuffer(space, 4)
+        assert pinned.pinned and not pinned.managed
+        assert managed.managed and not managed.pinned
+        assert not plain.pinned and not plain.managed
+
+
+class TestAccessHooks:
+    def test_load_and_store_fire_hooks(self, space):
+        events: list[AccessEvent] = []
+        space.hooks.add(events.append)
+        buf = HostBuffer(space, 8)
+        buf.write(np.array([1.0, 2.0]))
+        buf.read(0, 8)
+        kinds = [e.kind for e in events]
+        assert kinds == ["store", "load"]
+        assert events[0].address == buf.address
+        assert events[1].size == 8
+
+    def test_hook_addresses_reflect_offset(self, space):
+        events = []
+        space.hooks.add(events.append)
+        buf = HostBuffer(space, 32)
+        buf.read(16, 8)
+        assert events[0].address == buf.address + 16
+
+    def test_removed_hook_stops_firing(self, space):
+        events = []
+        hook = space.hooks.add(events.append)
+        buf = HostBuffer(space, 8)
+        buf.read()
+        space.hooks.remove(hook)
+        buf.read()
+        assert len(events) == 1
+
+    def test_remove_unknown_hook_raises(self):
+        registry = AccessHookRegistry()
+        with pytest.raises(KeyError):
+            registry.remove(lambda e: None)
+
+    def test_events_timestamped_by_clock(self, space):
+        class FakeClock:
+            now = 12.5
+
+        space.set_clock(FakeClock())
+        events = []
+        space.hooks.add(events.append)
+        HostBuffer(space, 8).read()
+        assert events[0].time == 12.5
+
+    def test_no_clock_means_time_zero(self, space):
+        events = []
+        space.hooks.add(events.append)
+        HostBuffer(space, 8).read()
+        assert events[0].time == 0.0
+
+
+class TestProtection:
+    def test_protected_write_faults(self, space):
+        buf = HostBuffer(space, 8)
+        buf.protection.protect()
+        with pytest.raises(ProtectionError):
+            buf.write(np.array([1.0]))
+
+    def test_protected_fill_faults(self, space):
+        buf = HostBuffer(space, 8)
+        buf.protection.protect()
+        with pytest.raises(ProtectionError):
+            buf.fill(0)
+
+    def test_faults_are_recorded(self, space):
+        buf = HostBuffer(space, 8)
+        buf.protection.protect()
+        with pytest.raises(ProtectionError):
+            buf.write(np.array([1.0]))
+        assert buf.protection.faults == [(buf.address, 8)]
+
+    def test_reads_still_allowed(self, space):
+        buf = HostBuffer(space, 8)
+        buf.protection.protect()
+        buf.read()  # must not raise
+
+    def test_unprotect_restores_writes(self, space):
+        buf = HostBuffer(space, 8)
+        buf.protection.protect()
+        buf.protection.unprotect()
+        buf.write(np.array([1.0]))
+        assert buf.read()[0] == 1.0
+
+    def test_data_unchanged_after_fault(self, space):
+        buf = HostBuffer(space, 8)
+        buf.write(np.array([3.0]))
+        buf.protection.protect()
+        with pytest.raises(ProtectionError):
+            buf.write(np.array([9.0]))
+        assert buf.read()[0] == 3.0

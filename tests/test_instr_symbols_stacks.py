@@ -1,0 +1,140 @@
+"""Unit tests for symbols (demangling-lite) and synthetic stacks."""
+
+import pytest
+
+from repro.instr.stacks import CallStackTracker, Frame, StackTrace
+from repro.instr.symbols import (
+    demangle_base_name,
+    instruction_address,
+    strip_template_params,
+)
+
+
+class TestInstructionAddress:
+    def test_deterministic(self):
+        assert instruction_address("a.cpp", 10) == instruction_address("a.cpp", 10)
+
+    def test_distinct_locations_differ(self):
+        a = instruction_address("a.cpp", 10)
+        assert a != instruction_address("a.cpp", 11)
+        assert a != instruction_address("b.cpp", 10)
+
+    def test_in_text_segment_range(self):
+        addr = instruction_address("x.cu", 999)
+        assert 0x400000 <= addr < 0x400000 + 0x4000_0000
+
+
+class TestStripTemplateParams:
+    @pytest.mark.parametrize("raw,expected", [
+        ("foo", "foo"),
+        ("foo<int>", "foo"),
+        ("foo<int, float>", "foo"),
+        ("a<b<c>>", "a"),
+        ("ns::foo<T>::bar<U>", "ns::foo::bar"),
+        ("thrust::pair<thrust::device_ptr<double>, int>", "thrust::pair"),
+        ("foo<int>(bar<float>)", "foo(bar)"),
+    ])
+    def test_stripping(self, raw, expected):
+        assert strip_template_params(raw) == expected
+
+    def test_operator_less_preserved(self):
+        assert strip_template_params("ns::operator<") == "ns::operator<"
+
+    def test_operator_shift_preserved(self):
+        assert strip_template_params("operator<<") == "operator<<"
+
+    def test_idempotent(self):
+        s = strip_template_params("a<b>::c<d<e>>")
+        assert strip_template_params(s) == s
+
+
+class TestDemangleBaseName:
+    @pytest.mark.parametrize("raw,expected", [
+        ("cudaFree", "cudaFree"),
+        ("foo<int>", "foo"),
+        ("void ns::f<T>(A, B)", "ns::f"),
+        ("thrust::detail::contiguous_storage<double, "
+         "thrust::device_allocator<double>>::allocate",
+         "thrust::detail::contiguous_storage::allocate"),
+        ("void cusp::system::detail::generic::multiply<A, B>",
+         "cusp::system::detail::generic::multiply"),
+    ])
+    def test_base_names(self, raw, expected):
+        assert demangle_base_name(raw) == expected
+
+    def test_template_instances_fold_together(self):
+        a = demangle_base_name("storage<int>::free")
+        b = demangle_base_name("storage<float4>::free")
+        assert a == b == "storage::free"
+
+
+class TestFrames:
+    def test_frame_address_matches_location(self):
+        f = Frame("main", "als.cpp", 738)
+        assert f.address == instruction_address("als.cpp", 738)
+
+    def test_pretty(self):
+        assert Frame("f", "x.cpp", 9).pretty() == "f at x.cpp:9"
+
+
+class TestStackTrace:
+    def _trace(self):
+        return StackTrace((
+            Frame("main", "m.cpp", 1),
+            Frame("work<int>", "w.cpp", 20),
+        ))
+
+    def test_leaf(self):
+        assert self._trace().leaf.function == "work<int>"
+
+    def test_empty_leaf(self):
+        assert StackTrace(()).leaf is None
+
+    def test_address_key_distinguishes_lines(self):
+        a = StackTrace((Frame("f", "x.cpp", 1),)).address_key()
+        b = StackTrace((Frame("f", "x.cpp", 2),)).address_key()
+        assert a != b
+
+    def test_function_key_folds_templates(self):
+        a = StackTrace((Frame("work<int>", "w.cpp", 20),)).function_key()
+        b = StackTrace((Frame("work<float>", "w.cpp", 99),)).function_key()
+        assert a == b
+
+    def test_pretty_innermost_first(self):
+        lines = self._trace().pretty().splitlines()
+        assert "work<int>" in lines[0]
+        assert "main" in lines[1]
+
+
+class TestCallStackTracker:
+    def test_nesting_and_snapshot(self):
+        tracker = CallStackTracker()
+        with tracker.frame("a", "f.cpp", 1):
+            with tracker.frame("b", "f.cpp", 2):
+                snap = tracker.current()
+                assert [f.function for f in snap] == ["a", "b"]
+                assert tracker.depth == 2
+            assert tracker.depth == 1
+        assert tracker.depth == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        tracker = CallStackTracker()
+        with tracker.frame("a", "f.cpp", 1):
+            snap = tracker.current()
+        assert len(snap) == 1  # unaffected by the pop
+
+    def test_exception_unwinds_frames(self):
+        tracker = CallStackTracker()
+        with pytest.raises(RuntimeError):
+            with tracker.frame("a", "f.cpp", 1):
+                raise RuntimeError("boom")
+        assert tracker.depth == 0
+
+    def test_clear_resets_live_frames(self):
+        tracker = CallStackTracker()
+        with tracker.frame("a", "f.cpp", 1):
+            assert tracker.depth == 1
+            tracker.clear()
+            assert tracker.depth == 0
+        # Exiting the abandoned frame must not raise or underflow.
+        assert tracker.depth == 0

@@ -1,0 +1,146 @@
+"""Tests for the NVProf- and HPCToolkit-like comparison profilers."""
+
+import pytest
+
+from repro.apps.synthetic import HiddenPrivateSyncApp, UnnecessarySyncApp
+from repro.profilers import (
+    HpcToolkitProfiler,
+    NvprofCrashedError,
+    NvprofProfiler,
+)
+from repro.profilers.base import rank_entries
+
+
+class TestRankEntries:
+    def test_ordering_and_percentages(self):
+        entries = rank_entries({"a": 3.0, "b": 1.0}, {"a": 5, "b": 2}, 10.0)
+        assert [e.name for e in entries] == ["a", "b"]
+        assert entries[0].rank == 1
+        assert entries[0].percent == pytest.approx(30.0)
+        assert entries[1].calls == 2
+
+    def test_zero_execution_time(self):
+        entries = rank_entries({"a": 1.0}, {}, 0.0)
+        assert entries[0].percent == 0.0
+
+
+class TestNvprof:
+    def test_reports_sync_dominated_profile(self):
+        app = UnnecessarySyncApp(iterations=20, kernel_time=1e-3,
+                                 cpu_time=1e-5)
+        result = NvprofProfiler(record_limit=None).profile(app)
+        assert result.entries[0].name == "cudaDeviceSynchronize"
+        assert result.entries[0].percent > 50.0
+        assert result.entries[0].calls == 20
+
+    def test_result_metadata(self):
+        result = NvprofProfiler(record_limit=None).profile(
+            UnnecessarySyncApp(iterations=2))
+        assert result.tool == "nvprof"
+        assert result.workload_name == "synthetic-unnecessary-sync"
+        assert result.execution_time > 0
+
+    def test_blind_to_private_api(self):
+        result = NvprofProfiler(record_limit=None).profile(
+            HiddenPrivateSyncApp(iterations=4))
+        names = {e.name for e in result.entries}
+        assert not any(name.startswith("__priv") for name in names)
+
+    def test_crashes_past_record_limit(self):
+        app = UnnecessarySyncApp(iterations=50)
+        with pytest.raises(NvprofCrashedError) as exc:
+            NvprofProfiler(record_limit=100).profile(app)
+        assert exc.value.records == 100
+
+    def test_entry_lookup_helpers(self):
+        result = NvprofProfiler(record_limit=None).profile(
+            UnnecessarySyncApp(iterations=3))
+        assert result.rank_of("cudaDeviceSynchronize") == 1
+        assert result.entry("cudaNothing") is None
+        assert len(result.top(2)) == 2
+
+
+class TestHpcToolkit:
+    def test_sampling_attributes_to_apis(self):
+        app = UnnecessarySyncApp(iterations=20, kernel_time=1e-3,
+                                 cpu_time=1e-5)
+        result = HpcToolkitProfiler(period=20e-6).profile(app)
+        assert result.entries[0].name == "cudaDeviceSynchronize"
+
+    def test_sees_private_api_symbols(self):
+        # Sampling-based tools do not depend on CUPTI, so private driver
+        # entry points show up (unlike NVProf).
+        result = HpcToolkitProfiler(period=10e-6).profile(
+            HiddenPrivateSyncApp(iterations=4))
+        names = {e.name for e in result.entries}
+        assert "__priv_fence" in names
+
+    def test_unwind_failures_undercount_waits(self):
+        app = UnnecessarySyncApp(iterations=30, kernel_time=1e-3,
+                                 cpu_time=1e-5)
+        ideal = HpcToolkitProfiler(period=20e-6,
+                                   wait_unwind_failure=0.0).profile(app)
+        lossy = HpcToolkitProfiler(period=20e-6,
+                                   wait_unwind_failure=0.5).profile(app)
+        ideal_t = ideal.entry("cudaDeviceSynchronize").total_time
+        lossy_t = lossy.entry("cudaDeviceSynchronize").total_time
+        assert lossy_t < ideal_t * 0.75
+
+    def test_ideal_sampler_approximates_nvprof(self):
+        app = UnnecessarySyncApp(iterations=20, kernel_time=1e-3,
+                                 cpu_time=1e-5)
+        sampled = HpcToolkitProfiler(period=10e-6,
+                                     wait_unwind_failure=0.0).profile(app)
+        exact = NvprofProfiler(record_limit=None).profile(
+            UnnecessarySyncApp(iterations=20, kernel_time=1e-3,
+                               cpu_time=1e-5))
+        s = sampled.entry("cudaDeviceSynchronize").total_time
+        e = exact.entry("cudaDeviceSynchronize").total_time
+        assert s == pytest.approx(e, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        app = UnnecessarySyncApp(iterations=10)
+        a = HpcToolkitProfiler(period=20e-6, seed=1).profile(app)
+        b = HpcToolkitProfiler(period=20e-6, seed=1).profile(
+            UnnecessarySyncApp(iterations=10))
+        assert [(e.name, e.total_time) for e in a.entries] == \
+            [(e.name, e.total_time) for e in b.entries]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HpcToolkitProfiler(period=0.0)
+        with pytest.raises(ValueError):
+            HpcToolkitProfiler(wait_unwind_failure=1.5)
+
+
+class TestRenderers:
+    def test_nvprof_summary_sections(self):
+        from repro.cupti import CuptiSubscription
+        from repro.profilers.render import (
+            gpu_activity_totals,
+            render_nvprof_summary,
+        )
+        from repro.runtime.context import ExecutionContext
+
+        ctx = ExecutionContext.create()
+        sub = CuptiSubscription(machine=ctx.machine)
+        ctx.driver.attach_cupti(sub)
+        UnnecessarySyncApp(iterations=5).run(ctx)
+        result = NvprofProfiler(record_limit=None).profile(
+            UnnecessarySyncApp(iterations=5))
+        text = render_nvprof_summary(result, gpu_activity_totals(sub))
+        assert "==PROF== Profiling result" in text
+        assert "GPU activities:" in text
+        assert "API calls:" in text
+        assert "cudaDeviceSynchronize" in text
+        assert "[CUDA memcpy D2H]" in text
+
+    def test_hpctoolkit_listing(self):
+        from repro.profilers.render import render_hpctoolkit_profile
+
+        result = HpcToolkitProfiler(period=50e-6).profile(
+            UnnecessarySyncApp(iterations=5))
+        text = render_hpctoolkit_profile(result)
+        assert "hpcviewer:" in text
+        assert "Exclusive" in text
+        assert "cudaDeviceSynchronize" in text

@@ -1,0 +1,101 @@
+"""Property-based tests for host memory and the dedup store."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SiteKey
+from repro.core.stage3_memtrace import DedupStore, hash_payload
+from repro.hostmem.allocator import HostAddressSpace
+from repro.hostmem.buffer import HostBuffer
+
+
+class TestBufferRoundTrips:
+    @given(st.integers(min_value=1, max_value=256),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100, deadline=None)
+    def test_byte_roundtrip_at_random_offsets(self, size, offset_seed):
+        space = HostAddressSpace()
+        buf = HostBuffer(space, 512, dtype=np.uint8)
+        offset = offset_seed % (buf.nbytes - size + 1)
+        payload = np.arange(size, dtype=np.uint8)
+        buf.write(payload, offset=offset)
+        back = np.asarray(buf.read(offset, size))
+        assert np.array_equal(back, payload)
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 64)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_writes_never_bleed_outside_their_range(self, writes):
+        space = HostAddressSpace()
+        buf = HostBuffer(space, 128, dtype=np.uint8)
+        shadow = np.zeros(128, dtype=np.uint8)
+        for start, size in writes:
+            size = min(size, 128 - start)
+            if size <= 0:
+                continue
+            data = np.full(size, (start + size) % 251, dtype=np.uint8)
+            buf.write(data, offset=start)
+            shadow[start:start + size] = data
+        assert np.array_equal(np.asarray(buf.read()), shadow)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_hook_counts_match_accesses(self, accesses):
+        space = HostAddressSpace()
+        events = []
+        space.hooks.add(events.append)
+        buf = HostBuffer(space, 64)
+        for i in range(accesses):
+            if i % 2:
+                buf.read()
+            else:
+                buf.write(np.array([float(i)]))
+        assert len(events) == accesses
+
+
+class TestHashingProperties:
+    @given(st.binary(min_size=0, max_size=512))
+    @settings(max_examples=150, deadline=None)
+    def test_hash_is_content_deterministic(self, blob):
+        a = np.frombuffer(blob, dtype=np.uint8)
+        b = np.frombuffer(bytes(blob), dtype=np.uint8)
+        assert hash_payload(a) == hash_payload(b)
+
+    @given(st.binary(min_size=1, max_size=256), st.integers(0, 255))
+    @settings(max_examples=150, deadline=None)
+    def test_single_byte_flip_changes_hash(self, blob, position):
+        original = bytearray(blob)
+        flipped = bytearray(blob)
+        idx = position % len(flipped)
+        flipped[idx] ^= 0xFF
+        a = hash_payload(np.frombuffer(bytes(original), dtype=np.uint8))
+        b = hash_payload(np.frombuffer(bytes(flipped), dtype=np.uint8))
+        assert a != b
+
+    @given(st.lists(st.tuples(st.sampled_from(["x", "y", "z"]),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_dedup_store_flags_exactly_repeats(self, transfers):
+        store = DedupStore(policy="content")
+        seen: set[str] = set()
+        for i, (digest, dst) in enumerate(transfers):
+            verdict = store.check(digest, dst, SiteKey((i,), 0))
+            if digest in seen:
+                assert verdict is not None
+            else:
+                assert verdict is None
+            seen.add(digest)
+
+    @given(st.lists(st.tuples(st.sampled_from(["x", "y"]),
+                              st.integers(0, 2)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_strict_policy_keys_on_destination_too(self, transfers):
+        store = DedupStore(policy="content+dst")
+        seen: set[tuple] = set()
+        for i, (digest, dst) in enumerate(transfers):
+            verdict = store.check(digest, dst, SiteKey((i,), 0))
+            assert (verdict is not None) == ((digest, dst) in seen)
+            seen.add((digest, dst))

@@ -1,0 +1,74 @@
+"""Property-based tests for the eager GPU scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.device import GpuDevice
+from repro.sim.ops import DeviceOp, OpKind
+
+_op_specs = st.tuples(
+    st.sampled_from(list(OpKind)),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),   # duration
+    st.integers(min_value=0, max_value=3),                      # stream slot
+    st.floats(min_value=0.0, max_value=0.2, allow_nan=False),   # host gap
+)
+
+
+def _run_schedule(specs):
+    gpu = GpuDevice()
+    streams = [0] + [gpu.create_stream() for _ in range(3)]
+    now = 0.0
+    ops = []
+    for kind, duration, slot, gap in specs:
+        now += gap
+        op = DeviceOp(kind=kind, duration=duration,
+                      stream_id=streams[slot], name="k")
+        gpu.enqueue(op, now=now)
+        ops.append(op)
+    return gpu, ops
+
+
+class TestSchedulerInvariants:
+    @given(st.lists(_op_specs, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_ops_never_start_before_enqueue(self, specs):
+        _, ops = _run_schedule(specs)
+        for op in ops:
+            assert op.start_time >= op.enqueue_time - 1e-12
+
+    @given(st.lists(_op_specs, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_stream_order_preserved(self, specs):
+        gpu, _ = _run_schedule(specs)
+        for stream in gpu.streams.values():
+            prev_end = 0.0
+            for op in stream.ops:
+                assert op.start_time >= prev_end - 1e-12
+                prev_end = op.end_time
+
+    @given(st.lists(_op_specs, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_engines_never_overlap(self, specs):
+        gpu, ops = _run_schedule(specs)
+        from repro.sim.device import _ENGINE_FOR_KIND
+
+        by_engine: dict[str, list] = {}
+        for op in ops:
+            by_engine.setdefault(_ENGINE_FOR_KIND[op.kind], []).append(op)
+        for engine_ops in by_engine.values():
+            engine_ops.sort(key=lambda o: o.start_time)
+            for a, b in zip(engine_ops, engine_ops[1:]):
+                assert b.start_time >= a.end_time - 1e-12
+
+    @given(st.lists(_op_specs, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_busy_until_is_max_end(self, specs):
+        gpu, ops = _run_schedule(specs)
+        assert gpu.busy_until() == max(op.end_time for op in ops)
+
+    @given(st.lists(_op_specs, min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_durations_preserved_by_scheduling(self, specs):
+        _, ops = _run_schedule(specs)
+        for (kind, duration, slot, gap), op in zip(specs, ops):
+            assert abs((op.end_time - op.start_time) - duration) < 1e-12

@@ -1,0 +1,141 @@
+"""Failure-injection and robustness tests.
+
+Instrumentation tooling must fail loudly and leave the target clean;
+these tests inject faults at each layer and check both properties.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.base import Workload
+from repro.apps.synthetic import UnnecessarySyncApp
+from repro.core.diogenes import Diogenes
+from repro.core.stage1_baseline import run_stage1
+from repro.core.diogenes import DiogenesConfig
+from repro.driver.errors import OutOfMemoryError
+from repro.instr.probes import Probe
+from repro.sim.device import InfiniteWaitError
+
+
+class TestWorkloadFaults:
+    def test_workload_exception_propagates_from_stage(self):
+        class ExplodingApp(Workload):
+            name = "exploding"
+
+            def run(self, ctx):
+                ctx.cudart.cudaMalloc(64)
+                raise RuntimeError("application bug")
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            Diogenes(ExplodingApp()).run()
+
+    def test_hung_workload_surfaces_infinite_wait(self):
+        class HangingApp(Workload):
+            name = "hanging"
+
+            def run(self, ctx):
+                ctx.cudart.cudaLaunchKernel("never", math.inf)
+                ctx.cudart.cudaDeviceSynchronize()
+
+        with pytest.raises(InfiniteWaitError):
+            Diogenes(HangingApp()).run()
+
+    def test_device_oom_propagates(self):
+        from repro.sim.machine import MachineConfig
+
+        class HungryApp(Workload):
+            name = "hungry"
+
+            def run(self, ctx):
+                ctx.cudart.cudaMalloc(64 * 2**30)  # 64 GiB
+
+        with pytest.raises(OutOfMemoryError):
+            Diogenes(HungryApp(),
+                     DiogenesConfig(machine_config=MachineConfig())).run()
+
+    def test_probes_detached_after_workload_failure(self):
+        class ExplodingApp(Workload):
+            name = "exploding"
+
+            def run(self, ctx):
+                raise RuntimeError("boom")
+
+        app = ExplodingApp()
+        with pytest.raises(RuntimeError):
+            run_stage1(app, DiogenesConfig())
+        # A fresh, unrelated run must be unaffected: stage probes were
+        # detached by the finally blocks (no cross-contamination).
+        report = Diogenes(UnnecessarySyncApp(iterations=2)).run()
+        assert len(report.analysis.problems) == 2
+
+
+class TestInstrumentationFaults:
+    def test_probe_callback_exception_is_loud(self, ctx):
+        def bad_probe(record):
+            raise ValueError("instrumentation bug")
+
+        ctx.driver.dispatch.attach(Probe({"cudaMalloc"}, entry=bad_probe))
+        with pytest.raises(ValueError, match="instrumentation bug"):
+            ctx.cudart.cudaMalloc(64)
+
+    def test_dispatch_frames_unwound_after_probe_exception(self, ctx):
+        probe = Probe({"cudaMalloc"},
+                      entry=lambda r: (_ for _ in ()).throw(ValueError()))
+        ctx.driver.dispatch.attach(probe)
+        with pytest.raises(ValueError):
+            ctx.cudart.cudaMalloc(64)
+        assert ctx.driver.dispatch.current_record is None
+        ctx.driver.dispatch.detach(probe)
+        ctx.cudart.cudaMalloc(64)  # the driver still works
+
+    def test_access_hook_exception_is_loud(self, ctx):
+        def bad_hook(event):
+            raise ValueError("hook bug")
+
+        ctx.hostspace.hooks.add(bad_hook)
+        buf = ctx.host_array(8)
+        with pytest.raises(ValueError, match="hook bug"):
+            buf.read()
+
+
+class TestApiMisuse:
+    def test_memcpy_size_overrun_rejected(self, ctx):
+        from repro.driver.errors import InvalidValueError
+
+        dev = ctx.cudart.cudaMalloc(64)
+        host = ctx.host_array(1024)
+        with pytest.raises((InvalidValueError, IndexError)):
+            ctx.cudart.cudaMemcpy(dev, host, nbytes=100_000)
+
+    def test_double_free_is_loud(self, ctx):
+        from repro.driver.errors import InvalidHandleError
+
+        dev = ctx.cudart.cudaMalloc(64)
+        ctx.cudart.cudaFree(dev)
+        with pytest.raises(InvalidHandleError):
+            ctx.cudart.cudaFree(dev)
+
+    def test_launch_on_destroyed_stream_rejected(self, ctx):
+        from repro.sim.device import DeviceError
+
+        sid = ctx.cudart.cudaStreamCreate()
+        ctx.cudart.cudaStreamDestroy(sid)
+        with pytest.raises(DeviceError):
+            ctx.cudart.cudaLaunchKernel("k", 1e-4, stream=sid)
+
+    def test_kernel_write_to_bad_target_rejected(self, ctx):
+        from repro.driver.errors import InvalidValueError
+
+        with pytest.raises(InvalidValueError):
+            ctx.cudart.cudaLaunchKernel(
+                "k", 1e-4, writes=[(np.zeros(4), np.zeros(4))])
+
+
+class TestScriptedAppValidation:
+    def test_unknown_scripted_op_rejected(self):
+        from repro.apps.synthetic import ScriptedApp
+
+        with pytest.raises(ValueError, match="unknown scripted op"):
+            ScriptedApp([("teleport",)]).execute()

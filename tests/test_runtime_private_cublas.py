@@ -1,0 +1,169 @@
+"""Tests for the runtime layer, the private driver API, and fake cuBLAS."""
+
+import numpy as np
+import pytest
+
+from repro.cublas import CublasHandle
+from repro.cupti import CuptiSubscription
+from repro.driver import private as priv
+from repro.driver.api import INTERNAL_WAIT_SYMBOL
+from repro.driver.handles import DeviceBuffer
+from repro.instr.probes import Probe
+
+
+def attach_cupti(ctx):
+    sub = CuptiSubscription(machine=ctx.machine)
+    ctx.driver.attach_cupti(sub)
+    return sub
+
+
+class TestRuntimeApi:
+    def test_cudamemcpy_infers_h2d(self, ctx):
+        dev = ctx.cudart.cudaMalloc(4096)
+        host = ctx.host_array(512)
+        host.write(np.arange(512, dtype=np.float64))
+        ctx.cudart.cudaMemcpy(dev, host)
+        assert np.array_equal(dev.read_shadow(0, 4096).view(np.float64),
+                              np.arange(512))
+
+    def test_cudamemcpy_infers_d2h(self, ctx):
+        dev = ctx.cudart.cudaMalloc(4096)
+        dev.write_shadow(np.full(512, 3.0))
+        host = ctx.host_array(512)
+        ctx.cudart.cudaMemcpy(host, dev)
+        assert np.all(np.asarray(host.read()) == 3.0)
+
+    def test_cudamemcpy_infers_d2d(self, ctx):
+        a = ctx.cudart.cudaMalloc(64)
+        b = ctx.cudart.cudaMalloc(64)
+        a.write_shadow(np.arange(8, dtype=np.float64))
+        ctx.cudart.cudaMemcpy(b, a)
+        assert np.array_equal(a.read_shadow(), b.read_shadow())
+
+    def test_cudamemcpy_rejects_host_to_host(self, ctx):
+        with pytest.raises(TypeError):
+            ctx.cudart.cudaMemcpy(ctx.host_array(8), ctx.host_array(8))
+
+    def test_thread_synchronize_is_device_synchronize(self, ctx):
+        ctx.cudart.cudaLaunchKernel("k", 2e-3)
+        ctx.cudart.cudaThreadSynchronize()
+        assert ctx.machine.now >= 2e-3
+
+    def test_runtime_records_reported_to_cupti(self, ctx):
+        sub = attach_cupti(ctx)
+        ctx.cudart.cudaMalloc(64)
+        names = [r.name for r in sub.api_records if r.layer == "runtime"]
+        assert names == ["cudaMalloc"]
+
+    def test_runtime_call_contains_driver_record(self, ctx):
+        sub = attach_cupti(ctx)
+        ctx.cudart.cudaMalloc(64)
+        driver_names = [r.name for r in sub.api_records if r.layer == "driver"]
+        assert driver_names == ["cuMemAlloc"]
+
+    def test_stream_create_destroy(self, ctx):
+        sid = ctx.cudart.cudaStreamCreate()
+        assert sid != 0
+        ctx.cudart.cudaStreamDestroy(sid)
+
+    def test_func_get_attributes_returns_metadata(self, ctx):
+        attrs = ctx.cudart.cudaFuncGetAttributes("k")
+        assert attrs["name"] == "k"
+        assert attrs["maxThreadsPerBlock"] > 0
+
+    def test_freehost_rejects_pageable(self, ctx):
+        from repro.driver.errors import InvalidValueError
+
+        with pytest.raises(InvalidValueError):
+            ctx.cudart.cudaFreeHost(ctx.host_array(8))
+
+    def test_managed_free_releases_host_view(self, ctx):
+        managed = ctx.cudart.cudaMallocManaged(64)
+        host = managed.managed_host
+        ctx.cudart.cudaFree(managed)
+        assert host.freed
+
+
+class TestPrivateApi:
+    def test_private_ops_invisible_to_cupti(self, ctx):
+        sub = attach_cupti(ctx)
+        dev = ctx.driver.devmem.allocate(4096)
+        host = ctx.host_array(512)
+        priv.private_launch(ctx.driver, "secret", 1e-4)
+        priv.private_memcpy_dtoh(ctx.driver, host, dev)
+        priv.private_fence(ctx.driver)
+        assert sub.api_records == []
+        assert sub.kernel_records == []
+        assert sub.memcpy_records == []
+        assert sub.sync_records == []
+
+    def test_private_sync_goes_through_funnel(self, ctx):
+        waits = []
+        ctx.driver.dispatch.attach(Probe(
+            {INTERNAL_WAIT_SYMBOL}, exit=lambda r: waits.append(r.name)))
+        priv.private_launch(ctx.driver, "secret", 1e-3)
+        priv.private_fence(ctx.driver)
+        assert len(waits) == 1
+
+    def test_private_memcpy_moves_real_data(self, ctx):
+        dev = ctx.driver.devmem.allocate(64)
+        dev.write_shadow(np.arange(8, dtype=np.float64))
+        host = ctx.host_array(8)
+        priv.private_memcpy_dtoh(ctx.driver, host, dev)
+        assert np.array_equal(np.asarray(host.read()), np.arange(8))
+
+    def test_private_htod(self, ctx):
+        dev = ctx.driver.devmem.allocate(64)
+        host = ctx.host_array(8)
+        host.write(np.arange(8, dtype=np.float64))
+        priv.private_memcpy_htod(ctx.driver, dev, host)
+        assert np.array_equal(dev.read_shadow().view(np.float64), np.arange(8))
+
+    def test_install_is_idempotent(self, ctx):
+        priv.install(ctx.driver)
+        priv.install(ctx.driver)
+        assert ctx.driver.dispatch.symbols[priv.PRIVATE_MEMCPY_SYMBOL] == \
+            "driver-private"
+
+
+class TestCublas:
+    def test_gemm_computes_correct_product(self, ctx):
+        rng = np.random.default_rng(0)
+        m, k, n = 8, 5, 7
+        am = rng.standard_normal((m, k)).astype(np.float32)
+        bm = rng.standard_normal((k, n)).astype(np.float32)
+        dev_a = ctx.driver.devmem.allocate(am.nbytes)
+        dev_b = ctx.driver.devmem.allocate(bm.nbytes)
+        dev_c = ctx.driver.devmem.allocate(m * n * 4)
+        dev_a.write_shadow(am)
+        dev_b.write_shadow(bm)
+        blas = CublasHandle(ctx.driver)
+        blas.gemm(dev_a, dev_b, dev_c, m, n, k)
+        result = dev_c.read_shadow().view(np.float32).reshape(m, n)
+        assert np.allclose(result, am @ bm, atol=1e-4)
+        blas.destroy()
+
+    def test_potrf_fences_through_funnel(self, ctx):
+        hits = []
+        ctx.driver.dispatch.attach(Probe(
+            {INTERNAL_WAIT_SYMBOL}, exit=lambda r: hits.append(1)))
+        blas = CublasHandle(ctx.driver)
+        mats = ctx.driver.devmem.allocate(1024)
+        blas.potrf_batched(mats, 32, batch=4)
+        assert len(hits) == 1
+        blas.destroy()
+
+    def test_workspace_spill_is_private_d2h(self, ctx):
+        sub = attach_cupti(ctx)
+        blas = CublasHandle(ctx.driver)
+        scratch = ctx.host_array(1024)
+        blas.workspace_spill(scratch, nbytes=8192)
+        assert sub.memcpy_records == []  # private path, unreported
+        blas.destroy()
+
+    def test_handle_owns_workspace(self, ctx):
+        before = ctx.driver.devmem.live_count
+        blas = CublasHandle(ctx.driver)
+        assert ctx.driver.devmem.live_count == before + 1
+        blas.destroy()
+        assert ctx.driver.devmem.live_count == before

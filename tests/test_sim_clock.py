@@ -1,0 +1,52 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(3.5).now == 3.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(1.25) == 1.25
+        assert clock.now == 1.25
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now == 1.5
+
+    def test_advance_zero_is_noop(self):
+        clock = VirtualClock(2.0)
+        clock.advance(0.0)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future_deadline(self):
+        clock = VirtualClock()
+        assert clock.advance_to(4.0) == 4.0
+        assert clock.now == 4.0
+
+    def test_advance_to_past_deadline_is_noop(self):
+        clock = VirtualClock(5.0)
+        assert clock.advance_to(1.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_advance_to_present_is_noop(self):
+        clock = VirtualClock(2.0)
+        assert clock.advance_to(2.0) == 2.0

@@ -1,0 +1,132 @@
+"""Unit tests for the cost model, machine, and timeline recorder."""
+
+import pytest
+
+from repro.sim.costs import CostModel, CostParameters, KernelCost
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.trace import CpuInterval, TimelineRecorder
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = CostModel()
+        self.p = self.model.params
+
+    def test_explicit_kernel_duration_wins(self):
+        assert self.model.kernel_duration(KernelCost(duration=1e-3)) == 1e-3
+
+    def test_negative_explicit_duration_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.kernel_duration(KernelCost(duration=-1.0))
+
+    def test_kernel_min_duration_floor(self):
+        tiny = self.model.kernel_duration(KernelCost(flops=1.0))
+        assert tiny == self.p.kernel_min_duration
+
+    def test_compute_bound_kernel(self):
+        flops = self.p.device_gflops * 1e9  # one second of flops
+        assert self.model.kernel_duration(KernelCost(flops=flops)) == \
+            pytest.approx(1.0)
+
+    def test_memory_bound_kernel(self):
+        nbytes = self.p.device_mem_bandwidth  # one second of traffic
+        cost = KernelCost(flops=1.0, bytes_moved=nbytes)
+        assert self.model.kernel_duration(cost) == pytest.approx(1.0)
+
+    def test_roofline_takes_binding_term(self):
+        cost = KernelCost(flops=self.p.device_gflops * 1e9,
+                          bytes_moved=self.p.device_mem_bandwidth * 2)
+        assert self.model.kernel_duration(cost) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("direction", ["h2d", "d2h", "d2d"])
+    def test_copy_duration_scales_with_bytes(self, direction):
+        small = self.model.copy_duration(1024, direction)
+        large = self.model.copy_duration(1024 * 1024, direction)
+        assert large > small > self.p.copy_latency
+
+    def test_zero_byte_copy_costs_latency(self):
+        assert self.model.copy_duration(0, "h2d") == self.p.copy_latency
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.copy_duration(10, "d2x")
+
+    def test_negative_copy_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.copy_duration(-1, "h2d")
+
+    def test_memset_duration(self):
+        d = self.model.memset_duration(1 << 20)
+        assert d == pytest.approx(
+            self.p.memset_latency + (1 << 20) / self.p.memset_bandwidth)
+
+    def test_host_memop_duration(self):
+        assert self.model.host_memop_duration(self.p.host_memory_bandwidth) \
+            == pytest.approx(1.0)
+
+    def test_custom_parameters_flow_through(self):
+        model = CostModel(CostParameters(h2d_bandwidth=1.0, copy_latency=0.0))
+        assert model.copy_duration(5, "h2d") == pytest.approx(5.0)
+
+
+class TestMachine:
+    def test_cpu_work_advances_clock_and_records(self):
+        m = Machine()
+        m.cpu_work(0.5, "compute")
+        assert m.now == 0.5
+        assert m.timeline.total("work") == 0.5
+        assert m.timeline.total("work", "compute") == 0.5
+
+    def test_cpu_api_recorded_separately(self):
+        m = Machine()
+        m.cpu_api(0.1, "cudaMalloc")
+        assert m.timeline.total("api") == pytest.approx(0.1)
+        assert m.timeline.total("work") == 0.0
+
+    def test_wait_until_future(self):
+        m = Machine()
+        waited = m.cpu_wait_until(2.0, "sync")
+        assert waited == 2.0
+        assert m.now == 2.0
+        assert m.timeline.total("wait") == 2.0
+
+    def test_wait_until_past_is_free(self):
+        m = Machine()
+        m.cpu_work(3.0)
+        assert m.cpu_wait_until(1.0, "sync") == 0.0
+        assert m.timeline.total("wait") == 0.0
+
+    def test_timeline_recording_can_be_disabled(self):
+        m = Machine(MachineConfig(record_cpu_timeline=False))
+        m.cpu_work(1.0)
+        m.cpu_wait_until(5.0, "sync")
+        assert m.timeline.cpu_intervals == []
+        assert m.now == 5.0
+
+
+class TestTimelineRecorder:
+    def test_rejects_backwards_interval(self):
+        rec = TimelineRecorder()
+        with pytest.raises(ValueError):
+            rec.record_cpu(2.0, 1.0, "work", "x")
+
+    def test_rejects_unknown_category(self):
+        rec = TimelineRecorder()
+        with pytest.raises(ValueError):
+            rec.record_cpu(0.0, 1.0, "sleep", "x")
+
+    def test_by_label_aggregation(self):
+        rec = TimelineRecorder()
+        rec.record_cpu(0.0, 1.0, "api", "a")
+        rec.record_cpu(1.0, 3.0, "api", "a")
+        rec.record_cpu(3.0, 4.0, "api", "b")
+        assert rec.by_label("api") == {"a": 3.0, "b": 1.0}
+
+    def test_interval_duration(self):
+        assert CpuInterval(1.0, 2.5, "work", "x").duration == 1.5
+
+    def test_intervals_filtered_by_category(self):
+        rec = TimelineRecorder()
+        rec.record_cpu(0.0, 1.0, "work", "a")
+        rec.record_cpu(1.0, 2.0, "wait", "b")
+        assert [iv.label for iv in rec.intervals("wait")] == ["b"]

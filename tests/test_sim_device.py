@@ -1,0 +1,257 @@
+"""Unit tests for device ops, engines, streams, and the GPU scheduler."""
+
+import math
+
+import pytest
+
+from repro.sim.device import DeviceError, GpuDevice
+from repro.sim.engine import Engine
+from repro.sim.ops import DeviceOp, OpKind
+from repro.sim.stream import Stream
+
+
+def op(kind=OpKind.KERNEL, duration=1.0, stream=0, **kw):
+    return DeviceOp(kind=kind, duration=duration, stream_id=stream, **kw)
+
+
+class TestDeviceOp:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            op(duration=-1.0)
+
+    def test_negative_nbytes_rejected(self):
+        with pytest.raises(ValueError):
+            op(nbytes=-5)
+
+    def test_op_ids_are_unique(self):
+        assert op().op_id != op().op_id
+
+    def test_infinite_op_never_completes(self):
+        probe = op(duration=math.inf)
+        assert probe.never_completes
+        probe.cancelled = True
+        assert not probe.never_completes
+
+    def test_copy_kind_classification(self):
+        assert OpKind.COPY_H2D.is_copy
+        assert OpKind.COPY_D2H.is_copy
+        assert not OpKind.KERNEL.is_copy
+        assert not OpKind.MEMSET.is_copy
+
+
+class TestEngine:
+    def test_schedules_back_to_back(self):
+        engine = Engine("compute")
+        a, b = op(duration=2.0), op(duration=3.0)
+        engine.schedule(a, earliest_start=0.0)
+        engine.schedule(b, earliest_start=0.0)
+        assert (a.start_time, a.end_time) == (0.0, 2.0)
+        assert (b.start_time, b.end_time) == (2.0, 5.0)
+
+    def test_respects_earliest_start(self):
+        engine = Engine("compute")
+        a = op(duration=1.0)
+        engine.schedule(a, earliest_start=10.0)
+        assert a.start_time == 10.0
+
+    def test_busy_time_accumulates(self):
+        engine = Engine("compute")
+        engine.schedule(op(duration=2.0), 0.0)
+        engine.schedule(op(duration=0.5), 0.0)
+        assert engine.busy_time == pytest.approx(2.5)
+
+    def test_infinite_op_blocks_engine(self):
+        engine = Engine("compute")
+        engine.schedule(op(duration=math.inf), 0.0)
+        assert engine.blocked_forever
+        later = op(duration=1.0)
+        engine.schedule(later, 0.0)
+        assert math.isinf(later.start_time)
+
+    def test_cancel_infinite_frees_engine(self):
+        engine = Engine("compute")
+        probe = op(duration=math.inf)
+        engine.schedule(probe, 0.0)
+        cancelled = engine.cancel_infinite(now=7.0)
+        assert cancelled is probe
+        assert probe.cancelled
+        assert not engine.blocked_forever
+        assert engine.free_at == 7.0
+
+    def test_cancel_without_infinite_returns_none(self):
+        assert Engine("compute").cancel_infinite(0.0) is None
+
+
+class TestStream:
+    def test_records_completion_time(self):
+        stream = Stream(1)
+        a = op(duration=2.0, stream=1)
+        a.start_time, a.end_time = 0.0, 2.0
+        stream.record(a)
+        assert stream.completion_time() == 2.0
+        assert stream.op_count == 1
+
+    def test_idle_periods_between_ops(self):
+        stream = Stream(0)
+        for (s, e) in [(0.0, 1.0), (3.0, 4.0), (4.0, 5.0)]:
+            o = op(duration=e - s)
+            o.start_time, o.end_time = s, e
+            stream.record(o)
+        assert stream.idle_periods() == [(1.0, 3.0)]
+
+    def test_idle_periods_skip_cancelled(self):
+        stream = Stream(0)
+        a = op(duration=1.0)
+        a.start_time, a.end_time = 0.0, 1.0
+        b = op(duration=1.0)
+        b.start_time, b.end_time, b.cancelled = 5.0, 6.0, True
+        stream.record(a)
+        stream.record(b)
+        assert stream.idle_periods() == []
+
+
+class TestGpuDevice:
+    def test_stream_dependency_orders_ops(self):
+        gpu = GpuDevice()
+        a = gpu.enqueue(op(duration=2.0), now=0.0)
+        b = gpu.enqueue(op(duration=1.0), now=0.0)
+        assert b.start_time == a.end_time
+
+    def test_streams_overlap_on_different_engines(self):
+        gpu = GpuDevice()
+        s1 = gpu.create_stream()
+        kernel = gpu.enqueue(op(duration=5.0), now=0.0)
+        copy = gpu.enqueue(op(kind=OpKind.COPY_H2D, duration=1.0, stream=s1),
+                           now=0.0)
+        assert copy.start_time == 0.0  # copy engine free despite busy compute
+        assert kernel.start_time == 0.0
+
+    def test_same_engine_serializes_across_streams(self):
+        gpu = GpuDevice()
+        s1 = gpu.create_stream()
+        a = gpu.enqueue(op(duration=3.0, stream=0), now=0.0)
+        b = gpu.enqueue(op(duration=1.0, stream=s1), now=0.0)
+        assert b.start_time == a.end_time  # one compute engine
+
+    def test_op_cannot_start_before_enqueue(self):
+        gpu = GpuDevice()
+        a = gpu.enqueue(op(duration=1.0), now=4.0)
+        assert a.start_time == 4.0
+
+    def test_busy_until_covers_all_streams(self):
+        gpu = GpuDevice()
+        s1 = gpu.create_stream()
+        gpu.enqueue(op(duration=1.0, stream=0), now=0.0)
+        gpu.enqueue(op(kind=OpKind.COPY_D2H, duration=9.0, stream=s1), now=0.0)
+        assert gpu.busy_until() == 9.0
+
+    def test_stream_completion_time_is_per_stream(self):
+        gpu = GpuDevice()
+        s1 = gpu.create_stream()
+        gpu.enqueue(op(duration=5.0, stream=0), now=0.0)
+        gpu.enqueue(op(kind=OpKind.COPY_D2H, duration=1.0, stream=s1), now=0.0)
+        assert gpu.stream_completion_time(s1) == 1.0
+        assert gpu.stream_completion_time(0) == 5.0
+
+    def test_default_stream_cannot_be_destroyed(self):
+        with pytest.raises(DeviceError):
+            GpuDevice().destroy_stream(0)
+
+    def test_unknown_stream_rejected(self):
+        gpu = GpuDevice()
+        with pytest.raises(DeviceError):
+            gpu.stream(42)
+
+    def test_destroyed_stream_is_gone(self):
+        gpu = GpuDevice()
+        sid = gpu.create_stream()
+        gpu.destroy_stream(sid)
+        with pytest.raises(DeviceError):
+            gpu.stream(sid)
+
+    def test_cancel_op_rejects_non_infinite(self):
+        gpu = GpuDevice()
+        a = gpu.enqueue(op(duration=1.0), now=0.0)
+        with pytest.raises(DeviceError):
+            gpu.cancel_op(a, now=0.5)
+
+    def test_cancel_op_rejects_queued_behind(self):
+        gpu = GpuDevice()
+        probe = gpu.enqueue(op(duration=math.inf), now=0.0)
+        gpu.enqueue(op(duration=1.0), now=0.0)
+        with pytest.raises(DeviceError):
+            gpu.cancel_op(probe, now=1.0)
+
+    def test_cancel_op_resets_stream(self):
+        gpu = GpuDevice()
+        probe = gpu.enqueue(op(duration=math.inf), now=0.0)
+        gpu.cancel_op(probe, now=2.0)
+        assert gpu.busy_until() == 2.0
+
+    def test_compute_idle_periods_ground_truth(self):
+        gpu = GpuDevice()
+        gpu.enqueue(op(duration=1.0), now=0.0)     # [0, 1]
+        gpu.enqueue(op(duration=1.0), now=3.0)     # [3, 4]
+        assert gpu.compute_idle_periods() == [(0.0, 0.0), (1.0, 3.0)] or \
+            gpu.compute_idle_periods() == [(1.0, 3.0)]
+
+    def test_total_busy_time(self):
+        gpu = GpuDevice()
+        gpu.enqueue(op(duration=2.0), now=0.0)
+        gpu.enqueue(op(kind=OpKind.COPY_H2D, duration=0.5), now=0.0)
+        assert gpu.total_busy_time() == pytest.approx(2.5)
+
+
+class TestConcurrentKernels:
+    """Multi-compute-engine devices run independent streams' kernels
+    in parallel."""
+
+    def test_two_engines_overlap_independent_streams(self):
+        gpu = GpuDevice(compute_engines=2)
+        s1 = gpu.create_stream()
+        a = gpu.enqueue(op(duration=5.0, stream=0), now=0.0)
+        b = gpu.enqueue(op(duration=5.0, stream=s1), now=0.0)
+        assert a.start_time == 0.0
+        assert b.start_time == 0.0
+        assert gpu.busy_until() == 5.0
+
+    def test_engine_count_limits_parallelism(self):
+        gpu = GpuDevice(compute_engines=2)
+        streams = [0, gpu.create_stream(), gpu.create_stream()]
+        ops = [gpu.enqueue(op(duration=3.0, stream=s), now=0.0)
+               for s in streams]
+        starts = sorted(o.start_time for o in ops)
+        assert starts == [0.0, 0.0, 3.0]
+
+    def test_same_stream_never_overlaps_itself(self):
+        gpu = GpuDevice(compute_engines=4)
+        a = gpu.enqueue(op(duration=2.0), now=0.0)
+        b = gpu.enqueue(op(duration=2.0), now=0.0)
+        assert b.start_time == a.end_time
+
+    def test_zero_engines_rejected(self):
+        with pytest.raises(DeviceError):
+            GpuDevice(compute_engines=0)
+
+    def test_machine_config_plumbs_engine_count(self):
+        from repro.sim.machine import Machine, MachineConfig
+
+        machine = Machine(MachineConfig(compute_engines=3))
+        assert len(machine.gpu.compute_engines) == 3
+
+    def test_total_busy_time_across_engines(self):
+        gpu = GpuDevice(compute_engines=2)
+        s1 = gpu.create_stream()
+        gpu.enqueue(op(duration=2.0, stream=0), now=0.0)
+        gpu.enqueue(op(duration=3.0, stream=s1), now=0.0)
+        assert gpu.total_busy_time() == pytest.approx(5.0)
+
+    def test_diogenes_works_on_multi_engine_machine(self):
+        from repro.apps.synthetic import UnnecessarySyncApp
+        from repro.core.diogenes import Diogenes, DiogenesConfig
+        from repro.sim.machine import MachineConfig
+
+        config = DiogenesConfig(
+            machine_config=MachineConfig(compute_engines=2))
+        report = Diogenes(UnnecessarySyncApp(iterations=4), config).run()
+        assert len(report.analysis.problems) == 4

@@ -1,0 +1,85 @@
+"""Tests for the ASCII timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.render import render_timeline
+
+
+class TestRenderTimeline:
+    def _run_simple(self, ctx):
+        rt = ctx.cudart
+        dev = rt.cudaMalloc(1 << 20)
+        out = ctx.host_array(1 << 12)
+        rt.cudaLaunchKernel("k", 1e-3, writes=[(dev, np.ones(1 << 12))])
+        rt.cudaDeviceSynchronize()
+        ctx.cpu_work(0.5e-3)
+        rt.cudaMemcpy(out, dev)
+
+    def test_lanes_present(self, ctx):
+        self._run_simple(ctx)
+        text = render_timeline(ctx.machine, width=60)
+        assert "CPU" in text
+        assert "GPU compute_0" in text
+        assert "GPU copy_d2h" in text
+        assert "K" in text  # the kernel
+        assert "w" in text  # the blocked wait
+        assert "C" in text  # the final copy
+
+    def test_rows_share_width(self, ctx):
+        self._run_simple(ctx)
+        rows = render_timeline(ctx.machine, width=50).splitlines()
+        lanes = [r for r in rows if r.startswith(("CPU", "GPU"))]
+        assert len({len(r) for r in lanes}) == 1
+
+    def test_empty_machine(self, ctx):
+        assert render_timeline(ctx.machine) == "(empty timeline)"
+
+    def test_width_validation(self, ctx):
+        self._run_simple(ctx)
+        with pytest.raises(ValueError):
+            render_timeline(ctx.machine, width=3)
+
+    def test_multi_engine_lanes(self):
+        from repro.runtime.context import ExecutionContext
+        from repro.sim.machine import MachineConfig
+
+        ctx = ExecutionContext.create(MachineConfig(compute_engines=2))
+        rt = ctx.cudart
+        s1 = rt.cudaStreamCreate()
+        rt.cudaLaunchKernel("a", 1e-3, stream=0)
+        rt.cudaLaunchKernel("b", 1e-3, stream=s1)
+        rt.cudaDeviceSynchronize()
+        text = render_timeline(ctx.machine, width=40)
+        assert "GPU compute_0" in text
+        assert "GPU compute_1" in text
+        # Both kernels overlap: both compute lanes show K at the start.
+        lanes = {line.split()[1]: line.split(maxsplit=2)[2]
+                 for line in text.splitlines()
+                 if line.startswith("GPU compute")}
+        assert lanes["compute_0"].lstrip(".").startswith("K")
+        assert lanes["compute_1"].lstrip(".").startswith("K")
+
+
+class TestSnapshotGpuOps:
+    def test_snapshot_freezes_ops(self, ctx):
+        from repro.sim.trace import snapshot_gpu_ops
+
+        rt = ctx.cudart
+        rt.cudaLaunchKernel("k1", 1e-3)
+        rt.cudaDeviceSynchronize()
+        records = snapshot_gpu_ops(ctx.machine.gpu)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.kind == "kernel"
+        assert rec.name == "k1"
+        assert rec.duration == pytest.approx(1e-3)
+
+    def test_snapshot_skips_cancelled(self, ctx):
+        import math
+
+        from repro.sim.trace import snapshot_gpu_ops
+
+        op = ctx.driver.cuLaunchKernel("never", math.inf)
+        ctx.machine.gpu.cancel_op(op, now=1.0)
+        assert snapshot_gpu_ops(ctx.machine.gpu) == []
