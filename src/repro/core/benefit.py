@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.core.graph import (
     IDLE_COVER_TYPES,
     CpuNode,
@@ -146,6 +147,8 @@ class _Pass:
             result.per_node.append(nb)
             result.total += nb.est_benefit
         result.final_durations = self.durations
+        obs.count("core.benefit_passes")
+        obs.count("core.benefit_nodes_processed", len(result.per_node))
         return result
 
 

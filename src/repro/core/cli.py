@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.obs as obs
 from repro.apps.base import registry
 from repro.core.diogenes import Diogenes, DiogenesConfig
 from repro.core import report as reports
@@ -68,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload constructor argument, repeatable "
                           "(e.g. --param iterations=50 --param fix=full); "
                           "values parse as int/float/bool when possible")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write a trace of the tool's own pipeline: "
+                          "Chrome-trace JSON (open in Perfetto), or "
+                          "JSON-lines if PATH ends in .jsonl")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write pipeline metrics: Prometheus text "
+                          "format, or JSON if PATH ends in .json")
+    run.add_argument("--verbose-stages", action="store_true",
+                     help="print a per-stage observability summary "
+                          "(wall + virtual time, counters) after the run")
 
     explore = sub.add_parser(
         "explore", help="run the stages, then explore interactively")
@@ -143,6 +154,27 @@ def _render(args, report) -> str:
     return reports.render_full_report(report)
 
 
+def _export_observability(args, session) -> None:
+    """Write --trace-out / --metrics-out and the --verbose-stages table."""
+    from repro.obs.render import render_session
+
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            session.tracer.write_jsonl(args.trace_out)
+        else:
+            session.tracer.write_chrome_trace(args.trace_out)
+        print(f"pipeline trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            session.metrics.write_json(args.metrics_out)
+        else:
+            session.metrics.write_prometheus(args.metrics_out)
+        print(f"pipeline metrics written to {args.metrics_out}",
+              file=sys.stderr)
+    if args.verbose_stages:
+        print("\n" + render_session(session.tracer, session.metrics))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _load_workloads()
@@ -158,7 +190,15 @@ def main(argv: list[str] | None = None) -> int:
     except TypeError as exc:
         raise SystemExit(f"bad --param for {args.workload!r}: {exc}") from exc
     config = DiogenesConfig(dedup_policy=args.dedup_policy)
-    report = Diogenes(workload, config).run()
+
+    observing = args.command == "run" and (
+        args.trace_out or args.metrics_out or args.verbose_stages)
+    session = obs.enable() if observing else None
+    try:
+        report = Diogenes(workload, config).run()
+    finally:
+        if session is not None:
+            obs.disable()
 
     if args.command == "explore":
         from repro.core.explorer import Explorer
@@ -171,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json_path, "w") as fp:
             fp.write(dumps_report(report))
         print(f"\nJSON report written to {args.json_path}", file=sys.stderr)
+    if session is not None:
+        _export_observability(args, session)
     return 0
 
 

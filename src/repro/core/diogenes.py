@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.core.analysis import AnalysisResult, analyze
 from repro.core.benefit import BenefitConfig
 from repro.core.grouping import ProblemGroup, group_by_api, group_folded_function, group_single_point
@@ -181,6 +182,20 @@ class Diogenes:
 
     def run(self) -> DiogenesReport:
         """Execute stages 1–5 and assemble the report."""
+        with obs.span("diogenes.run",
+                      workload=getattr(self.workload, "name",
+                                       "workload")) as run_span:
+            report = self._run_stages()
+            run_span.set(
+                problems=len(report.analysis.problems),
+                total_benefit=round(report.total_benefit, 9),
+                warnings=len(report.warnings),
+                overhead_multiple=round(report.overhead.overhead_multiple, 3),
+            )
+        obs.gauge("core.run_wall_seconds", run_span.wall_duration)
+        return report
+
+    def _run_stages(self) -> DiogenesReport:
         cfg = self.config
         stage1 = run_stage1(self.workload, cfg)
         stage2 = run_stage2(self.workload, stage1, cfg)
@@ -204,11 +219,25 @@ class Diogenes:
             stage3_times = {"stage3_memtrace": stage3.execution_time}
         stage4 = run_stage4(self.workload, stage1, stage3, cfg)
         warnings = stability_warnings(stage1, stage2, stage3)
-        analysis = analyze(
-            stage1, stage2, stage3, stage4,
-            misplaced_min_delay=cfg.misplaced_min_delay,
-            benefit_config=cfg.benefit,
-        )
+        with obs.span("stage.stage5_analysis") as analysis_span:
+            analysis = analyze(
+                stage1, stage2, stage3, stage4,
+                misplaced_min_delay=cfg.misplaced_min_delay,
+                benefit_config=cfg.benefit,
+            )
+            analysis_span.set(problems=len(analysis.problems),
+                              graph_nodes=len(analysis.graph.nodes))
+        obs.gauge("core.stage_wall_seconds", analysis_span.wall_duration,
+                  stage="stage5_analysis")
+        stage_times = {
+            "stage1_baseline": stage1.execution_time,
+            "stage2_tracing": stage2.execution_time,
+            **stage3_times,
+            "stage4_syncuse": stage4.execution_time,
+        }
+        for stage_name, seconds in stage_times.items():
+            obs.gauge("core.stage_virtual_seconds", seconds,
+                      stage=stage_name)
         return DiogenesReport(
             workload_name=getattr(self.workload, "name", "workload"),
             stage1=stage1,
@@ -224,11 +253,6 @@ class Diogenes:
             warnings=warnings,
             overhead=OverheadReport(
                 baseline_time=stage1.execution_time,
-                stage_times={
-                    "stage1_baseline": stage1.execution_time,
-                    "stage2_tracing": stage2.execution_time,
-                    **stage3_times,
-                    "stage4_syncuse": stage4.execution_time,
-                },
+                stage_times=stage_times,
             ),
         )

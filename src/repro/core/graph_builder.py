@@ -22,6 +22,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.core.graph import CpuNode, ExecutionGraph, NodeType, ProblemKind
 from repro.core.records import SiteKey, Stage2Data, TraceEvent
 
@@ -126,6 +127,7 @@ def build_graph(stage2: Stage2Data,
 
     graph = ExecutionGraph(nodes, stage2.execution_time)
     graph.validate()
+    obs.count("core.graph_nodes_built", len(graph.nodes))
     return graph
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.core.analysis import AnalysisResult, ProblemRecord
 from repro.core.graph import ProblemKind
 
@@ -57,6 +58,8 @@ def _grouped(result: AnalysisResult, kind: str, key_fn, label_fn) -> list[Proble
         if group is None:
             group = groups[key] = ProblemGroup(kind=kind, label=label_fn(problem))
         group.members.append(problem)
+    obs.count("core.problems_grouped", len(result.problems), kind=kind)
+    obs.count("core.groups_built", len(groups), kind=kind)
     return sorted(groups.values(), key=lambda g: g.total_benefit, reverse=True)
 
 

@@ -14,6 +14,7 @@ Responsibilities, per the paper:
 
 from __future__ import annotations
 
+import repro.obs as obs
 from repro.core.records import Stage1Data, SyncSite
 from repro.instr.discovery import DiscoveryEvidence, discover_sync_function
 from repro.instr.probes import CallRecord, Probe
@@ -59,10 +60,16 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
         overhead_per_hit=config.baseline_probe_overhead,
     )
     dispatch.attach(probe)
-    try:
-        workload.run(ctx)
-    finally:
-        dispatch.detach(probe)
+    with obs.span("stage.stage1_baseline", clock=ctx.machine.clock,
+                  workload=getattr(workload, "name", "workload")) as sp:
+        try:
+            workload.run(ctx)
+        finally:
+            dispatch.detach(probe)
+            obs.record_probe(probe)
+        sp.set(sync_sites=len(sites), sync_functions=len(sync_functions))
+    obs.gauge("core.stage_wall_seconds", sp.wall_duration,
+              stage="stage1_baseline")
 
     return Stage1Data(
         execution_time=ctx.elapsed,

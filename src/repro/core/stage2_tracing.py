@@ -9,6 +9,7 @@ the funnel), and the total time in the call.
 
 from __future__ import annotations
 
+import repro.obs as obs
 from repro.core.records import Stage1Data, Stage2Data, TraceEvent
 from repro.core.rootprobe import DEFAULT_TRANSFER_FUNCTIONS, RootCall, RootTracker
 from repro.instr.probes import Probe
@@ -75,11 +76,22 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
         overhead_per_hit=config.tracing_probe_overhead,
     )
     dispatch.attach(funnel_probe)
-    try:
-        workload.run(ctx)
-    finally:
-        dispatch.detach(tracker.probe)
-        dispatch.detach(funnel_probe)
+    with obs.span("stage.stage2_tracing", clock=ctx.machine.clock,
+                  workload=getattr(workload, "name", "workload")) as sp:
+        try:
+            workload.run(ctx)
+        finally:
+            dispatch.detach(tracker.probe)
+            dispatch.detach(funnel_probe)
+            obs.record_probe(tracker.probe)
+            obs.record_probe(funnel_probe)
+        syncs = sum(1 for e in events if e.is_sync)
+        sp.set(events=len(events), syncs=syncs,
+               transfers=sum(1 for e in events if e.is_transfer))
+    obs.count("core.syncs_traced", syncs)
+    obs.count("core.events_traced", len(events))
+    obs.gauge("core.stage_wall_seconds", sp.wall_duration,
+              stage="stage2_tracing")
 
     if stray_syncs:
         # Surface loudly: a sync outside every traced function means

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.core.records import (
     SiteKey,
     Stage1Data,
@@ -194,13 +195,23 @@ def run_stage3(workload, stage1: Stage1Data, config,
     if do_memtrace:
         dispatch.attach(managed_probe)
         loadstore.install()
-    try:
-        workload.run(ctx)
-    finally:
-        if do_memtrace:
-            loadstore.uninstall()
-            dispatch.detach(managed_probe)
-        dispatch.detach(tracker.probe)
+    with obs.span(f"stage.stage3_{mode}", clock=ctx.machine.clock,
+                  workload=getattr(workload, "name", "workload")) as sp:
+        try:
+            workload.run(ctx)
+        finally:
+            if do_memtrace:
+                loadstore.uninstall()
+                dispatch.detach(managed_probe)
+                obs.record_probe(managed_probe)
+            dispatch.detach(tracker.probe)
+            obs.record_probe(tracker.probe)
+        sp.set(sync_uses=len(sync_uses) + (open_sync is not None),
+               hashes=len(transfer_hashes),
+               duplicates=sum(1 for t in transfer_hashes if t.duplicate))
+    obs.count("core.hashes_computed", len(transfer_hashes))
+    obs.gauge("core.stage_wall_seconds", sp.wall_duration,
+              stage=f"stage3_{mode}")
 
     if open_sync is not None:
         sync_uses.append(open_sync)

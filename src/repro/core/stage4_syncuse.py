@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.core.records import (
     FirstUseRecord,
     SiteKey,
@@ -133,12 +134,20 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
     dispatch.attach(managed_probe)
     dispatch.attach(funnel_probe)
     loadstore.install()
-    try:
-        workload.run(ctx)
-    finally:
-        loadstore.uninstall()
-        dispatch.detach(tracker.probe)
-        dispatch.detach(managed_probe)
-        dispatch.detach(funnel_probe)
+    with obs.span("stage.stage4_syncuse", clock=ctx.machine.clock,
+                  workload=getattr(workload, "name", "workload")) as sp:
+        try:
+            workload.run(ctx)
+        finally:
+            loadstore.uninstall()
+            dispatch.detach(tracker.probe)
+            dispatch.detach(managed_probe)
+            dispatch.detach(funnel_probe)
+            for probe in (tracker.probe, managed_probe, funnel_probe):
+                obs.record_probe(probe)
+        sp.set(first_uses=len(first_uses),
+               target_instructions=len(target_instructions))
+    obs.gauge("core.stage_wall_seconds", sp.wall_duration,
+              stage="stage4_syncuse")
 
     return Stage4Data(execution_time=ctx.elapsed, first_uses=first_uses)

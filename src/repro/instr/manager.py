@@ -9,11 +9,18 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+import repro.obs as obs
 from repro.instr.probes import Probe
 
 
 class InstrumentationManager:
-    """Attach/detach probe groups on one dispatcher."""
+    """Attach/detach probe groups on one dispatcher.
+
+    Detaching flushes each probe's accumulated hit count to the
+    ``instr.probe_hits`` counter (labelled by probe label) when
+    observability is enabled — the analogue of reading back snippet
+    counters when Dyninst removes instrumentation.
+    """
 
     def __init__(self, dispatcher) -> None:
         self.dispatcher = dispatcher
@@ -22,15 +29,18 @@ class InstrumentationManager:
     def attach(self, probe: Probe) -> Probe:
         self.dispatcher.attach(probe)
         self._attached.append(probe)
+        obs.count("instr.probes_attached", probe=probe.label)
         return probe
 
     def detach(self, probe: Probe) -> None:
         self.dispatcher.detach(probe)
         self._attached.remove(probe)
+        obs.record_probe(probe)
 
     def detach_all(self) -> None:
         for probe in self._attached:
             self.dispatcher.detach(probe)
+            obs.record_probe(probe)
         self._attached.clear()
 
     @property

@@ -1,0 +1,168 @@
+"""Self-observability for the reproduction's own pipeline.
+
+Diogenes' thesis is *honest measurement*; this package turns that lens
+on the tool itself.  It provides
+
+* a structured tracer (:mod:`repro.obs.tracer`) emitting nested spans
+  with both wall-time and virtual-time attribution, exportable as
+  JSON-lines or a Chrome-trace file (loadable in Perfetto /
+  ``chrome://tracing``);
+* a metrics registry (:mod:`repro.obs.metrics`) of counters, gauges,
+  and histograms, exportable as JSON or Prometheus text format;
+* a renderer (:mod:`repro.obs.render`) for a human-readable per-stage
+  summary table.
+
+Observability is **off by default** and must cost ~nothing when off:
+every hook point in the pipeline goes through the module-level helpers
+below (:func:`span`, :func:`count`, :func:`gauge`, :func:`observe`),
+which reduce to a ``None`` check when no :class:`Observability` bundle
+is installed.  Hot paths therefore never build span objects, never
+format names, and never touch a dict unless someone asked for
+telemetry.
+
+Typical use::
+
+    import repro.obs as obs
+
+    session = obs.enable()                 # install a live bundle
+    try:
+        report = Diogenes(workload).run()
+    finally:
+        obs.disable()
+    session.tracer.write_chrome_trace("trace.json")
+    session.metrics.write_prometheus("metrics.prom")
+
+or, scoped::
+
+    with obs.enabled() as session:
+        Diogenes(workload).run()
+
+See ``docs/observability.md`` for naming conventions and exporter
+formats.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import _NOOP_HANDLE, Tracer
+
+__all__ = [
+    "Observability",
+    "active",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "is_enabled",
+    "observe",
+    "record_probe",
+    "span",
+]
+
+
+@dataclass
+class Observability:
+    """One tracer + one metrics registry, installed together."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+#: The installed bundle, or ``None`` (observability off).
+_ACTIVE: Observability | None = None
+
+
+def enable(obs: Observability | None = None) -> Observability:
+    """Install ``obs`` (or a fresh bundle) as the active collector."""
+    global _ACTIVE
+    _ACTIVE = obs if obs is not None else Observability()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn observability off; hook points revert to no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Observability | None:
+    """The installed bundle, or ``None`` when off."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+@contextmanager
+def enabled(obs: Observability | None = None):
+    """Scoped :func:`enable`; restores the previous state on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    bundle = obs if obs is not None else Observability()
+    _ACTIVE = bundle
+    try:
+        yield bundle
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Hook-point helpers.  These are what instrumented pipeline code calls;
+# each is a single global read + ``None`` check when observability is
+# off (the zero-overhead-when-disabled requirement).
+# ----------------------------------------------------------------------
+
+def span(name: str, clock=None, **attrs):
+    """Open a span on the active tracer (no-op handle when off).
+
+    ``clock`` is any object with a ``now`` attribute (e.g.
+    ``ctx.machine.clock``) used for virtual-time attribution.
+    """
+    o = _ACTIVE
+    if o is None:
+        return _NOOP_HANDLE
+    return o.tracer.span(name, clock=clock, **attrs)
+
+
+def count(name: str, n: int | float = 1, **labels) -> None:
+    """Increment a counter on the active registry (no-op when off)."""
+    o = _ACTIVE
+    if o is not None:
+        o.metrics.counter(name, **labels).inc(n)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge on the active registry (no-op when off)."""
+    o = _ACTIVE
+    if o is not None:
+        o.metrics.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Record a histogram observation (no-op when off)."""
+    o = _ACTIVE
+    if o is not None:
+        o.metrics.histogram(name, **labels).observe(value)
+
+
+def record_probe(probe) -> None:
+    """Flush a probe's accumulated hit count into ``instr.probe_hits``.
+
+    Call after detaching the probe — :class:`repro.instr.probes.Probe`
+    counts its own hits, so the hot path needs no extra work.  Flushing
+    is delta-based (a side attribute remembers what was already
+    counted), so repeated attach/detach cycles never double-count.
+    """
+    o = _ACTIVE
+    if o is None:
+        return
+    flushed = getattr(probe, "_obs_hits_flushed", 0)
+    delta = probe.hits - flushed
+    if delta > 0:
+        probe._obs_hits_flushed = probe.hits
+        o.metrics.counter("instr.probe_hits", probe=probe.label).inc(delta)

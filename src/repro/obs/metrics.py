@@ -1,0 +1,229 @@
+"""Metrics: counters, gauges, histograms, and their exporters.
+
+Metric names are dotted, ``<layer>.<what>`` (``sim.ops_enqueued``,
+``core.syncs_traced``); optional labels qualify one series of a
+metric (``instr.probe_hits{probe="stage1-baseline"}``).  The registry
+hands out get-or-create instances, so hook points never need to
+pre-register anything.
+
+Exporters: :meth:`MetricsRegistry.as_json` (structured, round-trips
+through ``json``) and :meth:`MetricsRegistry.to_prometheus`
+(Prometheus text exposition format, version 0.0.4 — dots become
+underscores and every name gains a ``repro_`` prefix).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+#: Default histogram bucket upper bounds (seconds-flavoured, spanning
+#: microseconds to minutes; fine for wall or virtual durations).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def prometheus_name(name: str) -> str:
+    """Dotted internal name -> Prometheus-legal name."""
+    sanitized = name.replace(".", "_").replace("-", "_")
+    return sanitized if sanitized.startswith("repro_") else f"repro_{sanitized}"
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _labels_text(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go anywhere."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ``+Inf`` last."""
+        return [*zip(self.buckets, self.bucket_counts),
+                (math.inf, self.count)]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one session."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], object] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, key[1], **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] | None = None,
+                  **labels) -> Histogram:
+        if buckets is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(),
+                           key=lambda m: (m.name, m.labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, **labels):
+        """The metric registered under ``name``/``labels``, or ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def series(self, name: str) -> list:
+        """Every labelled series registered under ``name``."""
+        return [m for m in self if m.name == name]
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def as_json(self) -> dict:
+        """``{name: [{labels, kind, ...}, ...]}`` — stable and parseable."""
+        out: dict[str, list] = {}
+        for metric in self:
+            entry: dict = {"labels": dict(metric.labels), "kind": metric.kind}
+            if isinstance(metric, Histogram):
+                entry.update(
+                    count=metric.count, sum=metric.sum,
+                    min=None if metric.count == 0 else metric.min,
+                    max=None if metric.count == 0 else metric.max,
+                    buckets=[
+                        {"le": b, "count": c}
+                        for b, c in zip(metric.buckets, metric.bucket_counts)
+                    ],
+                )
+            else:
+                entry["value"] = metric.value
+            out.setdefault(metric.name, []).append(entry)
+        return out
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fp:
+            json.dump(self.as_json(), fp, indent=2, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in self:
+            pname = prometheus_name(metric.name)
+            if pname not in seen_headers:
+                seen_headers.add(pname)
+                lines.append(f"# TYPE {pname} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, cum in metric.cumulative():
+                    labels = _labels_text(
+                        metric.labels, (("le", _format_value(bound)),))
+                    lines.append(f"{pname}_bucket{labels} {cum}")
+                base = _labels_text(metric.labels)
+                lines.append(f"{pname}_sum{base} {_format_value(metric.sum)}")
+                lines.append(f"{pname}_count{base} {metric.count}")
+            else:
+                labels = _labels_text(metric.labels)
+                lines.append(f"{pname}{labels} {_format_value(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w") as fp:
+            fp.write(self.to_prometheus())

@@ -1,0 +1,75 @@
+"""Human-readable rendering of one observability session.
+
+``render_stage_summary`` prints the per-stage table the CLI shows
+under ``--verbose-stages``: one row per pipeline stage span, with the
+tool's wall time, the simulated machine's virtual time, and the
+attributes each stage attached (event counts, probe hits, ...).
+``render_metrics`` dumps every metric series, one per line.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Span-name prefix every pipeline stage driver uses (see
+#: docs/observability.md, "Naming conventions").
+STAGE_PREFIX = "stage."
+
+
+def _attrs_text(attrs: dict) -> str:
+    return "  ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+
+
+def render_stage_summary(tracer: Tracer) -> str:
+    """The per-stage summary table for one traced pipeline run."""
+    stages = tracer.find(STAGE_PREFIX)
+    if not stages:
+        return "no stage spans recorded (was observability enabled for the run?)"
+    rows = []
+    total_wall = 0.0
+    total_virtual = 0.0
+    for sp in stages:
+        virtual = sp.virtual_duration
+        total_wall += sp.wall_duration
+        total_virtual += virtual or 0.0
+        rows.append((
+            sp.name[len(STAGE_PREFIX):],
+            f"{sp.wall_duration * 1e3:10.2f}",
+            f"{virtual:12.6f}" if virtual is not None else f"{'-':>12}",
+            _attrs_text(sp.attrs),
+        ))
+    header = (f"{'stage':<22} {'wall ms':>10} {'virtual s':>12}   detail")
+    lines = [header, "-" * max(72, len(header))]
+    lines += [f"{name:<22} {wall} {virtual}   {detail}"
+              for name, wall, virtual, detail in rows]
+    lines.append("-" * max(72, len(header)))
+    lines.append(f"{'total':<22} {total_wall * 1e3:10.2f} "
+                 f"{total_virtual:12.6f}")
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: MetricsRegistry) -> str:
+    """Every metric series, one aligned line each."""
+    if not len(metrics):
+        return "no metrics recorded"
+    lines = []
+    for metric in metrics:
+        labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+        series = f"{metric.name}{{{labels}}}" if labels else metric.name
+        if isinstance(metric, Histogram):
+            mean = metric.sum / metric.count if metric.count else 0.0
+            value = (f"count={metric.count} sum={metric.sum:.6g} "
+                     f"mean={mean:.6g}")
+        else:
+            v = metric.value
+            value = str(int(v)) if float(v).is_integer() else f"{v:.6g}"
+        lines.append(f"{series:<52} {value}")
+    return "\n".join(lines)
+
+
+def render_session(tracer: Tracer, metrics: MetricsRegistry) -> str:
+    """Stage table + metrics dump, the full ``--verbose-stages`` block."""
+    return (render_stage_summary(tracer)
+            + "\n\nmetrics\n" + "-" * 72 + "\n"
+            + render_metrics(metrics))

@@ -1,0 +1,254 @@
+"""Structured tracing: nested spans with wall- and virtual-time.
+
+A :class:`Span` covers one named region of pipeline work (a stage, a
+workload run, an export).  Spans nest: the tracer keeps an open-span
+stack, so a span started while another is open becomes its child.
+Each span records
+
+* **wall time** — ``time.perf_counter`` seconds relative to the
+  tracer's epoch: what the *tool* spent, instrumentation included;
+* **virtual time** — optionally, the simulated clock at entry/exit
+  (pass any object with a ``now`` attribute, e.g.
+  ``ctx.machine.clock``): what the *simulated machine* spent;
+* **attributes** — arbitrary JSON-serialisable key/values attached at
+  open time or via :meth:`Span.set`.
+
+Exporters
+---------
+``write_jsonl`` emits one JSON object per line per span (append-
+friendly, greppable).  ``write_chrome_trace`` emits the Chrome trace
+"JSON object format" loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: wall-time spans appear under the process named
+``wall time`` and virtual-time spans under ``virtual time``, so the
+two timelines can be compared side by side.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from functools import wraps
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One finished or in-flight traced region."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    #: Wall seconds since the tracer's epoch.
+    wall_start: float
+    wall_end: float | None = None
+    #: Virtual (simulated) seconds, when a clock was supplied.
+    virtual_start: float | None = None
+    virtual_end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_duration(self) -> float:
+        if self.wall_end is None:
+            raise RuntimeError(f"span {self.name!r} still open")
+        return self.wall_end - self.wall_start
+
+    @property
+    def virtual_duration(self) -> float | None:
+        if self.virtual_start is None or self.virtual_end is None:
+            return None
+        return self.virtual_end - self.virtual_start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_json(self) -> dict:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+        }
+        if self.virtual_start is not None:
+            out["virtual_start"] = self.virtual_start
+            out["virtual_end"] = self.virtual_end
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class _SpanHandle:
+    """Context manager opening/closing one span on a tracer."""
+
+    __slots__ = ("_tracer", "_span", "_clock")
+
+    def __init__(self, tracer: "Tracer", span: Span, clock) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._clock = clock
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span, self._clock)
+
+
+class _NoopHandle:
+    """Shared do-nothing handle returned when observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return _NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class _NoopSpan:
+    """Absorbs attribute writes so call sites need no enabled-check."""
+
+    __slots__ = ()
+
+    wall_duration = 0.0
+    virtual_duration = None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    @property
+    def attrs(self) -> dict:
+        # A fresh throwaway dict: writes land nowhere, by design.
+        return {}
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP_HANDLE = _NoopHandle()
+
+
+class Tracer:
+    """Collects spans for one observability session (single-threaded,
+    like the simulated machine itself)."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: list[Span] = []
+        self._open: list[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, clock=None, **attrs: Any) -> _SpanHandle:
+        """Open a child span of the innermost open span.
+
+        Use as a context manager::
+
+            with tracer.span("stage.stage1_baseline", clock=clk) as sp:
+                ...
+                sp.set(sync_sites=12)
+        """
+        parent = self._open[-1] if self._open else None
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._open),
+            wall_start=time.perf_counter() - self.epoch,
+            virtual_start=clock.now if clock is not None else None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._open.append(sp)
+        return _SpanHandle(self, sp, clock)
+
+    def _close(self, sp: Span, clock) -> None:
+        sp.wall_end = time.perf_counter() - self.epoch
+        if clock is not None:
+            sp.virtual_end = clock.now
+        # Spans close LIFO under normal use; tolerate (and close) any
+        # children a misbehaving caller left open.
+        while self._open:
+            top = self._open.pop()
+            if top is sp:
+                break
+            top.wall_end = sp.wall_end
+        self.spans.append(sp)
+
+    def trace(self, name: str | None = None):
+        """Decorator form: trace every call of the wrapped function."""
+        def decorate(fn):
+            span_name = name if name is not None else fn.__qualname__
+
+            @wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def find(self, prefix: str) -> list[Span]:
+        """Finished spans whose name starts with ``prefix``, in finish order."""
+        return [s for s in self.spans if s.name.startswith(prefix)]
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in span-finish order."""
+        return "\n".join(json.dumps(s.to_json(), sort_keys=True)
+                         for s in self.spans)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fp:
+            fp.write(self.to_jsonl())
+            if self.spans:
+                fp.write("\n")
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace "JSON object format" (Perfetto-loadable).
+
+        Two process tracks: pid 1 carries wall-time spans, pid 2
+        carries virtual-time spans (only spans that were given a
+        clock).  Timestamps are microseconds; durations of complete
+        (``"ph": "X"``) events.
+        """
+        events: list[dict] = [
+            {"ph": "M", "pid": 1, "tid": 1, "name": "process_name",
+             "args": {"name": "wall time"}},
+            {"ph": "M", "pid": 2, "tid": 1, "name": "process_name",
+             "args": {"name": "virtual time"}},
+        ]
+        for sp in self.spans:
+            if sp.wall_end is None:  # pragma: no cover - defensive
+                continue
+            args = {"span_id": sp.span_id, **sp.attrs}
+            events.append({
+                "ph": "X", "pid": 1, "tid": 1, "name": sp.name,
+                "ts": sp.wall_start * 1e6,
+                "dur": sp.wall_duration * 1e6,
+                "args": args,
+            })
+            if sp.virtual_duration is not None:
+                events.append({
+                    "ph": "X", "pid": 2, "tid": 1, "name": sp.name,
+                    "ts": sp.virtual_start * 1e6,
+                    "dur": sp.virtual_duration * 1e6,
+                    "args": args,
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fp:
+            json.dump(self.to_chrome_trace(), fp)

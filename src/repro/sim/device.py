@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 
+import repro.obs as obs
 from repro.sim.engine import Engine
 from repro.sim.ops import DeviceOp, OpKind
 
@@ -106,6 +107,8 @@ class GpuDevice:
         engine.schedule(op, earliest)
         stream.record(op)
         self.all_ops.append(op)
+        if obs.is_enabled():
+            obs.count("sim.ops_enqueued", kind=op.kind.name.lower())
         return op
 
     def _pick_engine(self, op: DeviceOp) -> Engine:

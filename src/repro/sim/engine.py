@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 
+import repro.obs as obs
 from repro.sim.ops import DeviceOp
 
 
@@ -61,6 +62,11 @@ class Engine:
             self.free_at = op.end_time
             self.busy_time += op.duration
         self.ops_executed += 1
+        if obs.is_enabled():
+            obs.gauge("sim.engine_busy_seconds", self.busy_time,
+                      engine=self.name)
+            obs.gauge("sim.engine_ops_executed", self.ops_executed,
+                      engine=self.name)
 
     def cancel_infinite(self, now: float) -> DeviceOp | None:
         """Cancel the infinite op (if any), freeing the engine at ``now``.

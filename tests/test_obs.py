@@ -1,0 +1,460 @@
+"""The self-observability subsystem (`repro.obs`).
+
+Covers the tracer (span nesting, wall/virtual attribution, JSONL and
+Chrome-trace exporters), the metrics registry (counters/gauges/
+histograms, JSON and Prometheus text exporters), the no-op default
+(observability off must record nothing), and the pipeline integration
+(a full five-stage Diogenes run emits a span per stage and the
+documented counters).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+
+import repro.obs as obs
+from repro.apps.synthetic import DuplicateTransferApp, UnnecessarySyncApp
+from repro.core.diogenes import Diogenes
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    prometheus_name,
+)
+from repro.obs.render import render_metrics, render_session, render_stage_summary
+from repro.obs.tracer import Tracer, _NOOP_HANDLE
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_nesting_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None and outer.depth == 0
+        assert middle.parent_id == outer.span_id and middle.depth == 1
+        assert inner.parent_id == middle.span_id and inner.depth == 2
+        # Finish order is innermost-first.
+        assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_virtual_time_attribution(self):
+        tracer = Tracer()
+        clock = FakeClock()
+        clock.now = 1.5
+        with tracer.span("work", clock=clock):
+            clock.now = 4.0
+        (sp,) = tracer.spans
+        assert sp.virtual_start == 1.5
+        assert sp.virtual_end == 4.0
+        assert sp.virtual_duration == pytest.approx(2.5)
+        assert sp.wall_duration >= 0.0
+
+    def test_span_without_clock_has_no_virtual_time(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.spans[0].virtual_duration is None
+
+    def test_attrs_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", workload="app") as sp:
+            sp.set(events=3).set(syncs=2)
+        assert tracer.spans[0].attrs == {
+            "workload": "app", "events": 3, "syncs": 2}
+
+    def test_exception_marks_span_and_still_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (sp,) = tracer.spans
+        assert sp.wall_end is not None
+        assert sp.attrs["error"] == "ValueError"
+
+    def test_decorator_traces_each_call(self):
+        tracer = Tracer()
+
+        @tracer.trace("fn")
+        def double(x):
+            return 2 * x
+
+        assert double(3) == 6 and double(4) == 8
+        assert [s.name for s in tracer.spans] == ["fn", "fn"]
+
+    def test_find_by_prefix(self):
+        tracer = Tracer()
+        for name in ("stage.one", "stage.two", "other"):
+            with tracer.span(name):
+                pass
+        assert [s.name for s in tracer.find("stage.")] == [
+            "stage.one", "stage.two"]
+
+
+class TestTracerExporters:
+    def _populated(self) -> Tracer:
+        tracer = Tracer()
+        clock = FakeClock()
+        with tracer.span("run"):
+            with tracer.span("stage.a", clock=clock, k="v"):
+                clock.now = 0.25
+        return tracer
+
+    def test_jsonl_round_trip(self):
+        tracer = self._populated()
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        by_name = {p["name"]: p for p in parsed}
+        assert by_name["stage.a"]["attrs"] == {"k": "v"}
+        assert by_name["stage.a"]["virtual_end"] == 0.25
+        assert by_name["stage.a"]["parent_id"] == by_name["run"]["span_id"]
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._populated().write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 and all(json.loads(li) for li in lines)
+
+    def test_chrome_trace_structure(self):
+        trace = self._populated().to_chrome_trace()
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"wall time",
+                                                    "virtual time"}
+        complete = [e for e in events if e["ph"] == "X"]
+        # Two wall spans + one virtual span (only stage.a had a clock).
+        assert len(complete) == 3
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+        virtual = [e for e in complete if e["pid"] == 2]
+        assert [e["name"] for e in virtual] == ["stage.a"]
+        assert virtual[0]["dur"] == pytest.approx(0.25e6)
+
+    def test_chrome_trace_file_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._populated().write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded and loaded["displayTimeUnit"] == "ms"
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("core.syncs_traced").inc()
+        reg.counter("core.syncs_traced").inc(4)
+        assert reg.counter("core.syncs_traced").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_labelled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("instr.probe_hits", probe="a").inc(2)
+        reg.counter("instr.probe_hits", probe="b").inc(3)
+        assert reg.counter("instr.probe_hits", probe="a").value == 2
+        assert len(reg.series("instr.probe_hits")) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sim.engine_busy_seconds", engine="compute_0")
+        g.set(1.5)
+        g.add(0.5)
+        assert g.value == pytest.approx(2.0)
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram("h", (), buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        assert h.min == 0.05 and h.max == 50.0
+        assert h.cumulative() == [(0.1, 1), (1.0, 3), (10.0, 4),
+                                  (math.inf, 5)]
+
+    def test_histogram_requires_sorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(1.0, 0.1))
+
+    def test_json_export_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc(7)
+        reg.gauge("a.level", zone="hot").set(0.25)
+        reg.histogram("a.lat", buckets=(1.0,)).observe(0.5)
+        dumped = json.loads(json.dumps(reg.as_json()))
+        assert dumped["a.count"][0]["value"] == 7
+        assert dumped["a.level"][0]["labels"] == {"zone": "hot"}
+        assert dumped["a.lat"][0]["count"] == 1
+        assert dumped["a.lat"][0]["buckets"] == [{"le": 1.0, "count": 1}]
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc()
+        path = tmp_path / "m.json"
+        reg.write_json(str(path))
+        assert json.loads(path.read_text())["a.count"][0]["value"] == 1
+
+
+class TestPrometheusFormat:
+    def test_name_sanitisation(self):
+        assert prometheus_name("sim.ops_enqueued") == "repro_sim_ops_enqueued"
+        assert prometheus_name("a-b.c") == "repro_a_b_c"
+
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("core.syncs_traced").inc(11)
+        reg.gauge("sim.engine_busy_seconds", engine="copy_d2h").set(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_core_syncs_traced counter\n" in text
+        assert "repro_core_syncs_traced 11\n" in text
+        assert ('repro_sim_engine_busy_seconds{engine="copy_d2h"} 0.5'
+                in text)
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("core.lat", buckets=(0.5, 2.0), stage="s1")
+        h.observe(0.25)
+        h.observe(1.0)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_core_lat histogram" in text
+        assert 'repro_core_lat_bucket{stage="s1",le="0.5"} 1' in text
+        assert 'repro_core_lat_bucket{stage="s1",le="2"} 2' in text
+        assert 'repro_core_lat_bucket{stage="s1",le="+Inf"} 2' in text
+        assert 'repro_core_lat_sum{stage="s1"} 1.25' in text
+        assert 'repro_core_lat_count{stage="s1"} 2' in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c').inc()
+        line = reg.to_prometheus().splitlines()[-1]
+        assert line == 'repro_c{path="a\\"b\\\\c"} 1'
+
+    def test_every_sample_line_is_well_formed(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", x="1").inc(2)
+        reg.gauge("c.d").set(1.25)
+        reg.histogram("e.f", buckets=(1.0,)).observe(2.0)
+        sample = re.compile(
+            r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? [^ ]+$")
+        for line in reg.to_prometheus().splitlines():
+            if line.startswith("#"):
+                continue
+            assert sample.match(line), line
+
+
+# ----------------------------------------------------------------------
+# No-op mode
+# ----------------------------------------------------------------------
+class TestDisabledMode:
+    def test_off_by_default(self):
+        assert obs.active() is None and not obs.is_enabled()
+
+    def test_span_returns_shared_noop_handle(self):
+        handle = obs.span("anything", clock=FakeClock(), attr=1)
+        assert handle is _NOOP_HANDLE
+        with handle as sp:
+            sp.set(ignored=True)
+            assert sp.attrs == {}
+            assert sp.wall_duration == 0.0 and sp.virtual_duration is None
+
+    def test_metric_helpers_record_nothing(self):
+        obs.count("c", 5)
+        obs.gauge("g", 1.0)
+        obs.observe("h", 0.5)
+        with obs.enabled() as session:
+            pass
+        assert len(session.metrics) == 0
+
+    def test_disabled_run_emits_nothing(self):
+        Diogenes(UnnecessarySyncApp(iterations=2)).run()
+        assert obs.active() is None
+
+    def test_enabled_scope_restores_previous(self):
+        outer = obs.enable()
+        with obs.enabled() as inner:
+            assert obs.active() is inner and inner is not outer
+        assert obs.active() is outer
+        obs.disable()
+        assert obs.active() is None
+
+    def test_record_probe_is_delta_based(self):
+        class FakeProbe:
+            label = "p"
+            hits = 10
+
+        probe = FakeProbe()
+        with obs.enabled() as session:
+            obs.record_probe(probe)
+            obs.record_probe(probe)  # no new hits -> no double count
+            probe.hits = 15
+            obs.record_probe(probe)
+        counter = session.metrics.get("instr.probe_hits", probe="p")
+        assert counter.value == 15
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration
+# ----------------------------------------------------------------------
+EXPECTED_STAGE_SPANS = [
+    "stage.stage1_baseline",
+    "stage.stage2_tracing",
+    "stage.stage3_memtrace",
+    "stage.stage3_hashing",
+    "stage.stage4_syncuse",
+    "stage.stage5_analysis",
+]
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def session(self):
+        obs.disable()
+        with obs.enabled() as session:
+            report = Diogenes(DuplicateTransferApp(iterations=4)).run()
+        session.report = report
+        return session
+
+    def test_every_stage_emits_a_span(self, session):
+        names = [s.name for s in session.tracer.find("stage.")]
+        assert names == EXPECTED_STAGE_SPANS
+
+    def test_stage_spans_nest_under_the_run_span(self, session):
+        (run_span,) = session.tracer.find("diogenes.run")
+        for sp in session.tracer.find("stage."):
+            assert sp.parent_id == run_span.span_id
+        assert run_span.attrs["problems"] == len(
+            session.report.analysis.problems)
+
+    def test_stage_virtual_time_matches_stage_data(self, session):
+        by_name = {s.name: s for s in session.tracer.spans}
+        sp = by_name["stage.stage1_baseline"]
+        assert sp.virtual_duration == pytest.approx(
+            session.report.stage1.execution_time)
+
+    def test_documented_counters_are_populated(self, session):
+        m = session.metrics
+        assert m.get("core.syncs_traced").value > 0
+        assert m.get("core.hashes_computed").value > 0
+        assert m.get("core.graph_nodes_built").value > 0
+        assert m.get("core.events_traced").value > 0
+        assert m.get("core.benefit_nodes_processed").value > 0
+        assert m.series("sim.ops_enqueued")
+        assert m.series("sim.engine_busy_seconds")
+        assert m.series("instr.probe_hits")
+
+    def test_per_stage_wall_and_virtual_gauges(self, session):
+        wall_stages = {dict(g.labels)["stage"]
+                       for g in session.metrics.series("core.stage_wall_seconds")}
+        assert wall_stages == {name[len("stage."):]
+                               for name in EXPECTED_STAGE_SPANS}
+        for g in session.metrics.series("core.stage_virtual_seconds"):
+            assert g.value > 0.0
+
+    def test_chrome_trace_covers_all_stages(self, session, tmp_path):
+        path = tmp_path / "trace.json"
+        session.tracer.write_chrome_trace(str(path))
+        trace = json.loads(path.read_text())
+        wall_names = {e["name"] for e in trace["traceEvents"]
+                      if e.get("ph") == "X" and e["pid"] == 1}
+        assert set(EXPECTED_STAGE_SPANS) <= wall_names
+
+    def test_render_session_mentions_every_stage(self, session):
+        text = render_session(session.tracer, session.metrics)
+        for name in EXPECTED_STAGE_SPANS:
+            assert name[len("stage."):] in text
+        assert "core.syncs_traced" in text
+
+    def test_hash_count_matches_report(self, session):
+        assert session.metrics.get("core.hashes_computed").value == len(
+            session.report.stage3.transfer_hashes)
+
+
+class TestRender:
+    def test_empty_session_renders_gracefully(self):
+        assert "no stage spans" in render_stage_summary(Tracer())
+        assert render_metrics(MetricsRegistry()) == "no metrics recorded"
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+class TestCliIntegration:
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        from repro.core.cli import main
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        rc = main(["run", "synthetic-quiet", "--view", "overview",
+                   "--trace-out", str(trace_path),
+                   "--metrics-out", str(metrics_path),
+                   "--verbose-stages"])
+        assert rc == 0
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "stage.stage1_baseline" in names
+        prom = metrics_path.read_text()
+        assert "# TYPE repro_core_syncs_traced counter" in prom
+        out = capsys.readouterr().out
+        assert "stage1_baseline" in out
+        # The session is torn down after the run.
+        assert obs.active() is None
+
+    def test_jsonl_and_json_extensions_switch_format(self, tmp_path):
+        from repro.core.cli import main
+
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(["run", "synthetic-quiet", "--view", "overview",
+                   "--trace-out", str(trace_path),
+                   "--metrics-out", str(metrics_path)])
+        assert rc == 0
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)
+        metrics = json.loads(metrics_path.read_text())
+        assert "core.syncs_traced" in metrics
+
+    def test_plain_run_leaves_observability_off(self, capsys):
+        from repro.core.cli import main
+
+        assert main(["run", "synthetic-quiet", "--view", "overview"]) == 0
+        assert obs.active() is None
