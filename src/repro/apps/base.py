@@ -65,7 +65,13 @@ class WorkloadRegistry:
             raise KeyError(
                 f"unknown workload {name!r}; known: {sorted(self._factories)}"
             ) from None
-        return factory(**kwargs) if kwargs else factory()
+        workload = factory(**kwargs) if kwargs else factory()
+        # Stamp the construction recipe so the parallel executor can
+        # rebuild this exact workload inside a worker process
+        # (repro.exec.jobs.WorkloadSpec.for_workload reads these).
+        workload._registry_name = name
+        workload._registry_params = dict(kwargs)
+        return workload
 
     def names(self) -> list[str]:
         return sorted(self._factories)

@@ -12,7 +12,14 @@ and renders the displays::
     diogenes run cumf-als --view subsequence --from 10 --to 23   # Figure 8
     diogenes run cuibm --view fixes          # §6: remedy recommendations
     diogenes run amg --json out.json         # machine-readable export
+    diogenes run cuibm --jobs 4 --cache-dir .dio-cache   # parallel + cached
+    diogenes batch cumf-als cuibm amg --jobs 4           # shared executor
     diogenes list                            # available workloads
+
+Independent collection runs fan out to worker processes with ``--jobs``
+and land in a content-addressed result cache with ``--cache-dir``; the
+report is byte-identical to a serial run either way (see
+docs/parallel_execution.md).
 """
 
 from __future__ import annotations
@@ -69,16 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload constructor argument, repeatable "
                           "(e.g. --param iterations=50 --param fix=full); "
                           "values parse as int/float/bool when possible")
-    run.add_argument("--trace-out", default=None, metavar="PATH",
-                     help="write a trace of the tool's own pipeline: "
-                          "Chrome-trace JSON (open in Perfetto), or "
-                          "JSON-lines if PATH ends in .jsonl")
-    run.add_argument("--metrics-out", default=None, metavar="PATH",
-                     help="write pipeline metrics: Prometheus text "
-                          "format, or JSON if PATH ends in .json")
-    run.add_argument("--verbose-stages", action="store_true",
-                     help="print a per-stage observability summary "
-                          "(wall + virtual time, counters) after the run")
+    _add_exec_flags(run)
+    _add_obs_flags(run)
+
+    batch = sub.add_parser(
+        "batch", help="run several workloads through one shared executor")
+    batch.add_argument("workloads", nargs="+",
+                       help="registered workload names")
+    batch.add_argument("--dedup-policy", default="content",
+                       choices=["content", "content+dst"])
+    batch.add_argument("--json-dir", default=None, metavar="DIR",
+                       help="write one <workload>.json report per app")
+    _add_exec_flags(batch)
+    _add_obs_flags(batch)
 
     explore = sub.add_parser(
         "explore", help="run the stages, then explore interactively")
@@ -88,6 +98,44 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--dedup-policy", default="content",
                          choices=["content", "content+dst"])
     return parser
+
+
+def _add_obs_flags(parser) -> None:
+    """Self-observability export flags (run + batch)."""
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a trace of the tool's own pipeline: "
+                             "Chrome-trace JSON (open in Perfetto), or "
+                             "JSON-lines if PATH ends in .jsonl")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write pipeline metrics: Prometheus text "
+                             "format, or JSON if PATH ends in .json")
+    parser.add_argument("--verbose-stages", action="store_true",
+                        help="print a per-stage observability summary "
+                             "(wall + virtual time, counters) after the run")
+
+
+def _add_exec_flags(parser) -> None:
+    """Parallel-execution and result-cache flags (run + batch)."""
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan independent stage runs out to N worker "
+                             "processes (default: 1, serial in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed stage-result cache; "
+                             "re-runs skip already-measured stages")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir (neither read nor write)")
+
+
+def _make_executor(args):
+    """Build a StageExecutor when the flags ask for one, else None."""
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs == 1 and (args.cache_dir is None or args.no_cache):
+        return None
+    from repro.exec import StageExecutor
+
+    return StageExecutor(jobs=args.jobs, cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache)
 
 
 def _parse_value(raw: str):
@@ -175,6 +223,56 @@ def _export_observability(args, session) -> None:
         print("\n" + render_session(session.tracer, session.metrics))
 
 
+def _run_batch(args) -> int:
+    """Run several workloads through one shared executor + cache."""
+    import os
+
+    from repro.core.diogenes import report_from_stage_results
+    from repro.exec import StageExecutor, WorkloadSpec
+
+    config = DiogenesConfig(dedup_policy=args.dedup_policy)
+    try:
+        workloads = [registry.create(name) for name in args.workloads]
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from exc
+    specs = [WorkloadSpec.for_workload(w) for w in workloads]
+
+    observing = args.trace_out or args.metrics_out or args.verbose_stages
+    session = obs.enable() if observing else None
+    try:
+        with StageExecutor(jobs=args.jobs, cache_dir=args.cache_dir,
+                           use_cache=not args.no_cache) as executor:
+            results = executor.run_workloads(specs, config)
+        reports = [
+            report_from_stage_results(getattr(w, "name", spec.name),
+                                      results[spec], config)
+            for w, spec in zip(workloads, specs)
+        ]
+    finally:
+        if session is not None:
+            obs.disable()
+
+    header = (f"{'workload':<28} {'problems':>8} {'est benefit':>12} "
+              f"{'exec time':>10} {'warnings':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, report in zip(args.workloads, reports):
+        print(f"{name:<28} {len(report.analysis.problems):>8} "
+              f"{report.total_benefit_percent:>11.2f}% "
+              f"{report.analysis.execution_time * 1e3:>8.3f}ms "
+              f"{len(report.warnings):>8}")
+        if args.json_dir:
+            os.makedirs(args.json_dir, exist_ok=True)
+            path = os.path.join(args.json_dir, f"{name}.json")
+            with open(path, "w") as fp:
+                fp.write(dumps_report(report))
+    if args.json_dir:
+        print(f"\nJSON reports written to {args.json_dir}", file=sys.stderr)
+    if session is not None:
+        _export_observability(args, session)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _load_workloads()
@@ -184,6 +282,9 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.command == "batch":
+        return _run_batch(args)
+
     try:
         workload = registry.create(args.workload,
                                    **parse_params(args.params))
@@ -191,14 +292,17 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(f"bad --param for {args.workload!r}: {exc}") from exc
     config = DiogenesConfig(dedup_policy=args.dedup_policy)
 
+    executor = _make_executor(args) if args.command == "run" else None
     observing = args.command == "run" and (
         args.trace_out or args.metrics_out or args.verbose_stages)
     session = obs.enable() if observing else None
     try:
-        report = Diogenes(workload, config).run()
+        report = Diogenes(workload, config, executor=executor).run()
     finally:
         if session is not None:
             obs.disable()
+        if executor is not None:
+            executor.shutdown()
 
     if args.command == "explore":
         from repro.core.explorer import Explorer

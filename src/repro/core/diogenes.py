@@ -173,19 +173,104 @@ def stability_warnings(stage1: Stage1Data, stage2: Stage2Data,
     return warnings
 
 
-class Diogenes:
-    """The automated multi-stage/multi-run tool."""
+def assemble_report(workload_name: str, stage1: Stage1Data,
+                    stage2: Stage2Data, stage3: Stage3Data,
+                    stage4: Stage4Data, stage3_times: dict[str, float],
+                    cfg: DiogenesConfig) -> DiogenesReport:
+    """Stage 5: analysis + groupings + accounting over collected data.
 
-    def __init__(self, workload, config: DiogenesConfig | None = None) -> None:
+    The single assembly path shared by the serial runner, the parallel
+    executor, and ``diogenes batch`` — whatever produced the stage
+    data, the analysis and the report structure are identical, which
+    is what makes serial/parallel byte-identity checkable at all.
+    """
+    warnings = stability_warnings(stage1, stage2, stage3)
+    with obs.span("stage.stage5_analysis") as analysis_span:
+        analysis = analyze(
+            stage1, stage2, stage3, stage4,
+            misplaced_min_delay=cfg.misplaced_min_delay,
+            benefit_config=cfg.benefit,
+        )
+        analysis_span.set(problems=len(analysis.problems),
+                          graph_nodes=len(analysis.graph.nodes))
+    obs.gauge("core.stage_wall_seconds", analysis_span.wall_duration,
+              stage="stage5_analysis")
+    stage_times = {
+        "stage1_baseline": stage1.execution_time,
+        "stage2_tracing": stage2.execution_time,
+        **stage3_times,
+        "stage4_syncuse": stage4.execution_time,
+    }
+    for stage_name, seconds in stage_times.items():
+        obs.gauge("core.stage_virtual_seconds", seconds,
+                  stage=stage_name)
+    return DiogenesReport(
+        workload_name=workload_name,
+        stage1=stage1,
+        stage2=stage2,
+        stage3=stage3,
+        stage4=stage4,
+        analysis=analysis,
+        api_folds=group_by_api(analysis),
+        single_points=group_single_point(analysis),
+        folded_functions=group_folded_function(analysis),
+        sequences=find_sequences(analysis, cfg.benefit,
+                                 cfg.sequence_min_length),
+        warnings=warnings,
+        overhead=OverheadReport(
+            baseline_time=stage1.execution_time,
+            stage_times=stage_times,
+        ),
+    )
+
+
+def report_from_stage_results(workload_name: str, results: dict[str, dict],
+                              cfg: DiogenesConfig) -> DiogenesReport:
+    """Assemble a report from executor stage output (JSON dicts).
+
+    ``results`` is one workload's mapping from
+    :meth:`repro.exec.executor.StageExecutor.run_workloads` — the raw
+    per-stage JSON plus the derived ``"stage3"`` merge.
+    """
+    stage1 = Stage1Data.from_json(results["stage1"])
+    stage2 = Stage2Data.from_json(results["stage2"])
+    stage3 = Stage3Data.from_json(results["stage3"])
+    stage4 = Stage4Data.from_json(results["stage4"])
+    if cfg.split_sync_transfer_runs:
+        stage3_times = {
+            "stage3_memtrace": results["stage3_memtrace"]["execution_time"],
+            "stage3_hashing": results["stage3_hashing"]["execution_time"],
+        }
+    else:
+        stage3_times = {"stage3_memtrace": stage3.execution_time}
+    return assemble_report(workload_name, stage1, stage2, stage3, stage4,
+                           stage3_times, cfg)
+
+
+class Diogenes:
+    """The automated multi-stage/multi-run tool.
+
+    ``executor`` (a :class:`repro.exec.StageExecutor`) fans the
+    collection runs out to worker processes and consults its result
+    cache; without one, stages run serially in-process.  Both paths
+    produce byte-identical reports.
+    """
+
+    def __init__(self, workload, config: DiogenesConfig | None = None,
+                 *, executor=None) -> None:
         self.workload = workload
         self.config = config if config is not None else DiogenesConfig()
+        self.executor = executor
 
     def run(self) -> DiogenesReport:
         """Execute stages 1–5 and assemble the report."""
         with obs.span("diogenes.run",
                       workload=getattr(self.workload, "name",
                                        "workload")) as run_span:
-            report = self._run_stages()
+            if self.executor is None:
+                report = self._run_stages()
+            else:
+                report = self._run_stages_parallel()
             run_span.set(
                 problems=len(report.analysis.problems),
                 total_benefit=round(report.total_benefit, 9),
@@ -218,41 +303,20 @@ class Diogenes:
             stage3 = run_stage3(self.workload, stage1, cfg)
             stage3_times = {"stage3_memtrace": stage3.execution_time}
         stage4 = run_stage4(self.workload, stage1, stage3, cfg)
-        warnings = stability_warnings(stage1, stage2, stage3)
-        with obs.span("stage.stage5_analysis") as analysis_span:
-            analysis = analyze(
-                stage1, stage2, stage3, stage4,
-                misplaced_min_delay=cfg.misplaced_min_delay,
-                benefit_config=cfg.benefit,
+        return assemble_report(
+            getattr(self.workload, "name", "workload"),
+            stage1, stage2, stage3, stage4, stage3_times, cfg)
+
+    def _run_stages_parallel(self) -> DiogenesReport:
+        from repro.exec.jobs import WorkloadSpec
+
+        spec = WorkloadSpec.for_workload(self.workload)
+        if spec is None:
+            raise ValueError(
+                "parallel execution needs a registry-created workload "
+                "(repro.apps.base.registry.create) so worker processes "
+                "can rebuild it; this instance carries no registry stamp"
             )
-            analysis_span.set(problems=len(analysis.problems),
-                              graph_nodes=len(analysis.graph.nodes))
-        obs.gauge("core.stage_wall_seconds", analysis_span.wall_duration,
-                  stage="stage5_analysis")
-        stage_times = {
-            "stage1_baseline": stage1.execution_time,
-            "stage2_tracing": stage2.execution_time,
-            **stage3_times,
-            "stage4_syncuse": stage4.execution_time,
-        }
-        for stage_name, seconds in stage_times.items():
-            obs.gauge("core.stage_virtual_seconds", seconds,
-                      stage=stage_name)
-        return DiogenesReport(
-            workload_name=getattr(self.workload, "name", "workload"),
-            stage1=stage1,
-            stage2=stage2,
-            stage3=stage3,
-            stage4=stage4,
-            analysis=analysis,
-            api_folds=group_by_api(analysis),
-            single_points=group_single_point(analysis),
-            folded_functions=group_folded_function(analysis),
-            sequences=find_sequences(analysis, cfg.benefit,
-                                     cfg.sequence_min_length),
-            warnings=warnings,
-            overhead=OverheadReport(
-                baseline_time=stage1.execution_time,
-                stage_times=stage_times,
-            ),
-        )
+        results = self.executor.run_workload(spec, self.config)
+        return report_from_stage_results(
+            getattr(self.workload, "name", "workload"), results, self.config)

@@ -285,8 +285,12 @@ class Stage3Data:
                     access_file=r["access_file"],
                     access_line=r["access_line"],
                     access_address=r["access_address"],
+                    # "is not None": an empty stack ([] in JSON) is a
+                    # real StackTrace with no frames, not a missing one
+                    # — collapsing it to None would break the byte-
+                    # identity of JSON round-tripped reports.
                     access_stack=frames_from_json(r["access_stack"])
-                    if r.get("access_stack") else None,
+                    if r.get("access_stack") is not None else None,
                 )
                 for r in d["sync_uses"]
             ],

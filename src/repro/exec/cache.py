@@ -1,0 +1,80 @@
+"""Content-addressed on-disk cache for stage results.
+
+One entry per (workload fingerprint, stage, config, code version,
+upstream inputs) key — see :mod:`repro.exec.fingerprint` for what the
+key covers.  Entries are JSON files laid out git-object style
+(``<dir>/<key[:2]>/<key>.json``) so a warm cache directory stays
+browsable and diffable.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or
+interrupted run can never leave a truncated entry that a later run
+would trust; unreadable or schema-mismatched entries degrade to
+misses.  Concurrent writers of the *same* key race benignly: both
+write identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+
+
+class ResultCache:
+    """Stage-result store keyed by content hash."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the cached stage payload, or ``None`` on a miss.
+
+        A corrupt or old-schema file is a miss, never an error — the
+        stage simply re-runs and overwrites it.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        data = entry.get("data")
+        return data if isinstance(data, dict) else None
+
+    def put(self, key: str, stage: str, workload: str, data: dict) -> None:
+        """Store one stage result atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "stage": stage,
+            "workload": workload,
+            "data": data,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(entry, fp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of readable entries (for tests and diagnostics)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -1,0 +1,176 @@
+"""Picklable stage-run job specs and the worker entry point.
+
+FFM's collection runs are independent given their upstream data: each
+stage builds a brand-new :class:`~repro.runtime.context.ExecutionContext`
+("a fresh process per run"), so a run is fully described by *(workload,
+stage, config, upstream stage data)*.  :class:`StageJob` captures that
+description in plain picklable types, and :func:`execute_job` replays
+it — in this process or in a pool worker, with identical results.
+
+All stage data crosses the process boundary as the same JSON dicts the
+report exporter uses (``to_json``/``from_json`` on the record classes),
+which doubles as the cache payload format: a result computed by a
+worker, a result computed inline, and a result read back from the
+on-disk cache are indistinguishable by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.exec.fingerprint import (
+    config_from_json,
+    digest_json,
+    workload_fingerprint,
+)
+
+#: Stage names understood by the executor, in topological order.
+STAGE1 = "stage1"
+STAGE2 = "stage2"
+STAGE3_MEMTRACE = "stage3_memtrace"
+STAGE3_HASHING = "stage3_hashing"
+STAGE3_BOTH = "stage3_both"
+STAGE4 = "stage4"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload as (registry name, constructor parameters).
+
+    Parameters are stored as a sorted tuple of pairs so the spec is
+    hashable and its fingerprint canonical.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def from_params(cls, name: str, params: dict | None = None) -> "WorkloadSpec":
+        return cls(name, tuple(sorted((params or {}).items())))
+
+    @classmethod
+    def for_workload(cls, workload) -> "WorkloadSpec | None":
+        """Spec of a registry-created workload, else ``None``.
+
+        :meth:`repro.apps.base.WorkloadRegistry.create` stamps the
+        registry name and parameters onto each instance; hand-built
+        workload objects carry no stamp and cannot be shipped to a
+        worker process (the executor falls back to refusing them
+        loudly rather than guessing).
+        """
+        name = getattr(workload, "_registry_name", None)
+        if name is None:
+            return None
+        return cls.from_params(name, getattr(workload, "_registry_params", {}))
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def create(self):
+        """Instantiate the workload from the process-wide registry."""
+        from repro.apps.base import registry
+        from repro.core.cli import _load_workloads
+
+        _load_workloads()
+        return registry.create(self.name, **self.params_dict())
+
+    def fingerprint(self) -> str:
+        return workload_fingerprint(self.name, self.params_dict())
+
+
+@dataclass(frozen=True)
+class StageJob:
+    """One collection run: everything a worker needs, picklable.
+
+    ``inputs`` maps upstream stage names to their JSON data (e.g.
+    stage 2 receives ``{"stage1": {...}}``).  The executor computes the
+    cache key from the digests of exactly these inputs, so the key
+    chains through the stage DAG.
+    """
+
+    workload: WorkloadSpec
+    stage: str
+    config: dict = field(hash=False)
+    inputs: dict = field(default_factory=dict, hash=False)
+
+    def input_digests(self) -> dict[str, str]:
+        return {name: digest_json(data)
+                for name, data in sorted(self.inputs.items())}
+
+
+@dataclass
+class JobResult:
+    """What a worker sends back: the stage JSON plus attribution."""
+
+    stage: str
+    workload: str
+    data: dict
+    worker_pid: int
+    wall_seconds: float
+
+
+def _run_stage(job: StageJob, workload, config):
+    """Dispatch to the right stage driver; returns a record object."""
+    from repro.core.records import Stage1Data, Stage3Data
+    from repro.core.stage1_baseline import run_stage1
+    from repro.core.stage2_tracing import run_stage2
+    from repro.core.stage3_memtrace import run_stage3
+    from repro.core.stage4_syncuse import run_stage4
+
+    if job.stage == STAGE1:
+        return run_stage1(workload, config)
+    if job.stage not in (STAGE2, STAGE3_MEMTRACE, STAGE3_HASHING,
+                         STAGE3_BOTH, STAGE4):
+        raise ValueError(f"unknown stage {job.stage!r}")
+    stage1 = Stage1Data.from_json(job.inputs["stage1"])
+    if job.stage == STAGE2:
+        return run_stage2(workload, stage1, config)
+    if job.stage == STAGE3_MEMTRACE:
+        return run_stage3(workload, stage1, config, mode="memtrace")
+    if job.stage == STAGE3_HASHING:
+        return run_stage3(workload, stage1, config, mode="hashing")
+    if job.stage == STAGE3_BOTH:
+        return run_stage3(workload, stage1, config, mode="both")
+    stage3 = Stage3Data.from_json(job.inputs["stage3"])
+    return run_stage4(workload, stage1, stage3, config)
+
+
+def execute_job(job: StageJob) -> JobResult:
+    """Run one stage job and return its JSON result.
+
+    This is the pool-worker entry point, but it is also what the
+    ``--jobs 1`` inline path calls, so both paths execute literally the
+    same code.  Observability is deliberately left alone here: inline
+    jobs record on the caller's live collector, while pool workers have
+    theirs disabled by the executor's process initializer (a forked
+    worker inherits the parent's collector and would otherwise record
+    into a copy nobody can read).
+    """
+    t0 = time.perf_counter()
+    workload = job.workload.create()
+    config = config_from_json(job.config)
+    data = _run_stage(job, workload, config).to_json()
+    return JobResult(
+        stage=job.stage,
+        workload=job.workload.name,
+        data=data,
+        worker_pid=os.getpid(),
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def merge_stage3(memtrace: dict, hashing: dict) -> dict:
+    """Merge the two split stage-3 collection runs into one dataset.
+
+    Mirrors the serial path in :class:`repro.core.diogenes.Diogenes`:
+    sync uses come from the memory-tracing run, transfer hashes from
+    the hashing run, and the merged execution time is the memtrace
+    run's (the convention the serial tool established).
+    """
+    return {
+        "execution_time": memtrace["execution_time"],
+        "sync_uses": memtrace["sync_uses"],
+        "transfer_hashes": hashing["transfer_hashes"],
+    }

@@ -1,0 +1,42 @@
+"""Shared definition of the golden-report fixtures.
+
+One source of truth for *which* apps at *which* parameters produce the
+snapshots under ``tests/golden/`` — imported by both the regression
+test (``tests/test_golden_reports.py``) and the regeneration script
+(``tests/regen_golden.py``), so the two can never drift apart.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+and review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: fixture file stem -> (registry workload name, constructor params).
+#: Parameters are golden scale: big enough that every problem class
+#: (unnecessary/misplaced syncs, duplicate transfers, sequences) shows
+#: up, small enough to run in well under a second per app.
+GOLDEN_APPS: dict[str, tuple[str, dict]] = {
+    "synthetic": ("synthetic-unnecessary-sync", {"iterations": 4}),
+    "rodinia_gaussian": ("rodinia-gaussian", {"n": 24}),
+    "cumf_als": ("cumf-als", {"iterations": 3, "users": 120, "items": 80}),
+    "cuibm": ("cuibm", {"steps": 2, "cg_iters": 4}),
+}
+
+
+def generate_report_json(stem: str) -> str:
+    """Run the pipeline for one fixture and return its report JSON."""
+    from repro.apps.base import registry
+    from repro.core.cli import _load_workloads
+    from repro.core.diogenes import Diogenes
+    from repro.core.jsonio import dumps_report
+
+    _load_workloads()
+    name, params = GOLDEN_APPS[stem]
+    return dumps_report(Diogenes(registry.create(name, **params)).run()) + "\n"

@@ -1,0 +1,37 @@
+"""Regenerate the golden report fixtures under ``tests/golden/``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+The script also works without PYTHONPATH set — it locates ``src``
+relative to itself.  Commit the resulting JSON diffs together with the
+behaviour change that motivated them; an unexplained diff is a
+regression, not a fixture update.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE.parent / "src"))
+sys.path.insert(0, str(_HERE.parent))
+
+from tests.goldens import GOLDEN_APPS, GOLDEN_DIR, generate_report_json  # noqa: E402
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for stem in sorted(GOLDEN_APPS):
+        path = GOLDEN_DIR / f"{stem}.json"
+        text = generate_report_json(stem)
+        changed = not path.exists() or path.read_text() != text
+        path.write_text(text)
+        print(f"{'updated' if changed else 'unchanged'}  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Golden-report regression tests for the four example apps.
+
+Each fixture under ``tests/golden/`` is the full report JSON of one
+app at golden scale (see :mod:`tests.goldens`).  The pipeline is
+deterministic end to end — virtual clock, content hashing, stable
+fake addresses — so the snapshots are byte-exact; any diff means
+observable tool behaviour changed.
+
+On an *intentional* change, regenerate and commit the fixtures::
+
+    PYTHONPATH=src python tests/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import itertools
+
+import pytest
+
+from tests.goldens import GOLDEN_APPS, GOLDEN_DIR, generate_report_json
+
+_MAX_DIFF_LINES = 40
+
+
+@pytest.mark.parametrize("stem", sorted(GOLDEN_APPS))
+def test_report_matches_golden_fixture(stem):
+    path = GOLDEN_DIR / f"{stem}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with\n"
+        "    PYTHONPATH=src python tests/regen_golden.py"
+    )
+    expected = path.read_text()
+    actual = generate_report_json(stem)
+    if actual == expected:
+        return
+    diff = itertools.islice(
+        difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{stem}.json (committed)",
+            tofile=f"golden/{stem}.json (this run)",
+        ),
+        _MAX_DIFF_LINES,
+    )
+    pytest.fail(
+        f"report for {GOLDEN_APPS[stem][0]!r} drifted from its golden "
+        f"fixture (first {_MAX_DIFF_LINES} diff lines below).\n"
+        "If the change is intentional, regenerate with\n"
+        "    PYTHONPATH=src python tests/regen_golden.py\n"
+        "and commit the diff.\n\n" + "".join(diff)
+    )

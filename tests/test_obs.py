@@ -41,6 +41,34 @@ class FakeClock:
         self.now = 0.0
 
 
+class FakeWallClock:
+    """Deterministic stand-in for the tracer's wall-time source.
+
+    Patched in place of the ``time`` module inside ``repro.obs.tracer``
+    (whose only use of it is ``perf_counter``), so wall-time assertions
+    are exact instead of ``>= 0`` smoke checks — no dependency on real
+    scheduling, and safe under parallel test runs.
+    """
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def perf_counter(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def wall_clock(monkeypatch):
+    import repro.obs.tracer as tracer_module
+
+    fake = FakeWallClock()
+    monkeypatch.setattr(tracer_module, "time", fake)
+    return fake
+
+
 # ----------------------------------------------------------------------
 # Tracer
 # ----------------------------------------------------------------------
@@ -68,17 +96,29 @@ class TestTracer:
         assert b.parent_id == parent.span_id
         assert a.span_id != b.span_id
 
-    def test_virtual_time_attribution(self):
+    def test_virtual_time_attribution(self, wall_clock):
         tracer = Tracer()
         clock = FakeClock()
         clock.now = 1.5
         with tracer.span("work", clock=clock):
             clock.now = 4.0
+            wall_clock.advance(0.125)
         (sp,) = tracer.spans
         assert sp.virtual_start == 1.5
         assert sp.virtual_end == 4.0
         assert sp.virtual_duration == pytest.approx(2.5)
-        assert sp.wall_duration >= 0.0
+        assert sp.wall_duration == 0.125
+
+    def test_wall_time_is_measured_from_the_tracer_epoch(self, wall_clock):
+        wall_clock.advance(5.0)  # time passing before the tracer exists
+        tracer = Tracer()
+        wall_clock.advance(0.25)
+        with tracer.span("work"):
+            wall_clock.advance(1.0)
+        (sp,) = tracer.spans
+        assert sp.wall_start == 0.25
+        assert sp.wall_end == 1.25
+        assert sp.wall_duration == 1.0
 
     def test_span_without_clock_has_no_virtual_time(self):
         tracer = Tracer()
@@ -122,32 +162,39 @@ class TestTracer:
 
 
 class TestTracerExporters:
-    def _populated(self) -> Tracer:
+    def _populated(self, wall_clock) -> Tracer:
+        # Fully scripted timings (binary-exact floats), so exporter
+        # tests can assert exact timestamps rather than sign checks:
+        #   run      wall [0.0, 0.375]
+        #   stage.a  wall [0.125, 0.375], virtual [0.0, 0.25]
         tracer = Tracer()
         clock = FakeClock()
         with tracer.span("run"):
+            wall_clock.advance(0.125)
             with tracer.span("stage.a", clock=clock, k="v"):
+                wall_clock.advance(0.25)
                 clock.now = 0.25
         return tracer
 
-    def test_jsonl_round_trip(self):
-        tracer = self._populated()
+    def test_jsonl_round_trip(self, wall_clock):
+        tracer = self._populated(wall_clock)
         lines = tracer.to_jsonl().splitlines()
         assert len(lines) == 2
         parsed = [json.loads(line) for line in lines]
         by_name = {p["name"]: p for p in parsed}
         assert by_name["stage.a"]["attrs"] == {"k": "v"}
         assert by_name["stage.a"]["virtual_end"] == 0.25
+        assert by_name["stage.a"]["wall_start"] == 0.125
         assert by_name["stage.a"]["parent_id"] == by_name["run"]["span_id"]
 
-    def test_write_jsonl(self, tmp_path):
+    def test_write_jsonl(self, tmp_path, wall_clock):
         path = tmp_path / "trace.jsonl"
-        self._populated().write_jsonl(str(path))
+        self._populated(wall_clock).write_jsonl(str(path))
         lines = path.read_text().splitlines()
         assert len(lines) == 2 and all(json.loads(li) for li in lines)
 
-    def test_chrome_trace_structure(self):
-        trace = self._populated().to_chrome_trace()
+    def test_chrome_trace_structure(self, wall_clock):
+        trace = self._populated(wall_clock).to_chrome_trace()
         events = trace["traceEvents"]
         meta = [e for e in events if e["ph"] == "M"]
         assert {m["args"]["name"] for m in meta} == {"wall time",
@@ -155,15 +202,19 @@ class TestTracerExporters:
         complete = [e for e in events if e["ph"] == "X"]
         # Two wall spans + one virtual span (only stage.a had a clock).
         assert len(complete) == 3
-        for e in complete:
-            assert e["ts"] >= 0 and e["dur"] >= 0
+        wall = {e["name"]: e for e in complete if e["pid"] == 1}
+        assert wall["run"]["ts"] == 0.0
+        assert wall["run"]["dur"] == 0.375e6
+        assert wall["stage.a"]["ts"] == 0.125e6
+        assert wall["stage.a"]["dur"] == 0.25e6
         virtual = [e for e in complete if e["pid"] == 2]
         assert [e["name"] for e in virtual] == ["stage.a"]
-        assert virtual[0]["dur"] == pytest.approx(0.25e6)
+        assert virtual[0]["ts"] == 0.0
+        assert virtual[0]["dur"] == 0.25e6
 
-    def test_chrome_trace_file_is_loadable(self, tmp_path):
+    def test_chrome_trace_file_is_loadable(self, tmp_path, wall_clock):
         path = tmp_path / "trace.json"
-        self._populated().write_chrome_trace(str(path))
+        self._populated(wall_clock).write_chrome_trace(str(path))
         loaded = json.loads(path.read_text())
         assert "traceEvents" in loaded and loaded["displayTimeUnit"] == "ms"
 

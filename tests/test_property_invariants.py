@@ -1,0 +1,175 @@
+"""Property-based simulator invariants over randomized workloads.
+
+A seeded :class:`random.Random` generator builds arbitrary host/device
+programs — CPU work, kernels, copies and memsets across several
+streams, stream-scoped and device-wide synchronizations — and drives
+them through the real :class:`~repro.sim.machine.Machine`.  Seeds are
+**fixed** (``range(N)`` via parametrize), so a failure is reproducible
+by seed number, every CI run checks the same programs, and the suite
+is safe to run in parallel with anything else (no wall-clock, no
+shared state, no randomness outside the seeded generator).
+
+Invariants checked, per the executor-determinism contract:
+
+* **virtual time is monotone per stream** — ops on one stream start at
+  or after their enqueue and at or after the previous op's end;
+* **every CWait ends at-or-after its matched GWork** — a host wait on
+  a stream (or the device) cannot return before every operation in its
+  scope has completed;
+* **total runtime equals the max over engine completion times** — with
+  the host viewed as one more engine: after the terminal device-wide
+  synchronization, the clock reads exactly
+  ``max(host progress, gpu.busy_until())``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.ops import DeviceOp, OpKind
+
+SEEDS = range(25)
+
+_COMPLETING_KINDS = [OpKind.KERNEL, OpKind.MEMSET, OpKind.COPY_H2D,
+                     OpKind.COPY_D2H, OpKind.COPY_D2D]
+
+
+@dataclass
+class _Wait:
+    """One host synchronization: its scope, window, and matched ops."""
+
+    scope: str                       # "device" or "stream"
+    start: float
+    end: float
+    matched_ops: list[DeviceOp] = field(default_factory=list)
+
+
+@dataclass
+class _Program:
+    machine: Machine
+    ops: list[DeviceOp]
+    waits: list[_Wait]
+    final_cpu_progress: float        # host time entering the final sync
+
+
+def _generate(seed: int) -> _Program:
+    """Random program: interleaved CPU work, device ops, and syncs.
+
+    Always ends with a device-wide synchronization so "the program
+    finished" is well defined for the total-runtime invariant.
+    """
+    rng = random.Random(seed)
+    compute_engines = rng.choice([1, 1, 2, 4])
+    machine = Machine(MachineConfig(compute_engines=compute_engines))
+    gpu = machine.gpu
+    streams = [0] + [gpu.create_stream() for _ in range(rng.randint(0, 3))]
+    ops: list[DeviceOp] = []
+    waits: list[_Wait] = []
+
+    def wait_on(scope: str, stream_id: int | None = None) -> None:
+        if scope == "device":
+            deadline = gpu.busy_until()
+            matched = list(ops)
+        else:
+            deadline = gpu.stream_completion_time(stream_id)
+            matched = [op for op in ops if op.stream_id == stream_id]
+        start = machine.clock.now
+        machine.cpu_wait_until(deadline, f"{scope}-sync")
+        waits.append(_Wait(scope=scope, start=start,
+                           end=machine.clock.now, matched_ops=matched))
+
+    for _ in range(rng.randint(1, 60)):
+        action = rng.random()
+        if action < 0.35:
+            machine.cpu_work(rng.uniform(0.0, 0.3), "app")
+        elif action < 0.80:
+            op = DeviceOp(kind=rng.choice(_COMPLETING_KINDS),
+                          duration=rng.uniform(0.0, 0.5),
+                          stream_id=rng.choice(streams),
+                          name="gen")
+            gpu.enqueue(op, now=machine.clock.now)
+            ops.append(op)
+        elif action < 0.90:
+            wait_on("stream", rng.choice(streams))
+        else:
+            wait_on("device")
+
+    final_cpu_progress = machine.clock.now
+    wait_on("device")
+    return _Program(machine=machine, ops=ops, waits=waits,
+                    final_cpu_progress=final_cpu_progress)
+
+
+@pytest.fixture(scope="module")
+def programs() -> dict[int, _Program]:
+    return {seed: _generate(seed) for seed in SEEDS}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSimulatorInvariants:
+    def test_virtual_time_is_monotone_per_stream(self, programs, seed):
+        program = programs[seed]
+        for stream in program.machine.gpu.streams.values():
+            prev_end = 0.0
+            for op in stream.ops:
+                assert op.start_time >= op.enqueue_time
+                assert op.start_time >= prev_end
+                assert op.end_time >= op.start_time
+                prev_end = op.end_time
+
+    def test_every_cwait_ends_at_or_after_its_matched_gwork(self, programs,
+                                                            seed):
+        program = programs[seed]
+        assert program.waits, "every generated program ends with a sync"
+        for wait in program.waits:
+            for op in wait.matched_ops:
+                assert wait.end >= op.end_time, (
+                    f"seed {seed}: a {wait.scope} wait returned at "
+                    f"{wait.end} before op {op.op_id} finished at "
+                    f"{op.end_time}"
+                )
+
+    def test_wait_windows_never_run_backwards(self, programs, seed):
+        program = programs[seed]
+        for wait in program.waits:
+            assert wait.end >= wait.start
+
+    def test_total_runtime_is_max_over_engine_completions(self, programs,
+                                                          seed):
+        program = programs[seed]
+        gpu = program.machine.gpu
+        expected = max(program.final_cpu_progress, gpu.busy_until())
+        assert program.machine.clock.now == expected
+
+    def test_timeline_wait_intervals_match_recorded_waits(self, programs,
+                                                          seed):
+        # Ground-truth CWait intervals on the CPU timeline are exactly
+        # the generator's nonzero wait windows, in order.
+        program = programs[seed]
+        recorded = [(iv.start, iv.end)
+                    for iv in program.machine.timeline.intervals("wait")]
+        nonzero = [(w.start, w.end)
+                   for w in program.waits if w.end > w.start]
+        assert recorded == nonzero
+
+    def test_engine_busy_time_is_sum_of_op_durations(self, programs, seed):
+        program = programs[seed]
+        gpu = program.machine.gpu
+        total_busy = sum(e.busy_time for e in gpu.engines.values())
+        total_duration = sum(op.duration for op in program.ops)
+        assert total_busy == pytest.approx(total_duration)
+
+
+def test_generation_is_deterministic_per_seed():
+    """The generator itself must be reproducible: same seed, same run."""
+    a, b = _generate(7), _generate(7)
+    assert [(op.kind, op.stream_id, op.start_time, op.end_time)
+            for op in a.ops] == [
+           (op.kind, op.stream_id, op.start_time, op.end_time)
+            for op in b.ops]
+    assert [(w.scope, w.start, w.end) for w in a.waits] == [
+        (w.scope, w.start, w.end) for w in b.waits]
