@@ -20,6 +20,18 @@ Independent collection runs fan out to worker processes with ``--jobs``
 and land in a content-addressed result cache with ``--cache-dir``; the
 report is byte-identical to a serial run either way (see
 docs/parallel_execution.md).
+
+The third execution path is the persistent analysis service
+(docs/service.md)::
+
+    diogenes serve --data-dir .dio-service               # the daemon
+    diogenes submit cuibm --param steps=2 --wait         # run via service
+    diogenes status                                      # job table
+    diogenes fetch <report-key-or-job-id> --out r.json   # stored report
+    diogenes diff <key-a> <key-b>                        # regression diff
+    diogenes diff old.json new.json                      # same, offline
+    diogenes cache stats .dio-cache                      # cache accounting
+    diogenes cache prune .dio-cache --max-bytes 100M --max-age 7d
 """
 
 from __future__ import annotations
@@ -97,7 +109,81 @@ def build_parser() -> argparse.ArgumentParser:
                          default=[], metavar="KEY=VALUE")
     explore.add_argument("--dedup-policy", default="content",
                          choices=["content", "content+dst"])
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent analysis daemon (docs/service.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8123)
+    serve.add_argument("--data-dir", default=".dio-service", metavar="DIR",
+                       help="job queue, report store, and stage cache home "
+                            "(default: .dio-service)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrently analysed submissions (default: 2)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="process fan-out per analysis (default: 1)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="stage-result cache (default: "
+                            "<data-dir>/stage-cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run without a stage-result cache")
+
+    submit = sub.add_parser(
+        "submit", help="submit a workload to a running analysis service")
+    submit.add_argument("workload", help="registered workload name")
+    submit.add_argument("--param", dest="params", action="append", default=[],
+                        metavar="KEY=VALUE")
+    submit.add_argument("--force", action="store_true",
+                        help="re-run even when the report store has the "
+                             "result")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes")
+    submit.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="with --wait: write the fetched report here")
+    _add_url_flag(submit)
+
+    status = sub.add_parser(
+        "status", help="show service jobs (all, or one by id)")
+    status.add_argument("job_id", nargs="?", default=None)
+    _add_url_flag(status)
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a stored report by report key or job id")
+    fetch.add_argument("key", help="report key, or a job id (job-NNNNNN)")
+    fetch.add_argument("--out", default=None, metavar="PATH",
+                       help="write the report JSON here (default: stdout)")
+    _add_url_flag(fetch)
+
+    diff = sub.add_parser(
+        "diff", help="regression-diff two reports (files, or stored keys)")
+    diff.add_argument("report_a", help="baseline: report JSON file, "
+                                       "report key, or job id")
+    diff.add_argument("report_b", help="new run: report JSON file, "
+                                       "report key, or job id")
+    diff.add_argument("--json", dest="json_path", default=None,
+                      metavar="PATH", help="also write the diff as JSON")
+    diff.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 when run b adds or worsens problem "
+                           "groups (for CI gates)")
+    _add_url_flag(diff)
+
+    cache = sub.add_parser(
+        "cache", help="manage a stage-result cache directory")
+    cache.add_argument("action", choices=["stats", "prune"])
+    cache.add_argument("directory", help="the --cache-dir to inspect")
+    cache.add_argument("--max-bytes", default=None, metavar="SIZE",
+                       help="prune: keep at most SIZE bytes "
+                            "(suffixes K/M/G accepted, e.g. 100M)")
+    cache.add_argument("--max-age", default=None, metavar="AGE",
+                       help="prune: drop entries unused for AGE "
+                            "(seconds, or suffixes m/h/d, e.g. 7d)")
     return parser
+
+
+def _add_url_flag(parser) -> None:
+    parser.add_argument("--url", default="http://127.0.0.1:8123",
+                        help="analysis service endpoint "
+                             "(default: http://127.0.0.1:8123)")
 
 
 def _add_obs_flags(parser) -> None:
@@ -273,6 +359,202 @@ def _run_batch(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Service and cache-management subcommands (docs/service.md)
+# ----------------------------------------------------------------------
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_size(raw: str | None) -> int | None:
+    """``"100M"`` -> bytes; plain integers pass through."""
+    if raw is None:
+        return None
+    text = raw.strip().lower().removesuffix("b")
+    mult = _SIZE_SUFFIXES.get(text[-1:], None)
+    if mult is not None:
+        text = text[:-1]
+    try:
+        return int(float(text) * (mult or 1))
+    except ValueError:
+        raise SystemExit(f"bad size {raw!r} (try 500000, 100M, 2G)") from None
+
+
+def _parse_age(raw: str | None) -> float | None:
+    """``"7d"`` -> seconds; plain numbers are seconds already."""
+    if raw is None:
+        return None
+    text = raw.strip().lower()
+    mult = _AGE_SUFFIXES.get(text[-1:], None)
+    if mult is not None:
+        text = text[:-1]
+    try:
+        return float(text) * (mult or 1.0)
+    except ValueError:
+        raise SystemExit(f"bad age {raw!r} (try 3600, 30m, 12h, 7d)") from None
+
+
+def _human_bytes(n: int | float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GB"  # pragma: no cover - unreachable
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.daemon import ServiceDaemon
+
+    daemon = ServiceDaemon(args.data_dir, workers=args.workers,
+                           jobs=args.jobs, cache_dir=args.cache_dir,
+                           use_cache=not args.no_cache)
+    print(f"diogenes analysis service on http://{args.host}:{args.port} "
+          f"(data: {args.data_dir}; POST /shutdown to stop)",
+          file=sys.stderr)
+    daemon.run(args.host, args.port)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    client = _client(args)
+    result = client.submit(args.workload, parse_params(args.params),
+                           force=args.force)
+    job = result["job"]
+    origin = "served from report store" if result["cached"] else "queued"
+    print(f"{job['id']}  {job['state']}  ({origin})")
+    print(f"report key: {job['report_key']}")
+    if not args.wait:
+        return 0
+    job = client.wait(job["id"])
+    print(f"{job['id']}  {job['state']}")
+    if args.json_path:
+        report = client.report(job["report_key"])
+        with open(args.json_path, "w") as fp:
+            fp.write(json.dumps(report, indent=2))
+        print(f"report written to {args.json_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.job_id is not None:
+        job = client.job(args.job_id)
+        print(f"{job['id']}  {job['state']}  {job['workload']}  "
+              f"attempts={job['attempts']}")
+        print(f"report key: {job['report_key']}")
+        if job.get("error"):
+            print(f"error: {job['error']}")
+        return 0
+    listing = client.jobs()
+    header = f"{'job':<12} {'state':<10} {'workload':<28} {'report key':<16}"
+    print(header)
+    print("-" * len(header))
+    for job in listing["jobs"]:
+        print(f"{job['id']:<12} {job['state']:<10} {job['workload']:<28} "
+              f"{job['report_key'][:12]}…")
+    counts = listing["counts"]
+    print("\n" + "  ".join(f"{state}: {n}" for state, n in counts.items()))
+    return 0
+
+
+def _resolve_report_key(client, ref: str) -> str:
+    """A job id resolves to its report key; anything else is a key."""
+    if ref.startswith("job-"):
+        return client.job(ref)["report_key"]
+    return ref
+
+
+def _cmd_fetch(args) -> int:
+    import json
+
+    client = _client(args)
+    report = client.report(_resolve_report_key(client, args.key))
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write(text)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    import json
+    import os
+
+    from repro.core.diffing import diff_from_json, diff_reports, diff_to_json
+    from repro.core.jsonio import load_report_json
+
+    if os.path.isfile(args.report_a) and os.path.isfile(args.report_b):
+        # Offline: the same delta table with no service in the loop.
+        try:
+            diff = diff_reports(load_report_json(args.report_a),
+                                load_report_json(args.report_b))
+        except ValueError as exc:  # includes SchemaMismatchError
+            raise SystemExit(str(exc)) from exc
+    else:
+        client = _client(args)
+        diff = diff_from_json(client.diff(
+            _resolve_report_key(client, args.report_a),
+            _resolve_report_key(client, args.report_b)))
+    print(reports.render_diff(diff))
+    if args.json_path:
+        with open(args.json_path, "w") as fp:
+            json.dump(diff_to_json(diff), fp, indent=2)
+        print(f"diff written to {args.json_path}", file=sys.stderr)
+    if args.fail_on_regression and diff.is_regression:
+        return 1
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(args.directory)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"stage-result cache at {stats['directory']}")
+        print(f"  entries: {stats['entries']}   "
+              f"total: {_human_bytes(stats['total_bytes'])}")
+        for stage, bucket in stats["by_stage"].items():
+            print(f"  {stage:<18} {bucket['entries']:>5} entries  "
+                  f"{_human_bytes(bucket['bytes'])}")
+        if stats["entries"]:
+            print(f"  least recently used: "
+                  f"{stats['oldest_age_seconds']:.0f}s ago; most recent: "
+                  f"{stats['newest_age_seconds']:.0f}s ago")
+        return 0
+    max_bytes = _parse_size(args.max_bytes)
+    max_age = _parse_age(args.max_age)
+    if max_bytes is None and max_age is None:
+        raise SystemExit("cache prune needs --max-bytes and/or --max-age")
+    result = cache.prune(max_bytes=max_bytes, max_age=max_age)
+    print(f"pruned {result['removed_entries']} entries "
+          f"({_human_bytes(result['removed_bytes'])}); "
+          f"kept {result['kept_entries']} "
+          f"({_human_bytes(result['kept_bytes'])})")
+    return 0
+
+
+_SERVICE_COMMANDS = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
+    "diff": _cmd_diff,
+    "cache": _cmd_cache,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _load_workloads()
@@ -284,6 +566,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "batch":
         return _run_batch(args)
+
+    if args.command in _SERVICE_COMMANDS:
+        from repro.service.client import ServiceError
+
+        try:
+            return _SERVICE_COMMANDS[args.command](args)
+        except ServiceError as exc:
+            raise SystemExit(str(exc)) from exc
 
     try:
         workload = registry.create(args.workload,

@@ -17,6 +17,8 @@ Commands::
     fixes                  recommended remedies (§6)
     overhead               collection-cost accounting (§5.3)
     export <path>          write the JSON report
+    diff <path>            regression-diff an exported report (the
+                           baseline) against this run
     back                   return to the overview
     exit / quit            leave the explorer
 
@@ -135,6 +137,26 @@ class Explorer:
         with open(args[0], "w") as fp:
             fp.write(dumps_report(self.report))
         self._write(f"JSON report written to {args[0]}")
+
+    def cmd_diff(self, *args: str) -> None:
+        """Diff an exported report (baseline) against the live one."""
+        if not args:
+            self._write("usage: diff <path-to-exported-report.json>")
+            return
+        from repro.core.diffing import diff_reports
+        from repro.core.jsonio import load_report_json
+
+        try:
+            baseline = load_report_json(args[0])
+        except (OSError, ValueError) as exc:
+            self._write(str(exc))
+            return
+        try:
+            diff = diff_reports(baseline, self.report.to_json())
+        except ValueError as exc:  # includes SchemaMismatchError
+            self._write(str(exc))
+            return
+        self._write(reports.render_diff(diff))
 
     # ------------------------------------------------------------------
     def run(self, lines: Iterable[str]) -> None:

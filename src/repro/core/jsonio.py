@@ -155,6 +155,25 @@ def analyze_from_json(data: dict, **analyze_kwargs):
     )
 
 
+def load_report_json(path: str) -> dict:
+    """Read back an exported report file as a plain dict.
+
+    Used by the offline differ (``diogenes diff a.json b.json``) and
+    the explorer's ``diff`` command.  Raises :class:`ValueError` with
+    the offending path when the file is not JSON or not an object;
+    schema validation is the differ's job
+    (:func:`repro.core.diffing.require_schema_version`).
+    """
+    with open(path) as fp:
+        try:
+            data = json.load(fp)
+        except ValueError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"{path} does not contain a report object")
+    return data
+
+
 def dump_report(report: DiogenesReport, fp: IO[str], *, indent: int = 2) -> None:
     """Write a report as JSON to an open text file."""
     json.dump(report_to_json(report), fp, indent=indent)

@@ -19,8 +19,22 @@ import json
 import os
 import pathlib
 import tempfile
+import time
+from dataclasses import dataclass
 
 from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """On-disk facts about one cache entry (for stats and pruning)."""
+
+    path: pathlib.Path
+    key: str
+    stage: str
+    workload: str
+    size_bytes: int
+    mtime: float
 
 
 class ResultCache:
@@ -48,7 +62,16 @@ class ResultCache:
         if entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None
         data = entry.get("data")
-        return data if isinstance(data, dict) else None
+        if not isinstance(data, dict):
+            return None
+        # Refresh the entry's recency so LRU pruning (``prune``) evicts
+        # cold entries, not merely old ones.  atime is unreliable
+        # (noatime mounts), so recency rides on mtime.
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
+        return data
 
     def put(self, key: str, stage: str, workload: str, data: dict) -> None:
         """Store one stage result atomically."""
@@ -78,3 +101,119 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    # ------------------------------------------------------------------
+    # Management: stats and LRU pruning (``diogenes cache stats|prune``)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[CacheEntryInfo]:
+        """Every readable entry, least recently used first.
+
+        Unreadable files are skipped here and removed by
+        :meth:`prune` — they can never be hits, only disk leaks.
+        """
+        infos: list[CacheEntryInfo] = []
+        if not self.directory.is_dir():
+            return infos
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(entry, dict):
+                continue
+            infos.append(CacheEntryInfo(
+                path=path,
+                key=str(entry.get("key", path.stem)),
+                stage=str(entry.get("stage", "?")),
+                workload=str(entry.get("workload", "?")),
+                size_bytes=stat.st_size,
+                mtime=stat.st_mtime,
+            ))
+        infos.sort(key=lambda e: (e.mtime, e.key))
+        return infos
+
+    def stats(self, now: float | None = None) -> dict:
+        """Aggregate size/age accounting, JSON-friendly."""
+        now = time.time() if now is None else now
+        infos = self.entries()
+        by_stage: dict[str, dict] = {}
+        for info in infos:
+            bucket = by_stage.setdefault(info.stage,
+                                         {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += info.size_bytes
+        return {
+            "directory": str(self.directory),
+            "entries": len(infos),
+            "total_bytes": sum(i.size_bytes for i in infos),
+            "by_stage": dict(sorted(by_stage.items())),
+            "oldest_age_seconds": (max(now - i.mtime for i in infos)
+                                   if infos else None),
+            "newest_age_seconds": (min(now - i.mtime for i in infos)
+                                   if infos else None),
+        }
+
+    def prune(self, *, max_bytes: int | None = None,
+              max_age: float | None = None,
+              now: float | None = None) -> dict:
+        """LRU-evict entries until the cache fits the given bounds.
+
+        ``max_age`` (seconds) drops every entry not used for that
+        long; ``max_bytes`` then evicts least-recently-used entries
+        until the total size fits.  Unreadable files are always
+        removed.  Eviction is never a correctness event — a pruned
+        entry is simply re-measured on the next miss — so the policy
+        can be as blunt as a long-lived service needs.
+        """
+        now = time.time() if now is None else now
+        removed_entries = removed_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.json"):
+                try:
+                    json.loads(path.read_text())
+                except (OSError, ValueError):
+                    removed_entries += 1
+                    removed_bytes += self._unlink(path)
+        infos = self.entries()
+        if max_age is not None:
+            fresh = []
+            for info in infos:
+                if now - info.mtime > max_age:
+                    removed_entries += 1
+                    removed_bytes += self._unlink(info.path)
+                else:
+                    fresh.append(info)
+            infos = fresh
+        if max_bytes is not None:
+            total = sum(i.size_bytes for i in infos)
+            while infos and total > max_bytes:
+                info = infos.pop(0)  # least recently used first
+                total -= info.size_bytes
+                removed_entries += 1
+                removed_bytes += self._unlink(info.path)
+        self._remove_empty_shards()
+        return {
+            "removed_entries": removed_entries,
+            "removed_bytes": removed_bytes,
+            "kept_entries": len(infos),
+            "kept_bytes": sum(i.size_bytes for i in infos),
+        }
+
+    def _unlink(self, path: pathlib.Path) -> int:
+        try:
+            size = path.stat().st_size
+            path.unlink()
+            return size
+        except OSError:  # pragma: no cover - raced with another pruner
+            return 0
+
+    def _remove_empty_shards(self) -> None:
+        if not self.directory.is_dir():
+            return
+        for shard in self.directory.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass

@@ -1,0 +1,43 @@
+"""Persistent analysis service (``repro.service``).
+
+The paper positions Diogenes as a tool developers come back to across
+edit-rerun cycles; this package is that workflow as a long-lived
+daemon instead of one-shot CLI invocations:
+
+* :mod:`repro.service.queue` — persistent on-disk job queue
+  (submitted/running/done/failed) with crash-safe resume;
+* :mod:`repro.service.store` — content-addressed report store keyed
+  by (workload fingerprint, config digest, code fingerprint), with
+  append-only run history;
+* :mod:`repro.service.daemon` — the asyncio HTTP/JSON server
+  (``diogenes serve``) running submissions through the
+  :class:`repro.exec.StageExecutor` on a bounded worker pool, plus
+  ``/metrics`` Prometheus exposition;
+* :mod:`repro.service.client` — the stdlib urllib client behind the
+  ``submit`` / ``status`` / ``fetch`` / ``diff`` CLI subcommands.
+
+Regression diffing itself is a core concern
+(:mod:`repro.core.diffing`) so the explorer and the offline
+``diogenes diff a.json b.json`` work without a running service; the
+daemon's ``/diff`` endpoint serves the same diff over stored reports.
+API reference and deployment notes: ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServiceDaemon
+from repro.service.queue import DONE, FAILED, RUNNING, SUBMITTED, Job, JobQueue
+from repro.service.store import ReportStore, report_identity
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "RUNNING",
+    "SUBMITTED",
+    "Job",
+    "JobQueue",
+    "ReportStore",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "report_identity",
+]

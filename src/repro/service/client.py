@@ -1,0 +1,127 @@
+"""Stdlib HTTP client for the analysis daemon.
+
+The CLI's ``submit`` / ``status`` / ``fetch`` / ``diff`` subcommands
+speak the daemon's JSON API through this class — plain
+:mod:`urllib.request`, no dependencies, same wire format the curl
+examples in ``docs/service.md`` use.  Service-side errors surface as
+:class:`ServiceError` carrying the HTTP status and the server's
+``error`` message verbatim, so a schema refusal from the differ reads
+the same through the CLI as through curl.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.service.queue import DONE, FAILED
+
+
+class ServiceError(RuntimeError):
+    """An error response from the daemon (or no daemon at all)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One daemon endpoint, e.g. ``ServiceClient("http://127.0.0.1:8123")``."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8123", *,
+                 timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        request = urllib.request.Request(
+            self.base_url + path, method=method,
+            data=(json.dumps(payload).encode()
+                  if payload is not None else None),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(f"{method} {path} -> HTTP {exc.code}: "
+                               f"{detail}", status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach analysis service at {self.base_url}: "
+                f"{exc.reason} (is `diogenes serve` running?)") from exc
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body.decode()
+
+    # ------------------------------------------------------------------
+    # API surface, one method per route
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """Prometheus text exposition, as served at ``/metrics``."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, workload: str, params: dict | None = None,
+               config: dict | None = None, *, force: bool = False) -> dict:
+        body: dict = {"workload": workload, "params": params or {}}
+        if config is not None:
+            body["config"] = config
+        if force:
+            body["force"] = True
+        return self._request("POST", "/submit", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/jobs")
+
+    def report(self, key: str) -> dict:
+        return self._request("GET", f"/reports/{key}")
+
+    def history(self, workload: str | None = None) -> list[dict]:
+        path = "/history"
+        if workload is not None:
+            path += "?" + urllib.parse.urlencode({"workload": workload})
+        return self._request("GET", path)["history"]
+
+    def diff(self, key_a: str, key_b: str) -> dict:
+        query = urllib.parse.urlencode({"a": key_a, "b": key_b})
+        return self._request("GET", f"/diff?{query}")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll_interval: float = 0.05) -> dict:
+        """Poll until the job leaves the queue; returns its final record.
+
+        Raises :class:`ServiceError` on a failed job or on timeout —
+        callers never have to distinguish "slow" from "dead" themselves.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] == DONE:
+                return job
+            if job["state"] == FAILED:
+                raise ServiceError(
+                    f"job {job_id} failed: {job.get('error')}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll_interval)

@@ -1,0 +1,357 @@
+"""The analysis daemon: an asyncio HTTP/JSON front end over the FFM
+pipeline.
+
+``diogenes serve`` turns the one-shot CLI into a persistent service:
+clients submit (workload, params, config) tuples, a bounded worker
+pool runs them through the existing :class:`repro.exec.StageExecutor`
+(and its content-addressed stage cache), and every finished
+:class:`~repro.core.diogenes.DiogenesReport` lands in the
+:class:`~repro.service.store.ReportStore` keyed by (workload
+fingerprint, config digest, code fingerprint).  A re-submission of an
+unchanged workload is answered from the store without executing a
+single stage job — the feed-forward loop, as a service.
+
+Everything is standard library: the HTTP layer is a deliberately
+small HTTP/1.1 subset over ``asyncio`` streams (JSON in, JSON out,
+``Connection: close``), because the reproduction may not add
+dependencies and the API surface is six routes.
+
+Routes::
+
+    GET  /healthz             liveness + job counts
+    GET  /metrics             Prometheus text (service + pipeline metrics)
+    POST /submit              {"workload", "params"?, "config"?, "force"?}
+    GET  /jobs                all jobs + per-state counts
+    GET  /jobs/<id>           one job
+    GET  /reports/<key>       stored report JSON (byte-equal to `diogenes run --json`)
+    GET  /history[?workload=] run history, oldest first
+    GET  /diff?a=<key>&b=<key>  regression diff of two stored reports
+    POST /shutdown            finish in-flight work and exit
+
+Crash safety: the job queue is persistent (`repro.service.queue`);
+jobs found ``running`` at startup are requeued and re-executed, which
+is safe because execution is deterministic and both stores are
+content-addressed and atomic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+import urllib.parse
+
+import repro.obs as obs
+from repro.core.diffing import SchemaMismatchError, diff_reports, diff_to_json
+from repro.core.diogenes import DiogenesConfig, report_from_stage_results
+from repro.exec import StageExecutor
+from repro.exec.fingerprint import config_from_json, config_to_json
+from repro.exec.jobs import WorkloadSpec
+from repro.service.queue import DONE, STATES, Job, JobQueue
+from repro.service.store import ReportStore, report_identity
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            500: "Internal Server Error"}
+
+
+class _HttpError(Exception):
+    """Routed straight to a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceDaemon:
+    """One long-lived analysis service over one data directory.
+
+    ``data_dir`` holds everything the daemon persists: the job queue
+    (``queue/``), the report store (``store/``), and — unless a
+    different ``cache_dir`` is given — the stage-result cache
+    (``stage-cache/``).  ``workers`` bounds concurrently analysed
+    submissions; ``jobs`` is the process fan-out each analysis may use
+    (1 = inline in the worker thread).
+    """
+
+    def __init__(self, data_dir: str | os.PathLike, *, workers: int = 2,
+                 jobs: int = 1, cache_dir: str | os.PathLike | None = None,
+                 use_cache: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.data_dir = os.fspath(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.queue = JobQueue(os.path.join(self.data_dir, "queue"))
+        self.store = ReportStore(os.path.join(self.data_dir, "store"))
+        self.workers = workers
+        if cache_dir is None and use_cache:
+            cache_dir = os.path.join(self.data_dir, "stage-cache")
+        self.executor = StageExecutor(jobs=jobs, cache_dir=cache_dir,
+                                      use_cache=use_cache)
+        self.session: obs.Observability | None = None
+        #: Set once the server socket is bound (the ephemeral-port case).
+        self.bound_port: int | None = None
+        self.started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._wake: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self, host: str = "127.0.0.1", port: int = 8123) -> None:
+        """Serve until ``POST /shutdown`` (blocking entry point)."""
+        asyncio.run(self._serve(host, port))
+
+    def _ensure_obs(self) -> None:
+        """Keep the daemon's metrics session installed.
+
+        The observability collector is process-global; anything else
+        in the process calling ``obs.enable``/``obs.disable`` (another
+        library, a test fixture) would otherwise silently disconnect
+        the ``/metrics`` endpoint.  The daemon owns its process, so it
+        re-installs its session before recording.
+        """
+        if self.session is not None and obs.active() is not self.session:
+            obs.enable(self.session)
+
+    async def _serve(self, host: str, port: int) -> None:
+        self.session = obs.enable()
+        self._stop = asyncio.Event()
+        self._wake = asyncio.Event()
+        server = await asyncio.start_server(self._handle, host, port)
+        self.bound_port = server.sockets[0].getsockname()[1]
+        worker_tasks = [asyncio.create_task(self._worker_loop())
+                        for _ in range(self.workers)]
+        self._refresh_gauges()
+        self.started.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._wake.set()
+            await asyncio.gather(*worker_tasks, return_exceptions=True)
+            self.executor.shutdown()
+            obs.disable()
+
+    async def _worker_loop(self) -> None:
+        """Claim → execute → persist, until shutdown."""
+        while not self._stop.is_set():
+            job = self.queue.claim_next()
+            if job is None:
+                self._wake.clear()
+                if self._stop.is_set():
+                    return
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.2)
+                except TimeoutError:
+                    pass
+                except asyncio.TimeoutError:  # pragma: no cover - py<3.11
+                    pass
+                continue
+            await asyncio.to_thread(self._execute, job)
+            self._refresh_gauges()
+
+    def _execute(self, job: Job) -> None:
+        """Run one submission through the stage executor (worker thread)."""
+        self._ensure_obs()
+        try:
+            config = config_from_json(job.config)
+            spec = WorkloadSpec.from_params(job.workload, job.params)
+            identity = report_identity(spec, config)
+            if self.store.contains(identity.key()):
+                # A duplicate raced us between submit and claim.
+                obs.count("service.store_hits")
+                self.queue.mark_done(job, identity.key())
+                obs.count("service.jobs_completed", result="done")
+                return
+            results = self.executor.run_workloads([spec], config)[spec]
+            report = report_from_stage_results(
+                getattr(spec.create(), "name", spec.name), results, config)
+            key = self.store.put(identity, report.to_json(), job_id=job.id)
+            self.queue.mark_done(job, key)
+            obs.count("service.jobs_completed", result="done")
+        except Exception as exc:  # noqa: BLE001 - any failure fails the job
+            self.queue.mark_failed(job, f"{type(exc).__name__}: {exc}")
+            obs.count("service.jobs_completed", result="failed")
+
+    def _refresh_gauges(self) -> None:
+        counts = self.queue.counts()
+        obs.gauge("service.queue_depth", counts["submitted"])
+        for state in STATES:
+            obs.gauge("service.jobs", counts[state], state=state)
+        obs.gauge("service.store_reports", len(self.store))
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        t0 = time.perf_counter()
+        route = "unknown"
+        shutdown = False
+        self._ensure_obs()
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0], parts[1]
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = await reader.readexactly(
+                int(headers.get("content-length", 0) or 0))
+            try:
+                route, status, payload = self._route(method, target, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except SchemaMismatchError as exc:
+                status, payload = 409, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"}
+            shutdown = route == "shutdown" and status == 200
+            if route == "metrics" and status == 200:
+                raw = payload["text"].encode()
+                await self._write(writer, status, raw,
+                                  "text/plain; version=0.0.4")
+            else:
+                await self._write(
+                    writer, status,
+                    json.dumps(payload, indent=2).encode(),
+                    "application/json")
+            obs.count("service.requests", route=route, status=str(status))
+            obs.observe("service.request_seconds",
+                        time.perf_counter() - t0, route=route)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            if shutdown:
+                self._stop.set()
+                self._wake.set()
+
+    async def _write(self, writer: asyncio.StreamWriter, status: int,
+                     body: bytes, content_type: str) -> None:
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode() + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, target: str,
+               body: bytes) -> tuple[str, int, dict]:
+        url = urllib.parse.urlsplit(target)
+        query = urllib.parse.parse_qs(url.query)
+        segments = [s for s in url.path.split("/") if s]
+
+        if url.path == "/healthz" and method == "GET":
+            self._refresh_gauges()
+            return "healthz", 200, {"status": "ok",
+                                    "jobs": self.queue.counts(),
+                                    "store_reports": len(self.store)}
+        if url.path == "/metrics" and method == "GET":
+            self._refresh_gauges()
+            return "metrics", 200, {
+                "text": self.session.metrics.to_prometheus()}
+        if url.path == "/submit" and method == "POST":
+            return "submit", 200, self._handle_submit(body)
+        if url.path == "/jobs" and method == "GET":
+            return "jobs", 200, {
+                "jobs": [job.to_json() for job in self.queue.jobs()],
+                "counts": self.queue.counts()}
+        if segments[:1] == ["jobs"] and len(segments) == 2 and method == "GET":
+            job = self.queue.get(segments[1])
+            if job is None:
+                raise _HttpError(404, f"no such job: {segments[1]}")
+            return "job", 200, job.to_json()
+        if segments[:1] == ["reports"] and len(segments) == 2 \
+                and method == "GET":
+            report = self.store.get(segments[1])
+            if report is None:
+                raise _HttpError(404, f"no stored report under key "
+                                      f"{segments[1]}")
+            return "report", 200, report
+        if url.path == "/history" and method == "GET":
+            workload = query.get("workload", [None])[0]
+            return "history", 200, {
+                "history": self.store.history(workload)}
+        if url.path == "/diff" and method == "GET":
+            return "diff", 200, self._handle_diff(query)
+        if url.path == "/shutdown" and method == "POST":
+            return "shutdown", 200, {"status": "stopping"}
+        raise _HttpError(404, f"no route for {method} {url.path}")
+
+    def _handle_submit(self, body: bytes) -> dict:
+        try:
+            request = json.loads(body or b"{}")
+        except ValueError as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        if not isinstance(request, dict) or "workload" not in request:
+            raise _HttpError(400, 'submit body must be an object with a '
+                                  '"workload" field')
+        name = request["workload"]
+        params = request.get("params") or {}
+        from repro.apps.base import registry
+        from repro.core.cli import _load_workloads
+
+        _load_workloads()
+        if name not in registry.names():
+            raise _HttpError(400, f"unknown workload {name!r}; "
+                                  f"known: {registry.names()}")
+        try:
+            registry.create(name, **params)
+        except TypeError as exc:
+            raise _HttpError(400, f"bad params for {name!r}: {exc}")
+        config_json = request.get("config")
+        if config_json is None:
+            config = DiogenesConfig()
+        else:
+            try:
+                config = config_from_json(config_json)
+            except (TypeError, KeyError, ValueError) as exc:
+                raise _HttpError(400, f"bad config: {exc}")
+        spec = WorkloadSpec.from_params(name, params)
+        identity = report_identity(spec, config)
+        key = identity.key()
+        obs.count("service.jobs_submitted", workload=name)
+        cached = self.store.contains(key) and not request.get("force")
+        if cached:
+            # Served from the report store: the job is born done and no
+            # stage executes — observable, never silent.
+            obs.count("service.store_hits")
+            job = self.queue.submit(name, params, config_to_json(config),
+                                    key, state=DONE)
+        else:
+            obs.count("service.store_misses")
+            job = self.queue.submit(name, params, config_to_json(config), key)
+            self._wake.set()
+        self._refresh_gauges()
+        return {"job": job.to_json(), "cached": cached}
+
+    def _handle_diff(self, query: dict[str, list[str]]) -> dict:
+        keys = [query.get(side, [None])[0] for side in ("a", "b")]
+        if None in keys:
+            raise _HttpError(400, "diff needs ?a=<report-key>&b=<report-key>")
+        reports = []
+        for key in keys:
+            report = self.store.get(key)
+            if report is None:
+                raise _HttpError(404, f"no stored report under key {key}")
+            reports.append(report)
+        # SchemaMismatchError propagates to a 409 response.
+        return diff_to_json(diff_reports(*reports))

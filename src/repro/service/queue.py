@@ -1,0 +1,189 @@
+"""Persistent on-disk job queue for the analysis daemon.
+
+One JSON file per job under the queue directory, written atomically,
+so the queue state survives a daemon crash byte-for-byte.  States::
+
+    submitted ──► running ──► done
+                     │
+                     └──────► failed
+
+Crash-safe resume: a job found in ``running`` at startup was being
+executed when the previous daemon died; :meth:`JobQueue.recover`
+(called from ``__init__``) moves it back to ``submitted`` so the next
+worker re-runs it.  Re-running is always safe — stage execution is
+deterministic, results land in content-addressed stores, and a
+half-finished run left at most some reusable stage-cache entries.
+
+The queue is claim-based and thread-safe: the daemon's event loop
+claims jobs (oldest submitted first) and hands them to worker
+threads; every transition is persisted before it is acted on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+SUBMITTED = "submitted"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Every state a job can be in, in lifecycle order.
+STATES = (SUBMITTED, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class Job:
+    """One workload-analysis submission, as persisted."""
+
+    id: str
+    workload: str
+    params: dict
+    config: dict
+    report_key: str
+    state: str = SUBMITTED
+    error: str | None = None
+    attempts: int = 0
+    created: float = field(default_factory=time.time)
+    updated: float = field(default_factory=time.time)
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Job":
+        return cls(**data)
+
+
+class JobQueue:
+    """Directory-backed queue of :class:`Job` records."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+        self._load()
+        self.recover()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _path(self, job_id: str) -> pathlib.Path:
+        return self.directory / f"{job_id}.json"
+
+    def _load(self) -> None:
+        for path in sorted(self.directory.glob("job-*.json")):
+            try:
+                job = Job.from_json(json.loads(path.read_text()))
+            except (ValueError, TypeError):
+                continue  # unreadable record: skip, never crash the daemon
+            self._jobs[job.id] = job
+            try:
+                self._seq = max(self._seq, int(job.id.split("-")[1]))
+            except (IndexError, ValueError):
+                pass
+
+    def _persist(self, job: Job) -> None:
+        job.updated = time.time()
+        path = self._path(job.id)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(job.to_json(), fp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def recover(self) -> list[Job]:
+        """Crash-safe resume: requeue every job stuck in ``running``."""
+        requeued = []
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state == RUNNING:
+                    job.state = SUBMITTED
+                    self._persist(job)
+                    requeued.append(job)
+        return requeued
+
+    def submit(self, workload: str, params: dict, config: dict,
+               report_key: str, *, state: str = SUBMITTED,
+               error: str | None = None) -> Job:
+        """Enqueue one submission (or record it directly ``done`` when
+        the report store already holds its result)."""
+        with self._lock:
+            self._seq += 1
+            job = Job(id=f"job-{self._seq:06d}", workload=workload,
+                      params=dict(params), config=dict(config),
+                      report_key=report_key, state=state, error=error)
+            self._jobs[job.id] = job
+            self._persist(job)
+            return job
+
+    def claim_next(self) -> Job | None:
+        """Oldest submitted job, atomically moved to ``running``."""
+        with self._lock:
+            for job_id in sorted(self._jobs):
+                job = self._jobs[job_id]
+                if job.state == SUBMITTED:
+                    job.state = RUNNING
+                    job.attempts += 1
+                    self._persist(job)
+                    return job
+        return None
+
+    def mark_done(self, job: Job, report_key: str | None = None) -> None:
+        with self._lock:
+            if report_key is not None:
+                job.report_key = report_key
+            job.state = DONE
+            job.error = None
+            self._persist(job)
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            job.state = FAILED
+            job.error = error
+            self._persist(job)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def counts(self) -> dict[str, int]:
+        """``{state: job count}`` for all four states (zeros included)."""
+        counts = dict.fromkeys(STATES, 0)
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Jobs waiting to run."""
+        return self.counts()[SUBMITTED]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -1,0 +1,197 @@
+"""Content-addressed persistent report store with run history.
+
+Where the stage cache (:mod:`repro.exec.cache`) remembers *stage*
+payloads, this store remembers finished *reports* — the unit a client
+asks for.  A report's identity is the tuple the ISSUE names:
+
+* **workload fingerprint** — registry name + params + module source
+  (:func:`repro.exec.fingerprint.workload_fingerprint`);
+* **config digest** — the full ``DiogenesConfig`` as canonical JSON;
+* **code fingerprint** — the whole-package source digest, so any code
+  change anywhere makes a new report rather than serving a stale one;
+* the report **schema version**, so a schema bump can never alias an
+  old payload.
+
+Identical submissions therefore hash to the same key and are served
+from disk without executing a single stage job; any relevant change
+produces a different key and a fresh run.  Every ``put`` also appends
+one line to ``history.jsonl`` — the per-workload run history that the
+``/history`` endpoint serves for edit-rerun archaeology.
+
+Layout mirrors the stage cache (git-object style, atomic writes,
+tolerant reads)::
+
+    <dir>/<key[:2]>/<key>.json    envelope: identity + report JSON
+    <dir>/history.jsonl           one append-only line per stored report
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import threading
+
+from repro.core.jsonio import SCHEMA_VERSION
+from repro.exec.fingerprint import (
+    canonical_json,
+    code_fingerprint,
+    config_to_json,
+    digest_json,
+)
+from repro.exec.jobs import WorkloadSpec
+
+#: Bump when the envelope layout changes (old entries become misses).
+STORE_SCHEMA_VERSION = 1
+
+
+class ReportIdentity(dict):
+    """The (workload, config, code, schema) tuple as a plain dict.
+
+    A dict subclass rather than a dataclass so it drops straight into
+    JSON envelopes and wire payloads; :meth:`key` is the content hash
+    the store files it under.
+    """
+
+    def key(self) -> str:
+        return digest_json(dict(self))
+
+
+def report_identity(spec: WorkloadSpec, config) -> ReportIdentity:
+    """Identity of the report a (workload, config) submission produces."""
+    return ReportIdentity(
+        workload=spec.name,
+        workload_fingerprint=spec.fingerprint(),
+        config_digest=digest_json(config_to_json(config)),
+        code_fingerprint=code_fingerprint(),
+        schema_version=SCHEMA_VERSION,
+    )
+
+
+class ReportStore:
+    """Keyed report archive shared by the daemon's worker threads."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self._lock = threading.Lock()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    @property
+    def history_path(self) -> pathlib.Path:
+        return self.directory / "history.jsonl"
+
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key: str) -> dict | None:
+        """The stored report JSON, or ``None``.
+
+        Corrupt envelopes, foreign store schemas, and reports without
+        a ``schema_version`` stamp all read as misses — the submission
+        re-runs rather than trusting unversioned data.
+        """
+        try:
+            envelope = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        report = envelope.get("report")
+        if not isinstance(report, dict) or "schema_version" not in report:
+            return None
+        return report
+
+    def get_envelope(self, key: str) -> dict | None:
+        """The raw envelope (identity + report), for diagnostics."""
+        try:
+            envelope = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return envelope if isinstance(envelope, dict) else None
+
+    def put(self, identity: ReportIdentity, report_json: dict,
+            *, job_id: str | None = None) -> str:
+        """Store one report atomically; returns its key.
+
+        Refuses reports without a ``schema_version`` stamp — the store
+        must never archive data the differ would later reject as
+        being of unknown vintage.
+        """
+        if "schema_version" not in report_json:
+            raise ValueError(
+                "refusing to store a report without a schema_version "
+                "stamp (see repro.core.jsonio.report_to_json)")
+        key = identity.key()
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "identity": dict(identity),
+            "job_id": job_id,
+            "report": report_json,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(envelope, fp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._append_history(key, identity, job_id)
+        return key
+
+    # ------------------------------------------------------------------
+    def _append_history(self, key: str, identity: ReportIdentity,
+                        job_id: str | None) -> None:
+        with self._lock:
+            seq = sum(1 for _ in self._history_lines())
+            line = canonical_json({
+                "seq": seq,
+                "key": key,
+                "job_id": job_id,
+                **{k: identity[k] for k in
+                   ("workload", "workload_fingerprint", "config_digest",
+                    "code_fingerprint", "schema_version")},
+            })
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.history_path, "a") as fp:
+                fp.write(line + "\n")
+
+    def _history_lines(self):
+        try:
+            with open(self.history_path) as fp:
+                yield from fp
+        except OSError:
+            return
+
+    def history(self, workload: str | None = None) -> list[dict]:
+        """Run history, oldest first, optionally for one workload name.
+
+        A truncated trailing line (a crash mid-append) is skipped, not
+        an error — the report itself was stored atomically either way.
+        """
+        entries: list[dict] = []
+        for line in self._history_lines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if workload is None or entry.get("workload") == workload:
+                entries.append(entry)
+        return entries
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -1,0 +1,187 @@
+"""Tests for stage-cache stats and LRU pruning (`diogenes cache`).
+
+The cache is a correctness-neutral accelerator, so eviction can be
+blunt — but it must be *LRU*: an entry whose result was served
+recently (via ``get``) must outlive an older untouched one, which is
+why ``get`` refreshes mtime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.cli import _human_bytes, _parse_age, _parse_size, main
+from repro.exec.cache import ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _fill(cache, n=4, stage="stage1", size=0):
+    """n entries with strictly increasing mtimes, oldest first."""
+    keys = []
+    for i in range(n):
+        key = f"{i:02d}{'ab' * 31}"
+        payload = {"index": i, "pad": "x" * size}
+        cache.put(key, stage, "test-app", payload)
+        past = time.time() - (n - i) * 3600  # entry i is (n-i) hours old
+        os.utime(cache._path(key), (past, past))
+        keys.append(key)
+    return keys
+
+
+class TestStats:
+    def test_counts_bytes_and_stage_breakdown(self, cache):
+        _fill(cache, n=3, stage="stage1")
+        cache.put("ff" * 32, "stage4", "test-app", {"analysis": True})
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["by_stage"]["stage1"]["entries"] == 3
+        assert stats["by_stage"]["stage4"]["entries"] == 1
+        assert stats["total_bytes"] == sum(
+            b["bytes"] for b in stats["by_stage"].values())
+        assert stats["oldest_age_seconds"] > stats["newest_age_seconds"]
+
+    def test_empty_cache_stats(self, cache):
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["total_bytes"] == 0
+        assert stats["oldest_age_seconds"] is None
+
+    def test_entries_are_lru_ordered(self, cache):
+        keys = _fill(cache, n=3)
+        assert [e.key for e in cache.entries()] == keys  # oldest first
+        cache.get(keys[0])  # a hit makes the oldest entry the newest
+        assert [e.key for e in cache.entries()] == [keys[1], keys[2],
+                                                    keys[0]]
+
+
+class TestPrune:
+    def test_max_age_drops_only_stale_entries(self, cache):
+        keys = _fill(cache, n=4)  # ages: 4h, 3h, 2h, 1h
+        result = cache.prune(max_age=2.5 * 3600)
+        assert result["removed_entries"] == 2
+        assert {e.key for e in cache.entries()} == set(keys[2:])
+
+    def test_max_bytes_evicts_least_recently_used_first(self, cache):
+        keys = _fill(cache, n=4, size=512)
+        entry_size = cache.entries()[0].size_bytes
+        result = cache.prune(max_bytes=2 * entry_size)
+        assert result["removed_entries"] == 2
+        assert result["kept_bytes"] <= 2 * entry_size
+        assert {e.key for e in cache.entries()} == set(keys[2:])
+
+    def test_recent_get_saves_an_entry_from_eviction(self, cache):
+        keys = _fill(cache, n=3, size=512)
+        assert cache.get(keys[0]) is not None  # refreshes recency
+        entry_size = max(e.size_bytes for e in cache.entries())
+        cache.prune(max_bytes=entry_size)
+        # The oldest-written entry survives because it was just used.
+        assert [e.key for e in cache.entries()] == [keys[0]]
+
+    def test_unreadable_files_are_always_removed(self, cache):
+        _fill(cache, n=1)
+        shard = cache.directory / "zz"
+        shard.mkdir(parents=True)
+        (shard / ("zz" * 32 + ".json")).write_text("{truncated")
+        result = cache.prune(max_age=10 * 3600)  # nothing is that old
+        assert result["removed_entries"] == 1
+        assert len(cache) == 1
+
+    def test_empty_shard_directories_are_cleaned_up(self, cache):
+        keys = _fill(cache, n=2)
+        cache.prune(max_age=0)
+        assert len(cache) == 0
+        assert not any(cache._path(k).parent.exists() for k in keys)
+
+    def test_prune_is_correctness_neutral(self, cache):
+        (key,) = _fill(cache, n=1)
+        cache.prune(max_age=0)
+        assert cache.get(key) is None  # a miss, not an error
+        cache.put(key, "stage1", "test-app", {"index": 0, "pad": ""})
+        assert cache.get(key) == {"index": 0, "pad": ""}
+
+    def test_prune_on_missing_directory_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune(max_bytes=0)["removed_entries"] == 0
+
+
+class TestCacheCli:
+    def test_stats_renders_breakdown(self, cache, capsys):
+        _fill(cache, n=2)
+        assert main(["cache", "stats", str(cache.directory)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "stage1" in out
+        assert "least recently used:" in out
+
+    def test_prune_renders_summary_and_prunes(self, cache, capsys):
+        _fill(cache, n=4, size=512)
+        entry_size = cache.entries()[0].size_bytes
+        assert main(["cache", "prune", str(cache.directory),
+                     "--max-bytes", str(2 * entry_size)]) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+        assert len(cache) == 2
+
+    def test_prune_requires_a_bound(self, cache):
+        with pytest.raises(SystemExit, match="needs --max-bytes"):
+            main(["cache", "prune", str(cache.directory)])
+
+    def test_max_age_flag_accepts_suffixed_ages(self, cache, capsys):
+        _fill(cache, n=4)  # ages: 4h, 3h, 2h, 1h
+        assert main(["cache", "prune", str(cache.directory),
+                     "--max-age", "2.5h"]) == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+
+
+class TestFlagParsing:
+    @pytest.mark.parametrize("raw,expected", [
+        ("500000", 500000),
+        ("100k", 100 * 1024),
+        ("100K", 100 * 1024),
+        ("2M", 2 * 1024 * 1024),
+        ("1.5G", int(1.5 * 1024 ** 3)),
+        ("10KB", 10 * 1024),
+        (None, None),
+    ])
+    def test_parse_size(self, raw, expected):
+        assert _parse_size(raw) == expected
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("3600", 3600.0),
+        ("30m", 1800.0),
+        ("12h", 12 * 3600.0),
+        ("7d", 7 * 86400.0),
+        ("45s", 45.0),
+        (None, None),
+    ])
+    def test_parse_age(self, raw, expected):
+        assert _parse_age(raw) == expected
+
+    def test_bad_values_exit_with_usage_hint(self):
+        with pytest.raises(SystemExit, match="bad size"):
+            _parse_size("lots")
+        with pytest.raises(SystemExit, match="bad age"):
+            _parse_age("forever")
+
+    def test_human_bytes(self):
+        assert _human_bytes(512) == "512 B"
+        assert _human_bytes(2048) == "2.0 KB"
+        assert _human_bytes(5 * 1024 ** 2) == "5.0 MB"
+
+
+class TestLruTouchOnGet:
+    def test_get_refreshes_mtime(self, cache):
+        (key,) = _fill(cache, n=1)
+        before = cache._path(key).stat().st_mtime
+        assert cache.get(key) is not None
+        assert cache._path(key).stat().st_mtime > before
+
+    def test_miss_does_not_create_files(self, cache):
+        assert cache.get("ee" * 32) is None
+        assert len(cache) == 0

@@ -1,0 +1,276 @@
+"""Tests for report-to-report regression diffing (`repro.core.diffing`).
+
+Covers the classification model on handcrafted reports (where every
+group's fate is chosen exactly), the schema-vintage refusals the
+satellite fix demands, the wire round-trip, the rendering, and the
+offline `diogenes diff a.json b.json` / explorer `diff <path>` entry
+points on real measured reports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.apps.synthetic import UnnecessarySyncApp
+from repro.core import report as reports
+from repro.core.cli import main
+from repro.core.diffing import (
+    BENEFIT_EPSILON,
+    SchemaMismatchError,
+    diff_from_json,
+    diff_reports,
+    diff_to_json,
+    require_schema_version,
+)
+from repro.core.diogenes import Diogenes
+from repro.core.explorer import Explorer
+from repro.core.jsonio import SCHEMA_VERSION, dumps_report, load_report_json
+
+
+def _problem(kind="unnecessary_synchronization",
+             location="synthetic.cpp:23", api_name="cudaDeviceSynchronize",
+             est_benefit=1e-3) -> dict:
+    return {"kind": kind, "location": location, "api_name": api_name,
+            "est_benefit": est_benefit}
+
+
+def _report(problems, execution_time=1.0, workload="app",
+            schema_version=SCHEMA_VERSION) -> dict:
+    return {
+        "schema_version": schema_version,
+        "workload": workload,
+        "execution_time": execution_time,
+        "total_est_benefit": sum(p["est_benefit"] for p in problems),
+        "problems": problems,
+    }
+
+
+class TestClassification:
+    def test_identical_reports_diff_to_all_unchanged(self):
+        report = _report([_problem(), _problem(location="synthetic.cpp:40")])
+        diff = diff_reports(report, json.loads(json.dumps(report)))
+        assert [g.status for g in diff.groups] == ["unchanged", "unchanged"]
+        assert diff.execution_delta == 0.0
+        assert diff.is_regression is False
+        assert diff.recovered_benefit == 0.0
+
+    def test_every_status_is_assigned(self):
+        base = _report([
+            _problem(location="a.cpp:1", est_benefit=1e-3),   # fixed
+            _problem(location="a.cpp:2", est_benefit=1e-3),   # regressed
+            _problem(location="a.cpp:3", est_benefit=2e-3),   # improved
+            _problem(location="a.cpp:4", est_benefit=1e-3),   # unchanged
+        ])
+        new = _report([
+            _problem(location="a.cpp:2", est_benefit=5e-3),
+            _problem(location="a.cpp:3", est_benefit=1e-3),
+            _problem(location="a.cpp:4", est_benefit=1e-3),
+            _problem(location="a.cpp:5", est_benefit=4e-3),   # new
+        ])
+        diff = diff_reports(base, new)
+        by_location = {g.location: g.status for g in diff.groups}
+        assert by_location == {"a.cpp:1": "fixed", "a.cpp:2": "regressed",
+                               "a.cpp:3": "improved", "a.cpp:4": "unchanged",
+                               "a.cpp:5": "new"}
+        assert diff.is_regression is True
+        assert diff.recovered_benefit == pytest.approx(1e-3)
+        # Rendering order: most consequential first.
+        assert [g.status for g in diff.groups] == \
+            ["new", "regressed", "improved", "fixed", "unchanged"]
+
+    def test_same_location_different_kind_are_distinct_groups(self):
+        base = _report([_problem(kind="kind_one")])
+        new = _report([_problem(kind="kind_two")])
+        diff = diff_reports(base, new)
+        assert {(g.kind, g.status) for g in diff.groups} == \
+            {("kind_one", "fixed"), ("kind_two", "new")}
+
+    def test_multiple_problems_fold_into_one_group(self):
+        base = _report([_problem(est_benefit=1e-3) for _ in range(4)])
+        diff = diff_reports(base, _report([]))
+        (group,) = diff.groups
+        assert group.count_a == 4 and group.count_b == 0
+        assert group.benefit_a == pytest.approx(4e-3)
+        assert diff.recovered_benefit == pytest.approx(4e-3)
+
+    def test_sub_epsilon_benefit_drift_is_unchanged(self):
+        base = _report([_problem(est_benefit=1e-3)])
+        new = _report([_problem(est_benefit=1e-3 + BENEFIT_EPSILON / 10)])
+        (group,) = diff_reports(base, new).groups
+        assert group.status == "unchanged"
+
+    def test_execution_delta_percent_handles_zero_base(self):
+        diff = diff_reports(_report([], execution_time=0.0),
+                            _report([], execution_time=1.0))
+        assert diff.execution_delta_percent == 0.0
+
+
+class TestSchemaRefusal:
+    def test_missing_stamp_is_refused_with_clear_message(self):
+        report = _report([])
+        del report["schema_version"]
+        with pytest.raises(SchemaMismatchError,
+                           match="no schema_version stamp"):
+            diff_reports(report, _report([]))
+        with pytest.raises(SchemaMismatchError, match="report b"):
+            diff_reports(_report([]), dict(report))
+
+    def test_mismatched_stamps_are_refused(self):
+        with pytest.raises(SchemaMismatchError,
+                           match="cannot diff across schema versions"):
+            diff_reports(_report([]), _report([], schema_version=2))
+
+    def test_foreign_version_is_refused_even_when_equal(self):
+        with pytest.raises(SchemaMismatchError,
+                           match=f"understands schema {SCHEMA_VERSION}"):
+            diff_reports(_report([], schema_version=99),
+                         _report([], schema_version=99))
+
+    @pytest.mark.parametrize("stamp", [None, "1", 1.0, True])
+    def test_non_integer_stamps_are_refused(self, stamp):
+        with pytest.raises(SchemaMismatchError):
+            require_schema_version(_report([], schema_version=stamp))
+
+    def test_non_dict_input_is_refused(self):
+        with pytest.raises(SchemaMismatchError, match="not a report object"):
+            require_schema_version(["not", "a", "report"])
+
+    def test_exported_reports_carry_the_stamp(self):
+        report = Diogenes(UnnecessarySyncApp(iterations=3)).run()
+        assert json.loads(dumps_report(report))["schema_version"] == \
+            SCHEMA_VERSION
+
+
+class TestWireFormat:
+    def test_to_json_from_json_round_trip(self):
+        base = _report([_problem(est_benefit=2e-3)], execution_time=2.0)
+        new = _report([], execution_time=1.5)
+        diff = diff_reports(base, new)
+        restored = diff_from_json(json.loads(json.dumps(diff_to_json(diff))))
+        assert diff_to_json(restored) == diff_to_json(diff)
+        assert restored.recovered_benefit == diff.recovered_benefit
+        assert restored.is_regression == diff.is_regression
+
+    def test_json_counts_match_groups(self):
+        diff = diff_to_json(diff_reports(
+            _report([_problem()]), _report([])))
+        assert diff["counts"]["fixed"] == 1
+        assert sum(diff["counts"].values()) == len(diff["groups"])
+
+
+class TestRendering:
+    def test_render_names_fixed_group_and_verdict(self):
+        base = _report([_problem(est_benefit=1e-3)], execution_time=2.0)
+        new = _report([], execution_time=1.0)
+        text = reports.render_diff(diff_reports(base, new))
+        assert "Fixed problem groups (1)" in text
+        assert "synthetic.cpp:23" in text
+        assert "count 1->0" in text
+        assert "-1.000000s (-50.00%)" in text
+        assert "No regression" in text
+
+    def test_render_flags_regression(self):
+        text = reports.render_diff(diff_reports(
+            _report([]), _report([_problem()])))
+        assert "New problem groups (1)" in text
+        assert "REGRESSION: run b introduces or worsens problems" in text
+
+
+# ----------------------------------------------------------------------
+# End-to-end on real measured reports (base vs fixed variant)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def exported_pair(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("reports")
+    paths = {}
+    for label, fixed in (("base", False), ("fixed", True)):
+        report = Diogenes(UnnecessarySyncApp(iterations=4,
+                                             fixed=fixed)).run()
+        paths[label] = directory / f"{label}.json"
+        paths[label].write_text(dumps_report(report))
+    return paths
+
+
+class TestOfflineEndToEnd:
+    def test_fix_recovers_close_to_the_estimate(self, exported_pair):
+        base = load_report_json(exported_pair["base"])
+        fixed = load_report_json(exported_pair["fixed"])
+        diff = diff_reports(base, fixed)
+        (group,) = diff.fixed_groups
+        assert group.kind == "unnecessary_synchronization"
+        assert group.count_a == 4
+        assert diff.execution_delta < 0  # the fix made run b faster
+        # The measured runtime recovery agrees with the stored estimate.
+        assert abs(-diff.execution_delta - diff.recovered_benefit) <= \
+            0.25 * diff.recovered_benefit
+        assert not diff.is_regression
+
+    def test_cli_offline_diff_without_a_service(self, exported_pair,
+                                                capsys, tmp_path):
+        json_out = tmp_path / "diff.json"
+        assert main(["diff", str(exported_pair["base"]),
+                     str(exported_pair["fixed"]),
+                     "--json", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "Fixed problem groups (1)" in out
+        assert "No regression" in out
+        assert json.loads(json_out.read_text())["counts"]["fixed"] == 1
+
+    def test_cli_fail_on_regression_gates_the_exit_code(self, exported_pair,
+                                                        capsys):
+        # Reversed operands: going from fixed back to base *is* a
+        # regression, and --fail-on-regression turns it into exit 1.
+        assert main(["diff", str(exported_pair["fixed"]),
+                     str(exported_pair["base"]),
+                     "--fail-on-regression"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["diff", str(exported_pair["base"]),
+                     str(exported_pair["fixed"]),
+                     "--fail-on-regression"]) == 0
+
+    def test_cli_refuses_schema_mismatch(self, exported_pair, tmp_path):
+        tampered = tmp_path / "old.json"
+        report = load_report_json(exported_pair["base"])
+        report["schema_version"] = 99
+        tampered.write_text(json.dumps(report))
+        with pytest.raises(SystemExit,
+                           match="cannot diff across schema versions"):
+            main(["diff", str(exported_pair["base"]), str(tampered)])
+
+    def test_cli_rejects_unreadable_report_file(self, exported_pair,
+                                                tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["diff", str(exported_pair["base"]), str(garbage)])
+
+
+class TestExplorerDiff:
+    def _explore(self, report, *commands):
+        out = io.StringIO()
+        Explorer(report, out, prompt=False).run(list(commands))
+        return out.getvalue()
+
+    def test_explorer_diffs_against_exported_baseline(self, exported_pair):
+        live = Diogenes(UnnecessarySyncApp(iterations=4, fixed=True)).run()
+        out = self._explore(live, f"diff {exported_pair['base']}", "exit")
+        assert "Fixed problem groups (1)" in out
+        assert "No regression" in out
+
+    def test_explorer_diff_reports_errors_inline(self, exported_pair,
+                                                 tmp_path):
+        live = Diogenes(UnnecessarySyncApp(iterations=3)).run()
+        assert "usage: diff" in self._explore(live, "diff", "exit")
+        assert "No such file" in self._explore(
+            live, f"diff {tmp_path}/missing.json", "exit")
+        tampered = tmp_path / "old.json"
+        report = load_report_json(exported_pair["base"])
+        report["schema_version"] = 99
+        tampered.write_text(json.dumps(report))
+        out = self._explore(live, f"diff {tampered}", "exit")
+        # Written inline, session keeps going.
+        assert "cannot diff across schema versions" in out
+        assert "bye" in out

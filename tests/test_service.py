@@ -1,0 +1,505 @@
+"""Tests for the persistent analysis service (`repro.service`).
+
+The contracts that keep the daemon honest:
+
+* a fetched report is **byte-identical** to the serial CLI report for
+  the same workload/config — the service is a front end, never a
+  different measurement;
+* a duplicate submission of an unchanged workload is served from the
+  report store without executing a single stage job, observably
+  (service counters + exec metrics), never silently;
+* the job queue survives a daemon crash: jobs found ``running`` at
+  startup are requeued and re-executed;
+* ``/metrics`` exposes nonzero queue/job counters in Prometheus text.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+import repro.obs as obs
+from repro.apps.base import registry
+from repro.core.cli import _load_workloads, main
+from repro.core.diogenes import Diogenes, DiogenesConfig
+from repro.core.jsonio import dumps_report
+from repro.exec.fingerprint import config_to_json
+from repro.exec.jobs import WorkloadSpec
+from repro.service import (
+    DONE,
+    FAILED,
+    RUNNING,
+    SUBMITTED,
+    JobQueue,
+    ReportStore,
+    ServiceClient,
+    ServiceDaemon,
+    ServiceError,
+    report_identity,
+)
+
+_load_workloads()
+
+APP = "synthetic-unnecessary-sync"
+PARAMS = {"iterations": 4}
+
+#: Three small independent workloads for the concurrency test.
+CONCURRENT_APPS = [
+    ("synthetic-unnecessary-sync", {"iterations": 4}),
+    ("synthetic-misplaced-sync", {"iterations": 3}),
+    ("synthetic-duplicate-transfer", {"iterations": 3, "elements": 2048}),
+]
+
+_serial_cache: dict[tuple, str] = {}
+
+
+def _serial_json(name: str, params: dict) -> str:
+    """Reference bytes from the serial CLI path, memoised per app."""
+    cache_key = (name, tuple(sorted(params.items())))
+    if cache_key not in _serial_cache:
+        report = Diogenes(registry.create(name, **params)).run()
+        _serial_cache[cache_key] = dumps_report(report)
+    return _serial_cache[cache_key]
+
+
+def _metric_value(text: str, name: str, **labels) -> float | None:
+    """Read one sample from Prometheus exposition text."""
+    for line in text.splitlines():
+        match = re.match(rf"{re.escape(name)}(?:{{(.*)}})? (.+)$", line)
+        if not match:
+            continue
+        found = dict(re.findall(r'(\w+)="([^"]*)"', match.group(1) or ""))
+        if all(found.get(k) == str(v) for k, v in labels.items()):
+            return float(match.group(2))
+    return None
+
+
+def _metric_sum(text: str, name: str) -> float:
+    """Sum of every labelled series of one counter in Prometheus text."""
+    return sum(
+        float(match.group(1))
+        for line in text.splitlines()
+        if (match := re.match(rf"{re.escape(name)}(?:{{[^}}]*}})? (.+)$",
+                              line)))
+
+
+@pytest.fixture(autouse=True)
+def _observability_reset():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@contextmanager
+def running_daemon(data_dir, **kwargs):
+    daemon = ServiceDaemon(data_dir, **kwargs)
+    thread = threading.Thread(target=daemon.run, kwargs={"port": 0},
+                              daemon=True)
+    thread.start()
+    assert daemon.started.wait(10), "daemon failed to start"
+    client = ServiceClient(f"http://127.0.0.1:{daemon.bound_port}")
+    try:
+        yield client, daemon
+    finally:
+        try:
+            client.shutdown()
+        except ServiceError:
+            pass  # already stopped by the test
+        thread.join(15)
+        assert not thread.is_alive(), "daemon did not shut down cleanly"
+
+
+@pytest.fixture
+def service(tmp_path):
+    with running_daemon(tmp_path / "svc") as (client, daemon):
+        yield client, daemon
+
+
+# ----------------------------------------------------------------------
+# Job queue: persistence and crash-safe resume
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def _submit(self, queue, n=1):
+        return [queue.submit(APP, PARAMS, {"cfg": True}, f"key{i}")
+                for i in range(n)]
+
+    def test_submit_claim_done_cycle_persists(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        (job,) = self._submit(queue)
+        assert job.state == SUBMITTED and job.id == "job-000001"
+        claimed = queue.claim_next()
+        assert claimed.id == job.id and claimed.state == RUNNING
+        queue.mark_done(claimed, "finalkey")
+        # A brand-new instance reads the same state back from disk.
+        reloaded = JobQueue(tmp_path)
+        assert reloaded.get(job.id).state == DONE
+        assert reloaded.get(job.id).report_key == "finalkey"
+
+    def test_claims_are_oldest_first(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        jobs = self._submit(queue, n=3)
+        assert [queue.claim_next().id for _ in range(3)] == \
+            [j.id for j in jobs]
+        assert queue.claim_next() is None
+
+    def test_running_jobs_requeued_after_crash(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        self._submit(queue, n=2)
+        queue.claim_next()  # job-000001 now "running"; daemon dies here
+        survivor = JobQueue(tmp_path)  # simulated restart
+        assert survivor.get("job-000001").state == SUBMITTED
+        assert survivor.counts() == {SUBMITTED: 2, RUNNING: 0,
+                                     DONE: 0, FAILED: 0}
+        # The requeued job is claimable again, attempts preserved.
+        reclaimed = survivor.claim_next()
+        assert reclaimed.id == "job-000001" and reclaimed.attempts == 2
+
+    def test_failed_state_and_error_survive_restart(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        self._submit(queue)
+        job = queue.claim_next()
+        queue.mark_failed(job, "KeyError: boom")
+        reloaded = JobQueue(tmp_path)
+        assert reloaded.get(job.id).state == FAILED
+        assert reloaded.get(job.id).error == "KeyError: boom"
+
+    def test_sequence_continues_after_restart(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        self._submit(queue, n=2)
+        reloaded = JobQueue(tmp_path)
+        job = reloaded.submit(APP, PARAMS, {}, "k")
+        assert job.id == "job-000003"
+
+    def test_unreadable_job_file_is_skipped(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        self._submit(queue)
+        (tmp_path / "job-999999.json").write_text("{truncated")
+        reloaded = JobQueue(tmp_path)
+        assert len(reloaded) == 1
+
+    def test_depth_counts_only_waiting_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        self._submit(queue, n=2)
+        queue.claim_next()
+        assert queue.depth() == 1
+
+
+# ----------------------------------------------------------------------
+# Report store: identity, envelope hygiene, history
+# ----------------------------------------------------------------------
+class TestReportStore:
+    def _identity(self, params=PARAMS, config=None):
+        spec = WorkloadSpec.from_params(APP, params)
+        return report_identity(spec, config or DiogenesConfig())
+
+    def test_identity_is_stable_and_param_sensitive(self):
+        assert self._identity().key() == self._identity().key()
+        assert self._identity().key() != \
+            self._identity(params={"iterations": 5}).key()
+        assert self._identity().key() != self._identity(
+            config=DiogenesConfig(tracing_probe_overhead=9e-6)).key()
+
+    def test_put_get_roundtrip_and_history(self, tmp_path):
+        store = ReportStore(tmp_path)
+        identity = self._identity()
+        report = {"schema_version": 1, "workload": APP, "problems": []}
+        key = store.put(identity, report, job_id="job-000001")
+        assert key == identity.key()
+        assert store.get(key) == report
+        assert store.contains(key)
+        (entry,) = store.history()
+        assert entry["workload"] == APP
+        assert entry["key"] == key
+        assert entry["job_id"] == "job-000001"
+        assert entry["schema_version"] == 1
+
+    def test_refuses_unstamped_report(self, tmp_path):
+        store = ReportStore(tmp_path)
+        with pytest.raises(ValueError, match="schema_version"):
+            store.put(self._identity(), {"workload": APP})
+        assert len(store) == 0
+
+    def test_foreign_envelope_reads_as_miss(self, tmp_path):
+        store = ReportStore(tmp_path)
+        key = store.put(self._identity(), {"schema_version": 1})
+        path = store._path(key)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = -1
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+
+    def test_history_filters_by_workload(self, tmp_path):
+        store = ReportStore(tmp_path)
+        store.put(self._identity(), {"schema_version": 1})
+        other = report_identity(
+            WorkloadSpec.from_params("synthetic-quiet", {}), DiogenesConfig())
+        store.put(other, {"schema_version": 1})
+        assert len(store.history()) == 2
+        assert [e["workload"] for e in store.history("synthetic-quiet")] == \
+            ["synthetic-quiet"]
+
+    def test_truncated_history_line_is_skipped(self, tmp_path):
+        store = ReportStore(tmp_path)
+        store.put(self._identity(), {"schema_version": 1})
+        with open(store.history_path, "a") as fp:
+            fp.write('{"seq": 1, "workload":')  # crash mid-append
+        assert len(store.history()) == 1
+
+
+# ----------------------------------------------------------------------
+# Daemon integration
+# ----------------------------------------------------------------------
+class TestDaemonRoundTrip:
+    def test_fetched_report_is_byte_identical_to_serial_cli(self, service):
+        client, _ = service
+        serial = _serial_json(APP, PARAMS)
+        job = client.submit(APP, PARAMS)["job"]
+        job = client.wait(job["id"])
+        fetched = client.report(job["report_key"])
+        assert json.dumps(fetched, indent=2) == serial
+
+    def test_duplicate_submission_served_from_store(self, service):
+        client, _ = service
+        first = client.submit(APP, PARAMS)
+        assert first["cached"] is False
+        client.wait(first["job"]["id"])
+        executed_before = _metric_sum(client.metrics(),
+                                      "repro_exec_jobs_executed")
+        assert executed_before > 0  # the first run did execute stages
+
+        second = client.submit(APP, PARAMS)
+        assert second["cached"] is True
+        assert second["job"]["state"] == DONE  # born done, never queued
+        assert second["job"]["report_key"] == first["job"]["report_key"]
+        metrics = client.metrics()
+        assert _metric_value(metrics, "repro_service_store_hits") == 1
+        executed_after = _metric_sum(metrics, "repro_exec_jobs_executed")
+        assert executed_after == executed_before, \
+            "a store-served submission must not execute any stage job"
+        # And the two reports are literally the same stored bytes.
+        assert client.report(second["job"]["report_key"]) == \
+            client.report(first["job"]["report_key"])
+
+    def test_concurrent_submissions_match_serial(self, tmp_path):
+        # Reference bytes first (obs off, no daemon in the process yet).
+        serial = {name: _serial_json(name, params)
+                  for name, params in CONCURRENT_APPS}
+        with running_daemon(tmp_path / "svc", workers=3) as (client, _):
+            submitted = [client.submit(name, params)["job"]
+                         for name, params in CONCURRENT_APPS]
+            finished = [client.wait(job["id"]) for job in submitted]
+            for (name, _params), job in zip(CONCURRENT_APPS, finished):
+                fetched = client.report(job["report_key"])
+                assert json.dumps(fetched, indent=2) == serial[name], name
+
+    def test_queue_survives_daemon_kill_and_restart(self, tmp_path):
+        data_dir = tmp_path / "svc"
+        config = DiogenesConfig()
+        spec = WorkloadSpec.from_params(APP, PARAMS)
+        key = report_identity(spec, config).key()
+        # Simulate a daemon that died mid-job: the queue directory holds
+        # one job stuck in "running" state.
+        queue = JobQueue(data_dir / "queue")
+        job = queue.submit(APP, PARAMS, config_to_json(config), key)
+        queue.claim_next()
+        assert queue.get(job.id).state == RUNNING
+        del queue
+
+        with running_daemon(data_dir) as (client, _):
+            finished = client.wait(job.id)
+        assert finished["state"] == DONE
+        assert finished["attempts"] == 2  # the crashed claim + the re-run
+        assert json.dumps(ReportStore(data_dir / "store").get(key),
+                          indent=2) == _serial_json(APP, PARAMS)
+
+    def test_metrics_exposes_nonzero_queue_and_job_counters(self, service):
+        client, _ = service
+        client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        metrics = client.metrics()
+        assert _metric_value(metrics, "repro_service_jobs",
+                             state="done") == 1
+        assert _metric_value(metrics, "repro_service_jobs_submitted",
+                             workload=APP) == 1
+        assert _metric_value(metrics, "repro_service_queue_depth") == 0
+        assert _metric_value(metrics, "repro_service_store_reports") == 1
+        assert _metric_value(metrics, "repro_service_requests",
+                             route="submit", status="200") == 1
+        # The pipeline's own counters flow through the same registry.
+        assert "repro_exec_jobs_executed" in metrics
+
+    def test_health_and_history_endpoints(self, service):
+        client, _ = service
+        assert client.health()["status"] == "ok"
+        client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        history = client.history()
+        assert [e["workload"] for e in history] == [APP]
+        assert client.history("no-such-workload") == []
+        assert client.health()["jobs"]["done"] == 1
+
+    def test_failed_job_reports_its_error(self, service):
+        client, daemon = service
+        # Bad params are normally rejected at submit time; enqueue a
+        # poisoned job directly so a *worker* hits the failure path.
+        bad = daemon.queue.submit("synthetic-quiet", {"bogus_arg": 1},
+                                  config_to_json(DiogenesConfig()), "k")
+        with pytest.raises(ServiceError, match="failed"):
+            client.wait(bad.id, timeout=30)
+        final = client.job(bad.id)
+        assert final["state"] == FAILED
+        assert "TypeError" in final["error"]
+
+
+class TestDaemonValidation:
+    def test_unknown_workload_is_400(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="unknown workload") as info:
+            client.submit("no-such-app", {})
+        assert info.value.status == 400
+
+    def test_bad_params_are_400(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="bad params") as info:
+            client.submit(APP, {"bogus_arg": 1})
+        assert info.value.status == 400
+
+    def test_unknown_report_and_job_are_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="no stored report") as info:
+            client.report("deadbeef")
+        assert info.value.status == 404
+        with pytest.raises(ServiceError, match="no such job"):
+            client.job("job-424242")
+
+    def test_unknown_route_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/no/such/route")
+        assert info.value.status == 404
+
+    def test_malformed_submit_bodies_are_400(self, service):
+        client, _ = service
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/submit", method="POST", data=b"{not json")
+        with pytest.raises(Exception) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert getattr(info.value, "code", None) == 400
+        with pytest.raises(ServiceError, match="workload"):
+            client._request("POST", "/submit", {"params": {}})
+
+    def test_unreachable_service_fails_with_hint(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(ServiceError, match="diogenes serve"):
+            client.health()
+
+
+class TestDiffEndpoint:
+    def _two_reports(self, client):
+        base = client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        fixed = client.wait(client.submit(
+            APP, {**PARAMS, "fixed": True})["job"]["id"])
+        return base["report_key"], fixed["report_key"]
+
+    def test_diff_reports_removed_groups_and_runtime_delta(self, service):
+        client, _ = service
+        key_a, key_b = self._two_reports(client)
+        diff = client.diff(key_a, key_b)
+        assert diff["counts"]["fixed"] == 1
+        assert diff["counts"]["new"] == diff["counts"]["regressed"] == 0
+        assert diff["is_regression"] is False
+        (fixed_group,) = [g for g in diff["groups"]
+                          if g["status"] == "fixed"]
+        assert fixed_group["kind"] == "unnecessary_synchronization"
+        assert diff["execution_delta"] < 0
+        # The measured speedup agrees with the stored benefit estimate.
+        assert abs(-diff["execution_delta"] - diff["recovered_benefit"]) \
+            <= 0.25 * diff["recovered_benefit"]
+
+    def test_diff_missing_report_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="no stored report") as info:
+            client.diff("feed" * 16, "beef" * 16)
+        assert info.value.status == 404
+
+    def test_diff_schema_mismatch_is_409(self, service, tmp_path):
+        client, daemon = service
+        key_a, key_b = self._two_reports(client)
+        # An old stored report (different schema stamp) must refuse
+        # loudly instead of diffing garbage.
+        path = daemon.store._path(key_b)
+        envelope = json.loads(path.read_text())
+        envelope["report"]["schema_version"] = 999
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ServiceError,
+                           match="schema") as info:
+            client.diff(key_a, key_b)
+        assert info.value.status == 409
+
+    def test_diff_needs_both_keys(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="a=<report-key>") as info:
+            client._request("GET", "/diff?a=onlyone")
+        assert info.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# CLI client commands against a live daemon
+# ----------------------------------------------------------------------
+class TestServiceCli:
+    def test_submit_status_fetch_diff_flow(self, service, tmp_path, capsys):
+        client, _ = service
+        url = client.base_url
+        assert main(["submit", APP, "--param", "iterations=4",
+                     "--wait", "--url", url,
+                     "--json", str(tmp_path / "base.json")]) == 0
+        out = capsys.readouterr().out
+        assert "job-000001" in out and "done" in out
+        assert (json.loads((tmp_path / "base.json").read_text())
+                ["workload"] == APP)
+        # Byte-identity straight through the CLI file path.
+        assert (tmp_path / "base.json").read_text() == \
+            _serial_json(APP, PARAMS)
+
+        assert main(["submit", APP, "--param", "iterations=4",
+                     "--param", "fixed=true", "--wait", "--url", url]) == 0
+        capsys.readouterr()
+
+        assert main(["status", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "job-000001" in out and "done: 2" in out
+        assert main(["status", "job-000001", "--url", url]) == 0
+        assert "report key:" in capsys.readouterr().out
+
+        assert main(["fetch", "job-000001", "--url", url,
+                     "--out", str(tmp_path / "fetched.json")]) == 0
+        assert (tmp_path / "fetched.json").read_text() == \
+            _serial_json(APP, PARAMS)
+
+        assert main(["diff", "job-000001", "job-000002", "--url", url,
+                     "--json", str(tmp_path / "diff.json")]) == 0
+        out = capsys.readouterr().out
+        assert "Fixed problem groups (1)" in out
+        assert "No regression" in out
+        assert json.loads((tmp_path / "diff.json").read_text())[
+            "counts"]["fixed"] == 1
+
+    def test_cli_regression_gate_exit_code(self, service, capsys):
+        client, _ = service
+        url = client.base_url
+        base = client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        fixed = client.wait(client.submit(
+            APP, {**PARAMS, "fixed": True})["job"]["id"])
+        # b -> a *introduces* the sync problems: that is the regression.
+        assert main(["diff", fixed["report_key"], base["report_key"],
+                     "--url", url, "--fail-on-regression"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_surfaces_service_errors(self, service):
+        client, _ = service
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["submit", "no-such-app", "--url", client.base_url])
