@@ -1,0 +1,351 @@
+"""Hot-path microbenchmarks and the perf-regression baseline.
+
+Measures the four tool-side hot paths this tree optimises (see
+docs/performance.md) and writes ``BENCH_hotpath.json`` at the repo
+root — the committed baseline CI's ``perf-smoke`` job compares
+against:
+
+* **stages** — a full FFM run on a bench-scale workload: wall seconds
+  and traced-events-per-second throughput for each stage;
+* **hashing** — stage-3 style repeated-payload hashing: the
+  dirty-region digest cache (``HostBuffer.content_digest``) vs
+  rehashing the payload every transfer.  Asserts the >= 2x floor the
+  optimisation claims;
+* **interning** — grouping-key throughput: interned integer stack ids
+  vs structural tuple keys;
+* **columnar** — the record-batch codec vs plain JSON text for a
+  realistic trace-event list: MB/s each way and the size ratio.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py                # refresh
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check BENCH_hotpath.json
+
+``--check`` re-measures and fails (exit 1) when any stage slowed, or
+any rate dropped, by more than the threshold (default 25%).  Shape
+assertions (the 2x hashing floor) run in both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from common import archive, fmt_s, make_app
+
+from repro.core.diogenes import Diogenes, DiogenesConfig
+from repro.core.stage3_memtrace import hash_payload
+from repro.exec.columnar import decode_records, encode_records
+from repro.hostmem.allocator import HostAddressSpace
+from repro.hostmem.buffer import HostBuffer
+from repro.instr.stacks import intern_frame, intern_stack
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+SCHEMA = 1
+
+#: Fractional slowdown tolerated by ``--check`` before failing.
+THRESHOLD = 0.25
+
+#: The floor the dirty-region digest cache must clear on repeated
+#: payloads (the ISSUE's acceptance criterion).
+HASH_SPEEDUP_FLOOR = 2.0
+
+
+# ----------------------------------------------------------------------
+# Stage throughput: one full bench-scale run, timed per stage
+# ----------------------------------------------------------------------
+def bench_stages(workload_name: str = "cumf-als") -> dict:
+    from repro.core.stage1_baseline import run_stage1
+    from repro.core.stage2_tracing import run_stage2
+    from repro.core.stage3_memtrace import run_stage3
+    from repro.core.stage4_syncuse import run_stage4
+    from repro.core.diogenes import assemble_report
+
+    cfg = DiogenesConfig()
+    walls: dict[str, float] = {}
+
+    def timed(name, fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        walls[name] = time.perf_counter() - t0
+        return result
+
+    stage1 = timed("stage1_baseline", run_stage1, make_app(workload_name), cfg)
+    stage2 = timed("stage2_tracing", run_stage2,
+                   make_app(workload_name), stage1, cfg)
+    memtrace = timed("stage3_memtrace", run_stage3,
+                     make_app(workload_name), stage1, cfg, mode="memtrace")
+    hashing = timed("stage3_hashing", run_stage3,
+                    make_app(workload_name), stage1, cfg, mode="hashing")
+    from repro.core.records import Stage3Data
+
+    stage3 = Stage3Data(execution_time=memtrace.execution_time,
+                        sync_uses=memtrace.sync_uses,
+                        transfer_hashes=hashing.transfer_hashes)
+    stage4 = timed("stage4_syncuse", run_stage4,
+                   make_app(workload_name), stage1, stage3, cfg)
+    timed("stage5_analysis", assemble_report, workload_name, stage1, stage2,
+          stage3, stage4, {"stage3_memtrace": memtrace.execution_time,
+                           "stage3_hashing": hashing.execution_time}, cfg)
+
+    events = len(stage2.events)
+    return {
+        "workload": workload_name,
+        "traced_events": events,
+        "stages": {
+            name: {
+                "wall_seconds": round(wall, 6),
+                "events_per_second": round(events / wall, 1) if wall else 0.0,
+            }
+            for name, wall in walls.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Repeated-payload hashing: digest cache vs rehash-every-transfer
+# ----------------------------------------------------------------------
+def bench_hashing(nbytes: int = 1 << 20, repeats: int = 64) -> dict:
+    space = HostAddressSpace()
+    buf = HostBuffer(space, nbytes, dtype=np.uint8, label="bench")
+    buf.fill(0x5A)
+
+    payload = buf.raw_bytes(0, nbytes)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        uncached_digest = hash_payload(payload)
+    t_uncached = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        cached_digest = buf.content_digest(0, nbytes)
+    t_cached = time.perf_counter() - t0
+
+    assert cached_digest == uncached_digest, "digest cache must be exact"
+    mb = nbytes * repeats / 1e6
+    speedup = t_uncached / t_cached if t_cached else float("inf")
+    return {
+        "payload_bytes": nbytes,
+        "repeats": repeats,
+        "uncached_mb_per_second": round(mb / t_uncached, 1),
+        "cached_mb_per_second": round(mb / t_cached, 1),
+        "speedup": round(speedup, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# Grouping keys: interned integer ids vs structural tuples
+# ----------------------------------------------------------------------
+def _synthetic_stacks(sites: int = 40, depth: int = 6):
+    stacks = []
+    for s in range(sites):
+        frames = tuple(
+            intern_frame(f"solver_step_{s}_{d}<float>", "als.cpp",
+                         100 * s + d)
+            for d in range(depth)
+        )
+        stacks.append(intern_stack(frames))
+    return stacks
+
+
+def bench_interning(events: int = 200_000) -> dict:
+    stacks = _synthetic_stacks()
+    sequence = [stacks[i % len(stacks)] for i in range(events)]
+
+    # The pre-interning groupers rebuilt the address tuple per event.
+    t0 = time.perf_counter()
+    tuple_groups: dict = {}
+    for stack in sequence:
+        key = tuple(f.address for f in stack.frames)
+        tuple_groups[key] = tuple_groups.get(key, 0) + 1
+    t_tuples = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    id_groups: dict = {}
+    for stack in sequence:
+        key = stack.address_id()
+        id_groups[key] = id_groups.get(key, 0) + 1
+    t_ids = time.perf_counter() - t0
+
+    assert sorted(tuple_groups.values()) == sorted(id_groups.values()), \
+        "interned grouping must partition identically"
+    return {
+        "events": events,
+        "distinct_sites": len(id_groups),
+        "tuple_keys_per_second": round(events / t_tuples, 0),
+        "interned_keys_per_second": round(events / t_ids, 0),
+        "speedup": round(t_tuples / t_ids, 2) if t_ids else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Columnar codec vs plain JSON text
+# ----------------------------------------------------------------------
+def _synthetic_events(n: int = 5_000) -> list[dict]:
+    frames = [{"function": f"f{d}<int>", "file": "als.cpp", "line": 700 + d}
+              for d in range(6)]
+    return [
+        {
+            "seq": i,
+            "api_name": "cudaMemcpy" if i % 3 else "cudaFree",
+            "stack": frames,
+            "site": {"address_key": [4096 + i % 40], "occurrence": i // 40},
+            "t_entry": i * 1e-5,
+            "t_exit": i * 1e-5 + 2e-6,
+            "sync_wait": 1e-6 if i % 3 == 0 else 0.0,
+            "is_sync": i % 3 == 0,
+            "is_transfer": i % 3 != 0,
+            "nbytes": 4096 * (i % 7),
+            "direction": "h2d" if i % 2 else "d2h",
+        }
+        for i in range(n)
+    ]
+
+
+def bench_columnar(n: int = 5_000, rounds: int = 5) -> dict:
+    rows = _synthetic_events(n)
+    plain_text = json.dumps(rows)
+    mb = len(plain_text.encode()) / 1e6
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        json.loads(json.dumps(rows))
+    t_json = (time.perf_counter() - t0) / rounds
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        batch = encode_records(rows)
+        decoded = decode_records(batch)
+    t_columnar = (time.perf_counter() - t0) / rounds
+
+    assert decoded == rows, "codec must round-trip exactly"
+    encoded_bytes = len(json.dumps(batch).encode())
+    return {
+        "rows": n,
+        "plain_bytes": len(plain_text.encode()),
+        "encoded_bytes": encoded_bytes,
+        "size_ratio": round(encoded_bytes / len(plain_text.encode()), 3),
+        "json_roundtrip_mb_per_second": round(mb / t_json, 1),
+        "columnar_roundtrip_mb_per_second": round(mb / t_columnar, 1),
+    }
+
+
+# ----------------------------------------------------------------------
+def generate() -> dict:
+    results = {
+        "schema": SCHEMA,
+        **bench_stages(),
+        "hashing": bench_hashing(),
+        "interning": bench_interning(),
+        "columnar": bench_columnar(),
+    }
+    assert results["hashing"]["speedup"] >= HASH_SPEEDUP_FLOOR, (
+        f"digest cache speedup {results['hashing']['speedup']}x is below "
+        f"the {HASH_SPEEDUP_FLOOR}x floor")
+    return results
+
+
+def render(results: dict) -> str:
+    lines = [f"hot-path bench — workload {results['workload']}, "
+             f"{results['traced_events']} traced events"]
+    for name, row in results["stages"].items():
+        lines.append(f"  {name:<18} {fmt_s(row['wall_seconds']):>10}  "
+                     f"{row['events_per_second']:>12,.0f} events/s")
+    h = results["hashing"]
+    lines.append(f"  hashing (repeated {h['payload_bytes'] >> 20}MiB x "
+                 f"{h['repeats']}): cached {h['cached_mb_per_second']:,.0f} "
+                 f"MB/s vs uncached {h['uncached_mb_per_second']:,.0f} MB/s "
+                 f"({h['speedup']}x)")
+    i = results["interning"]
+    lines.append(f"  interned keys {i['interned_keys_per_second']:,.0f}/s vs "
+                 f"tuple keys {i['tuple_keys_per_second']:,.0f}/s "
+                 f"({i['speedup']}x)")
+    c = results["columnar"]
+    lines.append(f"  columnar {c['columnar_roundtrip_mb_per_second']:,.0f} "
+                 f"MB/s vs json {c['json_roundtrip_mb_per_second']:,.0f} MB/s "
+                 f"round-trip; size ratio {c['size_ratio']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (CI's perf-smoke gate)
+# ----------------------------------------------------------------------
+def _regressions(baseline: dict, current: dict,
+                 threshold: float = THRESHOLD) -> list[str]:
+    """Stages that slowed, or rates that dropped, past the threshold."""
+    problems: list[str] = []
+    for name, row in baseline.get("stages", {}).items():
+        now = current["stages"].get(name)
+        if now is None:
+            problems.append(f"stage {name} missing from current run")
+            continue
+        before, after = row["wall_seconds"], now["wall_seconds"]
+        if before > 0 and after > before * (1 + threshold):
+            problems.append(
+                f"{name}: {after:.4f}s vs baseline {before:.4f}s "
+                f"(+{(after / before - 1) * 100:.0f}%)")
+    rate_keys = [
+        ("hashing", "cached_mb_per_second"),
+        ("interning", "interned_keys_per_second"),
+        ("columnar", "columnar_roundtrip_mb_per_second"),
+    ]
+    for section, key in rate_keys:
+        before = baseline.get(section, {}).get(key)
+        after = current.get(section, {}).get(key)
+        if before and after and after < before * (1 - threshold):
+            problems.append(
+                f"{section}.{key}: {after:,.0f} vs baseline {before:,.0f} "
+                f"(-{(1 - after / before) * 100:.0f}%)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed baseline JSON "
+                             "instead of rewriting it")
+    parser.add_argument("--threshold", type=float, default=THRESHOLD,
+                        help=f"fractional slowdown tolerated by --check "
+                             f"(default: {THRESHOLD})")
+    parser.add_argument("--out", default=str(BASELINE_PATH), metavar="PATH",
+                        help="baseline path to write (default: repo root)")
+    args = parser.parse_args(argv)
+
+    results = generate()
+    archive("hotpath", render(results))
+
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        problems = _regressions(baseline, results, args.threshold)
+        if problems:
+            print(f"\nperf regressions past {args.threshold * 100:.0f}%:",
+                  file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nno perf regression past {args.threshold * 100:.0f}% "
+              f"of {args.check}")
+        return 0
+
+    pathlib.Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nbaseline written to {args.out}")
+    return 0
+
+
+# Pytest-benchmark entry point (consistent with the other bench modules;
+# excluded from tier-1 by ``testpaths``).
+def test_hotpath_floors():
+    results = generate()
+    assert results["hashing"]["speedup"] >= HASH_SPEEDUP_FLOOR
+    assert results["columnar"]["size_ratio"] < 1.0
+    archive("hotpath", render(results))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

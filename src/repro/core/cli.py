@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload constructor argument, repeatable "
                           "(e.g. --param iterations=50 --param fix=full); "
                           "values parse as int/float/bool when possible")
+    run.add_argument("--profile", dest="profile_dir", default=None,
+                     metavar="DIR",
+                     help="dump a cProfile of each stage to DIR/<stage>.prof "
+                          "(tool-side profiling; the report is unaffected — "
+                          "see docs/performance.md)")
     _add_exec_flags(run)
     _add_obs_flags(run)
 
@@ -586,13 +591,18 @@ def main(argv: list[str] | None = None) -> int:
     observing = args.command == "run" and (
         args.trace_out or args.metrics_out or args.verbose_stages)
     session = obs.enable() if observing else None
+    tool = Diogenes(workload, config, executor=executor,
+                    profile_dir=getattr(args, "profile_dir", None))
     try:
-        report = Diogenes(workload, config, executor=executor).run()
+        report = tool.run()
     finally:
         if session is not None:
             obs.disable()
         if executor is not None:
             executor.shutdown()
+        if tool.profiler is not None and tool.profiler.dumped:
+            print(f"stage profiles written to {tool.profiler.directory} "
+                  f"({len(tool.profiler.dumped)} files)", file=sys.stderr)
 
     if args.command == "explore":
         from repro.core.explorer import Explorer

@@ -254,13 +254,30 @@ class Diogenes:
     collection runs out to worker processes and consults its result
     cache; without one, stages run serially in-process.  Both paths
     produce byte-identical reports.
+
+    ``profile_dir`` enables per-stage cProfile capture
+    (:mod:`repro.core.profiling`): each serial stage dumps
+    ``<dir>/<stage>.prof``; with an executor, the whole fan-out dumps
+    ``run_parallel.prof``.  Profiling never touches the virtual clock,
+    so reports are byte-identical with it on or off.
     """
 
     def __init__(self, workload, config: DiogenesConfig | None = None,
-                 *, executor=None) -> None:
+                 *, executor=None, profile_dir=None) -> None:
         self.workload = workload
         self.config = config if config is not None else DiogenesConfig()
         self.executor = executor
+        if profile_dir is not None:
+            from repro.core.profiling import StageProfiler
+
+            self.profiler = StageProfiler(profile_dir)
+        else:
+            self.profiler = None
+
+    def _staged(self, name: str, fn, *args, **kwargs):
+        if self.profiler is None:
+            return fn(*args, **kwargs)
+        return self.profiler.profile(name, fn, *args, **kwargs)
 
     def run(self) -> DiogenesReport:
         """Execute stages 1–5 and assemble the report."""
@@ -282,14 +299,19 @@ class Diogenes:
 
     def _run_stages(self) -> DiogenesReport:
         cfg = self.config
-        stage1 = run_stage1(self.workload, cfg)
-        stage2 = run_stage2(self.workload, stage1, cfg)
+        stage1 = self._staged("stage1_baseline", run_stage1,
+                              self.workload, cfg)
+        stage2 = self._staged("stage2_tracing", run_stage2,
+                              self.workload, stage1, cfg)
         if cfg.split_sync_transfer_runs:
             # Separate collection runs for synchronization and transfer
             # detail (§4), merged into one Stage3Data.
-            memtrace = run_stage3(self.workload, stage1, cfg,
-                                  mode="memtrace")
-            hashing = run_stage3(self.workload, stage1, cfg, mode="hashing")
+            memtrace = self._staged("stage3_memtrace", run_stage3,
+                                    self.workload, stage1, cfg,
+                                    mode="memtrace")
+            hashing = self._staged("stage3_hashing", run_stage3,
+                                   self.workload, stage1, cfg,
+                                   mode="hashing")
             stage3 = Stage3Data(
                 execution_time=memtrace.execution_time,
                 sync_uses=memtrace.sync_uses,
@@ -300,10 +322,13 @@ class Diogenes:
                 "stage3_hashing": hashing.execution_time,
             }
         else:
-            stage3 = run_stage3(self.workload, stage1, cfg)
+            stage3 = self._staged("stage3_both", run_stage3,
+                                  self.workload, stage1, cfg)
             stage3_times = {"stage3_memtrace": stage3.execution_time}
-        stage4 = run_stage4(self.workload, stage1, stage3, cfg)
-        return assemble_report(
+        stage4 = self._staged("stage4_syncuse", run_stage4,
+                              self.workload, stage1, stage3, cfg)
+        return self._staged(
+            "stage5_analysis", assemble_report,
             getattr(self.workload, "name", "workload"),
             stage1, stage2, stage3, stage4, stage3_times, cfg)
 
@@ -317,6 +342,9 @@ class Diogenes:
                 "(repro.apps.base.registry.create) so worker processes "
                 "can rebuild it; this instance carries no registry stamp"
             )
-        results = self.executor.run_workload(spec, self.config)
+        # Collection happens in worker processes the parent cannot
+        # profile; capture the orchestration + analysis as one dump.
+        results = self._staged("run_parallel", self.executor.run_workload,
+                               spec, self.config)
         return report_from_stage_results(
             getattr(self.workload, "name", "workload"), results, self.config)

@@ -64,21 +64,32 @@ def _grouped(result: AnalysisResult, kind: str, key_fn, label_fn) -> list[Proble
 
 
 def group_single_point(result: AnalysisResult) -> list[ProblemGroup]:
-    """Group by exact call site (stack matched by instruction address)."""
+    """Group by exact call site (stack matched by instruction address).
+
+    The stack component of the key is the interned integer ID
+    (:meth:`repro.instr.stacks.StackTrace.address_id`): the ID↔tuple
+    mapping is a bijection within the process, so the partition — and
+    therefore the report — is identical to keying on the tuple, while
+    every comparison is an int compare.
+    """
     return _grouped(
         result, "single_point",
         key_fn=lambda p: (p.api_name,
-                          p.stack.address_key() if p.stack else (), p.kind),
+                          p.stack.address_id() if p.stack else -1, p.kind),
         label_fn=lambda p: p.location(),
     )
 
 
 def group_folded_function(result: AnalysisResult) -> list[ProblemGroup]:
-    """Group by demangled base-name stacks (template params stripped)."""
+    """Group by demangled base-name stacks (template params stripped).
+
+    Keyed on the interned function ID, same bijection argument as
+    :func:`group_single_point`.
+    """
     return _grouped(
         result, "folded_function",
         key_fn=lambda p: (p.api_name,
-                          p.stack.function_key() if p.stack else (), p.kind),
+                          p.stack.function_id() if p.stack else -1, p.kind),
         label_fn=lambda p: (p.stack.leaf.base_name if p.stack and p.stack.leaf
                             else p.api_name),
     )

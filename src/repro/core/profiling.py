@@ -1,0 +1,54 @@
+"""Per-stage cProfile capture (``diogenes run --profile DIR``).
+
+The hot-path work in this tree (interned stacks, dirty-region hash
+caching, columnar batches, batched telemetry) was guided by profiles
+of the stage drivers; this module makes taking such profiles a flag
+instead of a harness.  Each FFM stage runs under its own
+:class:`cProfile.Profile` and dumps ``<dir>/<stage>.prof`` — standard
+``pstats`` format, loadable with ``python -m pstats`` or snakeviz.
+
+Profiling wraps *tool* execution only: the virtual clock and therefore
+every report stays byte-identical with profiling on or off.  When the
+parallel executor is in use the collection runs happen in worker
+processes the parent cannot profile, so the whole fan-out is captured
+as one ``run_parallel.prof`` instead.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pathlib
+import pstats
+
+
+class StageProfiler:
+    """Dumps one ``.prof`` file per profiled callable into a directory."""
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.dumped: list[pathlib.Path] = []
+
+    def profile(self, name: str, fn, *args, **kwargs):
+        """Run ``fn`` under cProfile; dump stats even if it raises."""
+        profile = cProfile.Profile()
+        try:
+            return profile.runcall(fn, *args, **kwargs)
+        finally:
+            path = self.directory / f"{name}.prof"
+            profile.dump_stats(path)
+            self.dumped.append(path)
+
+
+def top_functions(path: str | pathlib.Path, n: int = 10) -> list[str]:
+    """The ``n`` most cumulative-time functions of a dumped profile.
+
+    Returned as ``file:line(function)`` strings — a quick textual look
+    at a ``.prof`` file without leaving the terminal.
+    """
+    stats = pstats.Stats(str(path))
+    stats.sort_stats("cumulative")
+    return [
+        f"{func[0]}:{func[1]}({func[2]})"
+        for func in stats.fcn_list[:n]  # type: ignore[attr-defined]
+    ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.instr.stacks import Frame, StackTrace
+from repro.instr.stacks import StackTrace, intern_frame, intern_stack
 
 
 def frames_to_json(stack: StackTrace) -> list[dict]:
@@ -28,15 +28,36 @@ def frames_to_json(stack: StackTrace) -> list[dict]:
 
 
 def frames_from_json(data: list[dict]) -> StackTrace:
-    return StackTrace(tuple(Frame(d["function"], d["file"], d["line"]) for d in data))
+    """Rebuild a snapshot, going through the process-wide intern table.
+
+    Deserialized stacks therefore share :class:`Frame` objects (and
+    their cached addresses/base names) with live-captured ones, and
+    identical stacks collapse to one object whose grouping keys are
+    computed once.
+    """
+    return intern_stack(tuple(
+        intern_frame(d["function"], d["file"], d["line"]) for d in data))
 
 
 @dataclass(frozen=True)
 class SiteKey:
-    """Static call-site identity + dynamic occurrence index."""
+    """Static call-site identity + dynamic occurrence index.
+
+    Site keys are dict/set keys on every analysis hot path; the hash
+    covers the whole address tuple, so it is computed once and cached
+    (the instance is frozen — the cached value can never go stale).
+    """
 
     address_key: tuple[int, ...]
     occurrence: int
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.address_key, self.occurrence))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def to_json(self) -> dict:
         return {"address_key": list(self.address_key), "occurrence": self.occurrence}

@@ -72,6 +72,11 @@ class Operation:
         stack = self.records[0].stack
         return stack.address_key() if stack else ()
 
+    def address_id(self) -> int:
+        """Interned stand-in for :meth:`address_key` (int compares)."""
+        stack = self.records[0].stack
+        return stack.address_id() if stack else -1
+
 
 @dataclass(frozen=True)
 class SequenceEntry:
@@ -180,7 +185,10 @@ def _dynamic_runs(result: AnalysisResult) -> list[list[Operation]]:
 
 
 def _signature(run: list[Operation]) -> tuple:
-    return tuple((op.api_name, op.address_key(), op.kinds) for op in run)
+    # Interned stack IDs keep the signature hash/compare cost linear in
+    # run length rather than in total stack depth; the ID↔address-key
+    # bijection makes the collapse partition identical either way.
+    return tuple((op.api_name, op.address_id(), op.kinds) for op in run)
 
 
 def find_sequences(result: AnalysisResult,

@@ -67,6 +67,7 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
         finally:
             dispatch.detach(probe)
             obs.record_probe(probe)
+            obs.record_device(ctx.machine.gpu)
         sp.set(sync_sites=len(sites), sync_functions=len(sync_functions))
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage="stage1_baseline")

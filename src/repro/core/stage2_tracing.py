@@ -85,6 +85,7 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
             dispatch.detach(funnel_probe)
             obs.record_probe(tracker.probe)
             obs.record_probe(funnel_probe)
+            obs.record_device(ctx.machine.gpu)
         syncs = sum(1 for e in events if e.is_sync)
         sp.set(events=len(events), syncs=syncs,
                transfers=sum(1 for e in events if e.is_transfer))

@@ -145,6 +145,7 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
             dispatch.detach(funnel_probe)
             for probe in (tracker.probe, managed_probe, funnel_probe):
                 obs.record_probe(probe)
+            obs.record_device(ctx.machine.gpu)
         sp.set(first_uses=len(first_uses),
                target_instructions=len(target_instructions))
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,

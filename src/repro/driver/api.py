@@ -372,6 +372,7 @@ class CudaDriver:
         self.dispatch.publish_up(
             transfer_nbytes=nbytes, transfer_direction="h2d",
             transfer_dst=dst.dptr + dst_offset, transfer_payload=payload,
+            transfer_src_buffer=src, transfer_src_offset=src_offset,
         )
         if synchronous:
             self._wait_for_completion(op.end_time, scope=api)
@@ -426,7 +427,7 @@ class CudaDriver:
         self.dispatch.publish_up(
             transfer_nbytes=nbytes, transfer_direction="d2h",
             transfer_dst=dst.address + dst_offset, transfer_payload=payload,
-            transfer_dst_buffer=dst,
+            transfer_dst_buffer=dst, transfer_dst_offset=dst_offset,
         )
         if synchronous:
             self._wait_for_completion(op.end_time, scope=api)

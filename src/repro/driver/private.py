@@ -102,7 +102,7 @@ def private_memcpy_dtoh(driver: CudaDriver, dst: HostBuffer, src: DeviceBuffer,
         driver.dispatch.publish_up(
             transfer_nbytes=n, transfer_direction="d2h",
             transfer_dst=dst.address, transfer_payload=payload,
-            transfer_dst_buffer=dst,
+            transfer_dst_buffer=dst, transfer_dst_offset=0,
         )
         driver._wait_for_completion(op.end_time, scope=PRIVATE_MEMCPY_SYMBOL)
 
@@ -134,6 +134,7 @@ def private_memcpy_htod(driver: CudaDriver, dst: DeviceBuffer, src: HostBuffer,
         driver.dispatch.publish_up(
             transfer_nbytes=n, transfer_direction="h2d",
             transfer_dst=dst.dptr, transfer_payload=payload,
+            transfer_src_buffer=src, transfer_src_offset=0,
         )
         driver._wait_for_completion(op.end_time, scope=PRIVATE_MEMCPY_SYMBOL)
 

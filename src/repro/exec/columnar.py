@@ -1,0 +1,128 @@
+"""Columnar encoding for high-volume record batches.
+
+The FFM pipeline moves large homogeneous lists of row dicts around —
+stage-2 trace events, stage-3 sync-use and transfer-hash records —
+across the process-pool boundary, into the content-addressed stage
+cache, and into the service's report store.  As row dicts, every row
+re-serializes its key strings and every repeated stack/site value in
+full; at production event counts the key strings dominate the payload.
+
+A *columnar batch* stores the keys once and the values column-wise::
+
+    {"__columnar__": 1,
+     "keys": ["seq", "api_name", ...],
+     "count": N,
+     "columns": [{"values": [...]}, {"dict": [...], "codes": [...]}, ...]}
+
+Scalar columns are plain value lists.  Columns holding composite
+values (stack-frame lists, site dicts) are dictionary-encoded: the
+distinct values appear once, in first-seen order, and rows carry
+integer codes — the same trick the stack interner plays in memory.
+Distinctness is judged on order-preserving JSON text, which (like
+JSON itself) distinguishes ``1`` / ``1.0`` / ``true`` and keeps
+differently-ordered dicts apart, so substituting a pooled value for
+the original can never change a re-serialization.
+
+The codec is exact and self-describing: ``decode`` rebuilds the very
+list of dicts — same key order, same values — so content digests and
+``from_json`` loaders are oblivious to whether a payload travelled
+columnar.  Anything the encoder cannot represent losslessly (ragged
+keys, non-dict elements) passes through untouched.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Marker key identifying an encoded batch; bump the value when the
+#: batch layout changes (paired with the cache/store schema bumps).
+MARKER = "__columnar__"
+FORMAT_VERSION = 1
+
+
+def _canonical(value) -> str:
+    # Insertion order is deliberately part of the identity (no
+    # sort_keys): two dicts with equal content but different key order
+    # must not share a pool slot, or decode would swap one order for
+    # the other and change the re-serialized bytes.
+    return json.dumps(value, separators=(",", ":"))
+
+
+def is_columnar(obj) -> bool:
+    """True when ``obj`` is an encoded batch this module can decode."""
+    return isinstance(obj, dict) and obj.get(MARKER) == FORMAT_VERSION
+
+
+def encode_records(rows: list) -> dict | None:
+    """Encode a homogeneous list of row dicts; ``None`` when ineligible.
+
+    Eligible means: non-empty, every element a dict, every dict with
+    the *same keys in the same order*, and no row using the marker key.
+    Ineligible input is the caller's cue to pass the list through
+    unchanged — the codec never guesses.
+    """
+    if not isinstance(rows, list) or not rows:
+        return None
+    if not all(isinstance(r, dict) for r in rows):
+        return None
+    keys = tuple(rows[0].keys())
+    if not keys or MARKER in keys:
+        return None
+    if any(tuple(r.keys()) != keys for r in rows[1:]):
+        return None
+    columns = []
+    for key in keys:
+        values = [r[key] for r in rows]
+        if any(isinstance(v, (dict, list)) for v in values):
+            pool: list = []
+            index: dict[str, int] = {}
+            codes: list[int] = []
+            for v in values:
+                ck = _canonical(v)
+                code = index.get(ck)
+                if code is None:
+                    code = index[ck] = len(pool)
+                    pool.append(v)
+                codes.append(code)
+            columns.append({"dict": pool, "codes": codes})
+        else:
+            columns.append({"values": values})
+    return {MARKER: FORMAT_VERSION, "keys": list(keys),
+            "count": len(rows), "columns": columns}
+
+
+def decode_records(batch: dict) -> list[dict]:
+    """Rebuild the original row-dict list from an encoded batch."""
+    keys = batch["keys"]
+    materialized = []
+    for col in batch["columns"]:
+        if "codes" in col:
+            pool = col["dict"]
+            materialized.append([pool[code] for code in col["codes"]])
+        else:
+            materialized.append(col["values"])
+    return [dict(zip(keys, row)) for row in zip(*materialized)]
+
+
+def encode_tree(obj):
+    """Encode every eligible record list reachable through dict values.
+
+    Walks nested dicts (stage payloads, report JSON); each list value
+    is either encoded whole as a batch or left untouched — the walk
+    never descends *into* lists, so pooled values stay raw.
+    """
+    if isinstance(obj, dict):
+        return {k: encode_tree(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        batch = encode_records(obj)
+        return obj if batch is None else batch
+    return obj
+
+
+def decode_tree(obj):
+    """Inverse of :func:`encode_tree`; plain payloads pass through."""
+    if is_columnar(obj):
+        return decode_records(obj)
+    if isinstance(obj, dict):
+        return {k: decode_tree(v) for k, v in obj.items()}
+    return obj

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import repro.obs as obs
 from repro.exec.cache import ResultCache
+from repro.exec.columnar import decode_tree
 from repro.exec.fingerprint import (
     CACHE_SCHEMA_VERSION,
     code_fingerprint,
@@ -245,7 +246,10 @@ class StageExecutor:
 
     def _record_result(self, run: _WorkloadRun, job: StageJob, key: str,
                        result: JobResult, *, cache_hit: bool) -> None:
-        run.record(job.stage, result.data)
+        # ``result.data`` is the columnar wire/cache form: cache it
+        # as-is, decode it for the scheduling state (input digests and
+        # ``from_json`` loaders see exactly the classic row dicts).
+        run.record(job.stage, decode_tree(result.data))
         if self.cache is not None and not cache_hit:
             self.cache.put(key, job.stage, job.workload.name, result.data)
         if not obs.is_enabled():

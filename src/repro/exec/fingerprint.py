@@ -38,8 +38,9 @@ from repro.sim.costs import CostParameters
 from repro.sim.machine import MachineConfig
 
 #: Bump when the cache payload layout changes (old entries become
-#: unreadable misses, never wrong answers).
-CACHE_SCHEMA_VERSION = 1
+#: unreadable misses, never wrong answers).  v2: stage payloads are
+#: stored columnar-encoded (:mod:`repro.exec.columnar`).
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_json(obj) -> str:

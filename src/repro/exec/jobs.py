@@ -7,11 +7,12 @@ stage, config, upstream stage data)*.  :class:`StageJob` captures that
 description in plain picklable types, and :func:`execute_job` replays
 it — in this process or in a pool worker, with identical results.
 
-All stage data crosses the process boundary as the same JSON dicts the
-report exporter uses (``to_json``/``from_json`` on the record classes),
-which doubles as the cache payload format: a result computed by a
-worker, a result computed inline, and a result read back from the
-on-disk cache are indistinguishable by construction.
+Stage data crosses the process boundary columnar-encoded
+(:mod:`repro.exec.columnar`): the worker encodes its ``to_json`` dict
+once, the parent decodes on receipt and caches the encoded form, so a
+result computed by a worker, a result computed inline, and a result
+read back from the on-disk cache are indistinguishable by
+construction — the codec is exact.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro.exec.columnar import encode_tree
 from repro.exec.fingerprint import (
     config_from_json,
     digest_json,
@@ -102,7 +104,12 @@ class StageJob:
 
 @dataclass
 class JobResult:
-    """What a worker sends back: the stage JSON plus attribution."""
+    """What a worker sends back: the stage payload plus attribution.
+
+    ``data`` is the stage's ``to_json`` dict with its record lists
+    columnar-encoded (:func:`repro.exec.columnar.encode_tree`) — the
+    compact wire/cache form.  The executor decodes it before use.
+    """
 
     stage: str
     workload: str
@@ -151,7 +158,7 @@ def execute_job(job: StageJob) -> JobResult:
     t0 = time.perf_counter()
     workload = job.workload.create()
     config = config_from_json(job.config)
-    data = _run_stage(job, workload, config).to_json()
+    data = encode_tree(_run_stage(job, workload, config).to_json())
     return JobResult(
         stage=job.stage,
         workload=job.workload.name,

@@ -14,6 +14,8 @@ convenience.  ``pinned`` marks page-locked allocations
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.hostmem.accesshooks import AccessEvent
@@ -61,6 +63,10 @@ class HostBuffer:
         self.label = label or f"hostbuf_{self.address:#x}"
         self.protection = WriteProtection()
         self.freed = False
+        #: Monotonic store counter: every mutation path bumps it, so a
+        #: cached digest is valid exactly while the generation matches.
+        self.write_generation = 0
+        self._digest_cache: dict[tuple[int, int], tuple[int, str]] = {}
         space.register(self)
 
     # ------------------------------------------------------------------
@@ -105,6 +111,7 @@ class HostBuffer:
         offset, size = self._bounds(offset, size)
         self.protection.check_store(self.address + offset, size)
         self._fire("store", offset, size)
+        self.write_generation += 1
         target = self._view(offset, size)
         target[...] = arr.reshape(target.shape).astype(target.dtype, copy=False)
 
@@ -114,6 +121,7 @@ class HostBuffer:
         offset, size = self._bounds(offset, size)
         self.protection.check_store(self.address + offset, size)
         self._fire("store", offset, size)
+        self.write_generation += 1
         self._view(offset, size)[...] = value
 
     # ------------------------------------------------------------------
@@ -130,8 +138,35 @@ class HostBuffer:
         self._check_live()
         data = np.asarray(data, dtype=np.uint8).reshape(-1)
         offset, size = self._bounds(offset, int(data.nbytes))
+        self.write_generation += 1
         flat = self.array.reshape(-1).view(np.uint8)
         flat[offset : offset + size] = data
+
+    # ------------------------------------------------------------------
+    # Content digests (stage-3 transfer dedup fast path)
+    # ------------------------------------------------------------------
+    def content_digest(self, offset: int = 0, size: int | None = None,
+                       *, digest_size: int = 16) -> str:
+        """BLAKE2b hex digest of ``size`` bytes at ``offset``.
+
+        Cached per (offset, size) window against :attr:`write_generation`:
+        an unchanged buffer is hashed once, and every re-transfer of the
+        same region is a dict hit.  Hashing goes through the buffer
+        protocol directly — no intermediate ``tobytes`` copy — and is
+        byte-for-byte the digest :func:`repro.core.stage3_memtrace.hash_payload`
+        would compute for the transferred payload.
+        """
+        self._check_live()
+        offset, size = self._bounds(offset, size)
+        key = (offset, size)
+        cached = self._digest_cache.get(key)
+        if cached is not None and cached[0] == self.write_generation:
+            return cached[1]
+        flat = self.array.reshape(-1).view(np.uint8)
+        digest = hashlib.blake2b(flat[offset : offset + size],
+                                 digest_size=digest_size).hexdigest()
+        self._digest_cache[key] = (self.write_generation, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Helpers

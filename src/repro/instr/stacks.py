@@ -14,19 +14,35 @@ Two stack-trace identities matter for grouping (§3.5.2):
   by fake instruction address → the *single point* grouping;
 * function identity (:meth:`StackTrace.function_key`) — frames
   matched by demangled base name → the *folded function* grouping.
+
+Both identities are *interned*: a process-wide :class:`StackInterner`
+issues a small integer ID per distinct key, so the hot grouping and
+sequence-signature paths compare ints instead of rebuilding and
+hashing tuples (see docs/performance.md).  Frames and snapshots are
+interned too — the same call site yields the same ``Frame`` object,
+and an unchanged stack yields the same ``StackTrace`` object — which
+makes every derived value (address, base name, keys, IDs) a
+compute-once attribute.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.instr.symbols import demangle_base_name, instruction_address
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One application stack frame: function, source file, line."""
+    """One application stack frame: function, source file, line.
+
+    ``address`` and ``base_name`` are derived, cached on first access
+    (frames are immutable, so the values can never go stale).  The
+    cache slots live in the instance ``__dict__`` and do not take part
+    in equality or hashing, which stay field-based.
+    """
 
     function: str
     file: str
@@ -34,14 +50,34 @@ class Frame:
 
     @property
     def address(self) -> int:
-        return instruction_address(self.file, self.line)
+        try:
+            return self._address
+        except AttributeError:
+            address = instruction_address(self.file, self.line)
+            object.__setattr__(self, "_address", address)
+            return address
 
     @property
     def base_name(self) -> str:
-        return demangle_base_name(self.function)
+        try:
+            return self._base_name
+        except AttributeError:
+            base = demangle_base_name(self.function)
+            object.__setattr__(self, "_base_name", base)
+            return base
 
     def pretty(self) -> str:
         return f"{self.function} at {self.file}:{self.line}"
+
+
+@lru_cache(maxsize=None)
+def intern_frame(function: str, file: str, line: int) -> Frame:
+    """The canonical :class:`Frame` for a call site.
+
+    Bounded by the number of distinct source annotations in the
+    process, like the symbol caches it amortises.
+    """
+    return Frame(function, file, line)
 
 
 @dataclass(frozen=True)
@@ -62,16 +98,99 @@ class StackTrace:
 
     def address_key(self) -> tuple[int, ...]:
         """Identity for the *single point* grouping."""
-        return tuple(f.address for f in self.frames)
+        try:
+            return self._address_key
+        except AttributeError:
+            key = tuple(f.address for f in self.frames)
+            object.__setattr__(self, "_address_key", key)
+            return key
 
     def function_key(self) -> tuple[str, ...]:
         """Identity for the *folded function* grouping."""
-        return tuple(f.base_name for f in self.frames)
+        try:
+            return self._function_key
+        except AttributeError:
+            key = tuple(f.base_name for f in self.frames)
+            object.__setattr__(self, "_function_key", key)
+            return key
+
+    def address_id(self) -> int:
+        """Interned integer standing for :meth:`address_key`.
+
+        Equal address keys map to equal IDs within one process (and
+        nothing else: IDs are issued in first-seen order and never
+        serialized).
+        """
+        try:
+            return self._address_id
+        except AttributeError:
+            sid = _INTERNER.address_id(self.address_key())
+            object.__setattr__(self, "_address_id", sid)
+            return sid
+
+    def function_id(self) -> int:
+        """Interned integer standing for :meth:`function_key`."""
+        try:
+            return self._function_id
+        except AttributeError:
+            sid = _INTERNER.function_id(self.function_key())
+            object.__setattr__(self, "_function_id", sid)
+            return sid
 
     def pretty(self, indent: str = "  ") -> str:
         if not self.frames:
             return f"{indent}<no application frames>"
         return "\n".join(indent + f.pretty() for f in reversed(self.frames))
+
+
+class StackInterner:
+    """Issues process-local integer IDs for stack identities.
+
+    One dict lookup replaces rebuilding an O(depth) tuple and hashing
+    it on every comparison.  IDs are deterministic *per process* (issue
+    order is first-seen order) but carry no cross-process meaning —
+    reports and cache payloads always serialize the underlying tuples.
+    """
+
+    def __init__(self) -> None:
+        self._address_ids: dict[tuple[int, ...], int] = {}
+        self._function_ids: dict[tuple[str, ...], int] = {}
+        self._snapshots: dict[tuple[Frame, ...], StackTrace] = {}
+
+    def address_id(self, key: tuple[int, ...]) -> int:
+        ids = self._address_ids
+        sid = ids.get(key)
+        if sid is None:
+            sid = ids[key] = len(ids)
+        return sid
+
+    def function_id(self, key: tuple[str, ...]) -> int:
+        ids = self._function_ids
+        sid = ids.get(key)
+        if sid is None:
+            sid = ids[key] = len(ids)
+        return sid
+
+    def stack(self, frames: tuple[Frame, ...]) -> StackTrace:
+        """The canonical :class:`StackTrace` for a frame tuple."""
+        snap = self._snapshots.get(frames)
+        if snap is None:
+            snap = self._snapshots[frames] = StackTrace(frames)
+        return snap
+
+    def clear(self) -> None:  # pragma: no cover - test hygiene hook
+        self._address_ids.clear()
+        self._function_ids.clear()
+        self._snapshots.clear()
+
+
+#: The process-wide interner every snapshot goes through.
+_INTERNER = StackInterner()
+
+
+def intern_stack(frames: tuple[Frame, ...]) -> StackTrace:
+    """Canonical snapshot for ``frames`` (module-level convenience)."""
+    return _INTERNER.stack(frames)
 
 
 class CallStackTracker:
@@ -99,7 +218,7 @@ class CallStackTracker:
 
     @contextmanager
     def frame(self, function: str, file: str, line: int):
-        f = Frame(function, file, line)
+        f = intern_frame(function, file, line)
         self._frames.append(f)
         try:
             yield f
@@ -113,8 +232,13 @@ class CallStackTracker:
             # frames were live (a deliberate between-phases reset).
 
     def current(self) -> StackTrace:
-        """Snapshot the current stack (cheap immutable copy)."""
-        return StackTrace(tuple(self._frames))
+        """Snapshot the current stack (cheap immutable copy).
+
+        Snapshots are interned: while the stack is unchanged, repeated
+        snapshots return the *same* :class:`StackTrace` object, whose
+        derived keys and IDs are computed at most once per process.
+        """
+        return _INTERNER.stack(tuple(self._frames))
 
     def clear(self) -> None:
         self._frames.clear()

@@ -73,6 +73,7 @@ def strip_template_params(name: str) -> str:
     return "".join(out)
 
 
+@lru_cache(maxsize=65536)
 def demangle_base_name(name: str) -> str:
     """Base function name used by the folded-function grouping.
 
@@ -80,6 +81,11 @@ def demangle_base_name(name: str) -> str:
     return-type tokens, keeping namespace qualification:
     ``void cusp::detail::multiply<int, float>(A, B)`` →
     ``cusp::detail::multiply``.
+
+    Memoized: demangling runs a character scan per call and the same
+    few hundred names recur once per frame-property access, so the
+    cache turns the per-event cost into a dict hit (the cache is
+    bounded and keyed by the raw name, which is immutable).
     """
     base = strip_template_params(name).strip()
     # Drop one trailing (...) argument list if present and balanced.

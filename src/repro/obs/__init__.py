@@ -59,6 +59,7 @@ __all__ = [
     "gauge",
     "is_enabled",
     "observe",
+    "record_device",
     "record_probe",
     "span",
 ]
@@ -166,3 +167,33 @@ def record_probe(probe) -> None:
     if delta > 0:
         probe._obs_hits_flushed = probe.hits
         o.metrics.counter("instr.probe_hits", probe=probe.label).inc(delta)
+
+
+def record_device(device) -> None:
+    """Flush a simulated GPU's batched scheduling telemetry.
+
+    The simulator's per-operation paths (``Engine.schedule``,
+    ``GpuDevice.enqueue``) keep plain counters instead of emitting
+    metrics — those two calls run once per device operation and used
+    to dominate telemetry cost.  Stage drivers call this once at run
+    end to publish the totals: per-engine ``sim.engine_busy_seconds`` /
+    ``sim.engine_ops_executed`` gauges and the per-kind
+    ``sim.ops_enqueued`` counter.  Counter flushing is delta-based
+    (mirroring :func:`record_probe`), so flushing the same device
+    twice never double-counts.
+    """
+    o = _ACTIVE
+    if o is None:
+        return
+    for engine in device.engines.values():
+        o.metrics.gauge("sim.engine_busy_seconds",
+                        engine=engine.name).set(engine.busy_time)
+        o.metrics.gauge("sim.engine_ops_executed",
+                        engine=engine.name).set(engine.ops_executed)
+    flushed = getattr(device, "_obs_enqueued_flushed", None) or {}
+    for kind, total in device.ops_enqueued_by_kind.items():
+        delta = total - flushed.get(kind, 0)
+        if delta > 0:
+            o.metrics.counter("sim.ops_enqueued",
+                              kind=kind.name.lower()).inc(delta)
+    device._obs_enqueued_flushed = dict(device.ops_enqueued_by_kind)

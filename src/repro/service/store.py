@@ -34,6 +34,7 @@ import tempfile
 import threading
 
 from repro.core.jsonio import SCHEMA_VERSION
+from repro.exec.columnar import decode_tree, encode_tree
 from repro.exec.fingerprint import (
     canonical_json,
     code_fingerprint,
@@ -43,7 +44,9 @@ from repro.exec.fingerprint import (
 from repro.exec.jobs import WorkloadSpec
 
 #: Bump when the envelope layout changes (old entries become misses).
-STORE_SCHEMA_VERSION = 1
+#: v2: the embedded report's record lists are stored columnar-encoded
+#: (:mod:`repro.exec.columnar`); ``get`` decodes transparently.
+STORE_SCHEMA_VERSION = 2
 
 
 class ReportIdentity(dict):
@@ -105,7 +108,7 @@ class ReportStore:
         report = envelope.get("report")
         if not isinstance(report, dict) or "schema_version" not in report:
             return None
-        return report
+        return decode_tree(report)
 
     def get_envelope(self, key: str) -> dict | None:
         """The raw envelope (identity + report), for diagnostics."""
@@ -135,7 +138,7 @@ class ReportStore:
             "key": key,
             "identity": dict(identity),
             "job_id": job_id,
-            "report": report_json,
+            "report": encode_tree(report_json),
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import math
 
-import repro.obs as obs
 from repro.sim.engine import Engine
 from repro.sim.ops import DeviceOp, OpKind
 
@@ -67,6 +66,10 @@ class GpuDevice:
         self.streams: dict[int, Stream] = {0: Stream(0)}
         self._next_stream_id = 1
         self.all_ops: list[DeviceOp] = []
+        #: Running enqueue totals by :class:`OpKind`; flushed into the
+        #: ``sim.ops_enqueued`` counter by :func:`repro.obs.record_device`
+        #: at stage end rather than emitted per operation.
+        self.ops_enqueued_by_kind: dict[OpKind, int] = {}
 
     # ------------------------------------------------------------------
     # Stream management
@@ -107,8 +110,8 @@ class GpuDevice:
         engine.schedule(op, earliest)
         stream.record(op)
         self.all_ops.append(op)
-        if obs.is_enabled():
-            obs.count("sim.ops_enqueued", kind=op.kind.name.lower())
+        kind_counts = self.ops_enqueued_by_kind
+        kind_counts[op.kind] = kind_counts.get(op.kind, 0) + 1
         return op
 
     def _pick_engine(self, op: DeviceOp) -> Engine:

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 
-import repro.obs as obs
 from repro.sim.ops import DeviceOp
 
 
@@ -62,11 +61,9 @@ class Engine:
             self.free_at = op.end_time
             self.busy_time += op.duration
         self.ops_executed += 1
-        if obs.is_enabled():
-            obs.gauge("sim.engine_busy_seconds", self.busy_time,
-                      engine=self.name)
-            obs.gauge("sim.engine_ops_executed", self.ops_executed,
-                      engine=self.name)
+        # No telemetry here: schedule() is the simulator's hottest call,
+        # and busy_time/ops_executed already carry the running totals.
+        # obs.record_device flushes them as gauges at stage end.
 
     def cancel_infinite(self, now: float) -> DeviceOp | None:
         """Cancel the infinite op (if any), freeing the engine at ``now``.

@@ -1,0 +1,170 @@
+"""Unit + property tests for the columnar record-batch codec.
+
+The codec's contract is exactness: ``decode(encode(x)) == x`` with key
+order preserved, for every value the executor or service might ship.
+Anything less would change input digests or report bytes downstream.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.columnar import (
+    FORMAT_VERSION,
+    MARKER,
+    decode_records,
+    decode_tree,
+    encode_records,
+    encode_tree,
+    is_columnar,
+)
+
+
+def _rows(n=6):
+    stack = [{"function": "f<int>", "file": "a.cpp", "line": 7}]
+    return [
+        {"seq": i, "api": "cudaMemcpy" if i % 2 else "cudaFree",
+         "stack": stack, "nbytes": 1024 * i, "wait": i * 1e-6}
+        for i in range(n)
+    ]
+
+
+class TestEncodeRecords:
+    def test_round_trip_exact(self):
+        rows = _rows()
+        batch = encode_records(rows)
+        assert is_columnar(batch)
+        assert decode_records(batch) == rows
+
+    def test_key_order_preserved(self):
+        rows = [{"b": 1, "a": 2}, {"b": 3, "a": 4}]
+        decoded = decode_records(encode_records(rows))
+        assert [list(r.keys()) for r in decoded] == [["b", "a"], ["b", "a"]]
+
+    def test_composite_columns_dictionary_encoded(self):
+        rows = _rows(10)
+        batch = encode_records(rows)
+        stack_col = batch["columns"][list(rows[0]).index("stack")]
+        assert "dict" in stack_col
+        assert len(stack_col["dict"]) == 1  # one distinct stack, pooled once
+        assert len(stack_col["codes"]) == len(rows)
+
+    def test_scalar_columns_stored_plain(self):
+        batch = encode_records(_rows())
+        seq_col = batch["columns"][0]
+        assert seq_col == {"values": [0, 1, 2, 3, 4, 5]}
+
+    def test_pooling_distinguishes_equal_but_distinct_types(self):
+        # 1 == 1.0 == True in Python; canonical-JSON pooling keys must
+        # keep them apart so re-serialization is byte-identical.
+        rows = [{"v": [1]}, {"v": [1.0]}, {"v": [True]}, {"v": [1]}]
+        batch = encode_records(rows)
+        assert len(batch["columns"][0]["dict"]) == 3
+        assert json.dumps(decode_records(batch)) == json.dumps(rows)
+
+    def test_empty_list_not_encoded(self):
+        assert encode_records([]) is None
+
+    def test_non_dict_rows_not_encoded(self):
+        assert encode_records([1, 2, 3]) is None
+        assert encode_records([{"a": 1}, "nope"]) is None
+
+    def test_heterogeneous_keys_not_encoded(self):
+        assert encode_records([{"a": 1}, {"b": 2}]) is None
+        assert encode_records([{"a": 1}, {"a": 1, "b": 2}]) is None
+
+    def test_keyless_rows_not_encoded(self):
+        assert encode_records([{}, {}]) is None
+
+    def test_marker_collision_not_encoded(self):
+        assert encode_records([{MARKER: FORMAT_VERSION, "a": 1}]) is None
+
+
+class TestTreeCodec:
+    def test_nested_lists_encoded_in_place(self):
+        tree = {"stage2": {"events": _rows(), "execution_time": 1.5},
+                "plain": [1, 2, 3]}
+        encoded = encode_tree(tree)
+        assert is_columnar(encoded["stage2"]["events"])
+        assert encoded["stage2"]["execution_time"] == 1.5
+        assert encoded["plain"] == [1, 2, 3]  # ineligible: passes through
+        assert decode_tree(encoded) == tree
+
+    def test_decode_tree_identity_on_plain_values(self):
+        for value in (None, 7, "x", [1, 2], {"a": [{"b": 1}, {"b": 2}]}):
+            assert decode_tree(value) == value
+
+    def test_json_serializable_and_stable(self):
+        tree = {"events": _rows()}
+        once = json.dumps(encode_tree(tree), sort_keys=True)
+        twice = json.dumps(encode_tree(tree), sort_keys=True)
+        assert once == twice
+
+    def test_encoded_form_smaller_for_repetitive_rows(self):
+        rows = _rows(200)
+        plain = len(json.dumps(rows))
+        encoded = len(json.dumps(encode_records(rows)))
+        assert encoded < plain
+
+
+# ----------------------------------------------------------------------
+# Property: round-trip over arbitrary JSON-able homogeneous row lists
+# ----------------------------------------------------------------------
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=6), inner, max_size=4),
+    ),
+    max_leaves=8,
+)
+_keys = st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=5,
+                 unique=True)
+
+
+@st.composite
+def _homogeneous_rows(draw):
+    keys = draw(_keys)
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [{k: draw(_values) for k in keys} for _ in range(n)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_homogeneous_rows())
+def test_property_round_trip_is_exact(rows):
+    batch = encode_records(rows)
+    if batch is None:  # eligibility declined (e.g. a key equal to MARKER)
+        return
+    decoded = decode_records(batch)
+    # Compare serialized form: catches type swaps (1 vs 1.0 vs True)
+    # that Python == would forgive.
+    assert json.dumps(decoded) == json.dumps(rows)
+    assert [list(r.keys()) for r in decoded] == [list(r.keys()) for r in rows]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.text(max_size=6),
+                       st.one_of(_values, _homogeneous_rows()),
+                       max_size=4))
+def test_property_tree_round_trip(tree):
+    assert json.dumps(decode_tree(encode_tree(tree))) == json.dumps(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_homogeneous_rows())
+def test_property_encoded_batch_survives_json(rows):
+    batch = encode_records(rows)
+    if batch is None:
+        return
+    # The executor and store ship batches as JSON text; the codec must
+    # tolerate that round trip too.
+    revived = json.loads(json.dumps(batch))
+    assert json.dumps(decode_records(revived)) == json.dumps(rows)

@@ -213,3 +213,73 @@ class TestProtection:
         with pytest.raises(ProtectionError):
             buf.write(np.array([9.0]))
         assert buf.read()[0] == 3.0
+
+
+class TestContentDigest:
+    def test_matches_payload_hash(self, space):
+        from repro.core.stage3_memtrace import hash_payload
+
+        buf = HostBuffer(space, 32)
+        buf.write(np.arange(32, dtype=np.float64))
+        assert buf.content_digest() == hash_payload(buf.raw_bytes())
+        assert buf.content_digest(8, 64) == hash_payload(buf.raw_bytes(8, 64))
+
+    def test_every_store_path_bumps_generation(self, space):
+        buf = HostBuffer(space, 8)
+        g0 = buf.write_generation
+        buf.write(np.array([1.0]))
+        buf.fill(0, offset=8, size=8)
+        buf.raw_write_bytes(np.zeros(4, dtype=np.uint8), offset=16)
+        assert buf.write_generation == g0 + 3
+
+    def test_reads_do_not_bump_generation(self, space):
+        buf = HostBuffer(space, 8)
+        g0 = buf.write_generation
+        buf.read()
+        buf.raw_bytes()
+        buf.content_digest()
+        assert buf.write_generation == g0
+
+    def test_repeated_digest_is_cached(self, space):
+        buf = HostBuffer(space, 8)
+        buf.fill(3.0)
+        first = buf.content_digest()
+        key = (0, buf.nbytes)
+        assert buf._digest_cache[key] == (buf.write_generation, first)
+        # Unchanged buffer: repeat serves the cached entry.
+        assert buf.content_digest() == first
+        assert buf._digest_cache[key] == (buf.write_generation, first)
+
+    def test_store_invalidates_cached_digest(self, space):
+        buf = HostBuffer(space, 8)
+        buf.fill(1.0)
+        stale = buf.content_digest()
+        buf.fill(2.0)
+        fresh = buf.content_digest()
+        assert fresh != stale
+        # And the recomputed digest is correct, not the cached one.
+        from repro.core.stage3_memtrace import hash_payload
+
+        assert fresh == hash_payload(buf.raw_bytes())
+
+    def test_windows_cached_independently(self, space):
+        buf = HostBuffer(space, 16)
+        buf.write(np.arange(16, dtype=np.float64))
+        whole = buf.content_digest()
+        low = buf.content_digest(0, 64)
+        high = buf.content_digest(64, 64)
+        assert len({whole, low, high}) == 3
+        assert set(buf._digest_cache) == {(0, 128), (0, 64), (64, 64)}
+
+    def test_same_bytes_same_digest_across_buffers(self, space):
+        a = HostBuffer(space, 8)
+        b = HostBuffer(space, 8)
+        a.fill(5.0)
+        b.fill(5.0)
+        assert a.content_digest() == b.content_digest()
+
+    def test_digest_after_free_raises(self, space):
+        buf = HostBuffer(space, 8)
+        buf.free()
+        with pytest.raises(RuntimeError):
+            buf.content_digest()

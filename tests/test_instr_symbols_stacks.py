@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.instr.stacks import CallStackTracker, Frame, StackTrace
+from repro.instr.stacks import (
+    CallStackTracker,
+    Frame,
+    StackInterner,
+    StackTrace,
+    intern_frame,
+    intern_stack,
+)
 from repro.instr.symbols import (
     demangle_base_name,
     instruction_address,
@@ -138,3 +145,69 @@ class TestCallStackTracker:
             assert tracker.depth == 0
         # Exiting the abandoned frame must not raise or underflow.
         assert tracker.depth == 0
+
+
+class TestInterning:
+    def _frames(self, n=3, salt=""):
+        return tuple(
+            intern_frame(f"fn_{salt}{i}<T>", f"src_{salt}.cpp", 10 + i)
+            for i in range(n)
+        )
+
+    def test_intern_frame_returns_equal_frames(self):
+        a = intern_frame("f", "x.cpp", 1)
+        b = intern_frame("f", "x.cpp", 1)
+        assert a == b == Frame("f", "x.cpp", 1)
+
+    def test_intern_stack_canonicalizes(self):
+        frames = self._frames()
+        assert intern_stack(frames) is intern_stack(frames)
+
+    def test_distinct_frame_tuples_distinct_snapshots(self):
+        a = intern_stack(self._frames(salt="a"))
+        b = intern_stack(self._frames(salt="b"))
+        assert a is not b and a.address_key() != b.address_key()
+
+    def test_cached_keys_match_uncached(self):
+        stack = intern_stack(self._frames())
+        # First call populates the cache, second serves from it; both
+        # must equal the structural tuple the pre-interning code built.
+        for _ in range(2):
+            assert stack.address_key() == tuple(
+                f.address for f in stack.frames)
+            assert stack.function_key() == tuple(
+                f.base_name for f in stack.frames)
+
+    def test_interned_ids_partition_like_tuple_keys(self):
+        # The byte-identity argument: an id-keyed dict must produce the
+        # same partition, in the same insertion order, as a tuple-keyed
+        # dict over any event stream.
+        stacks = [intern_stack(self._frames(salt=str(i % 5)))
+                  for i in range(40)]
+        by_tuple: dict = {}
+        by_id: dict = {}
+        for s in stacks:
+            by_tuple.setdefault(s.address_key(), []).append(s)
+            by_id.setdefault(s.address_id(), []).append(s)
+        assert list(by_tuple.values()) == list(by_id.values())
+        # And the id <-> tuple mapping is a bijection.
+        pairs = {(s.address_key(), s.address_id()) for s in stacks}
+        assert len({k for k, _ in pairs}) == len({i for _, i in pairs}) \
+            == len(pairs)
+
+    def test_function_ids_fold_templates_like_function_keys(self):
+        a = intern_stack((intern_frame("work<int>", "w.cpp", 20),))
+        b = intern_stack((intern_frame("work<float>", "w.cpp", 99),))
+        assert a.function_key() == b.function_key()
+        assert a.function_id() == b.function_id()
+        assert a.address_id() != b.address_id()
+
+    def test_fresh_interner_issues_dense_first_seen_ids(self):
+        interner = StackInterner()
+        keys = [(1, 2), (3,), (1, 2), (5, 6, 7)]
+        assert [interner.address_id(k) for k in keys] == [0, 1, 0, 2]
+
+    def test_ids_stable_across_calls(self):
+        stack = intern_stack(self._frames())
+        assert stack.address_id() == stack.address_id()
+        assert stack.function_id() == stack.function_id()
