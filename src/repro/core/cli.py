@@ -28,6 +28,9 @@ The third execution path is the persistent analysis service
     diogenes submit cuibm --param steps=2 --wait         # run via service
     diogenes status                                      # job table
     diogenes fetch <report-key-or-job-id> --out r.json   # stored report
+    diogenes fetch job-000001 --trace-out trace.json     # job's full trace
+    diogenes tail job-000001                             # live event stream
+    diogenes overhead r.json                             # perturbation ledger
     diogenes diff <key-a> <key-b>                        # regression diff
     diogenes diff old.json new.json                      # same, offline
     diogenes cache stats .dio-cache                      # cache accounting
@@ -43,7 +46,7 @@ import repro.obs as obs
 from repro.apps.base import registry
 from repro.core.diogenes import Diogenes, DiogenesConfig
 from repro.core import report as reports
-from repro.core.jsonio import dumps_report
+from repro.core.jsonio import dumps_report, session_meta
 
 
 def _load_workloads() -> None:
@@ -157,7 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("key", help="report key, or a job id (job-NNNNNN)")
     fetch.add_argument("--out", default=None, metavar="PATH",
                        help="write the report JSON here (default: stdout)")
+    fetch.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="also write the job's distributed trace as "
+                            "Chrome-trace JSON (the argument must be a "
+                            "job id; traces are stored per job)")
     _add_url_flag(fetch)
+
+    tail = sub.add_parser(
+        "tail", help="stream a service job's live events until it finishes")
+    tail.add_argument("job_id", help="job id (job-NNNNNN)")
+    tail.add_argument("--after", type=int, default=0, metavar="SEQ",
+                      help="resume after this event sequence number")
+    tail.add_argument("--poll-timeout", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="server-side long-poll window per request "
+                           "(default: 10)")
+    _add_url_flag(tail)
+
+    overhead = sub.add_parser(
+        "overhead",
+        help="show a report's perturbation ledger (tool self-overhead)")
+    overhead.add_argument("report",
+                          help="report JSON file exported with --json while "
+                               "observability was on (meta.overhead)")
 
     diff = sub.add_parser(
         "diff", help="regression-diff two reports (files, or stored keys)")
@@ -203,6 +228,10 @@ def _add_obs_flags(parser) -> None:
     parser.add_argument("--verbose-stages", action="store_true",
                         help="print a per-stage observability summary "
                              "(wall + virtual time, counters) after the run")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="arm the flight recorder: when a stage span "
+                             "fails, dump the recent structured-event ring "
+                             "to DIR as JSONL")
 
 
 def _add_exec_flags(parser) -> None:
@@ -311,7 +340,8 @@ def _export_observability(args, session) -> None:
         print(f"pipeline metrics written to {args.metrics_out}",
               file=sys.stderr)
     if args.verbose_stages:
-        print("\n" + render_session(session.tracer, session.metrics))
+        print("\n" + render_session(session.tracer, session.metrics,
+                                    session.ledger))
 
 
 def _run_batch(args) -> int:
@@ -328,8 +358,10 @@ def _run_batch(args) -> int:
         raise SystemExit(str(exc)) from exc
     specs = [WorkloadSpec.for_workload(w) for w in workloads]
 
-    observing = args.trace_out or args.metrics_out or args.verbose_stages
-    session = obs.enable() if observing else None
+    observing = (args.trace_out or args.metrics_out or args.verbose_stages
+                 or args.flight_dir)
+    session = (obs.enable(obs.Observability(flight_dir=args.flight_dir))
+               if observing else None)
     try:
         with StageExecutor(jobs=args.jobs, cache_dir=args.cache_dir,
                            use_cache=not args.no_cache) as executor:
@@ -355,8 +387,9 @@ def _run_batch(args) -> int:
         if args.json_dir:
             os.makedirs(args.json_dir, exist_ok=True)
             path = os.path.join(args.json_dir, f"{name}.json")
+            meta = session_meta(session) if session is not None else None
             with open(path, "w") as fp:
-                fp.write(dumps_report(report))
+                fp.write(dumps_report(report, meta=meta))
     if args.json_dir:
         print(f"\nJSON reports written to {args.json_dir}", file=sys.stderr)
     if session is not None:
@@ -489,6 +522,57 @@ def _cmd_fetch(args) -> int:
         print(f"report written to {args.out}", file=sys.stderr)
     else:
         print(text)
+    if args.trace_out:
+        if not args.key.startswith("job-"):
+            raise SystemExit("--trace-out needs a job id argument (traces "
+                             "are stored per job, not per report key)")
+        trace = client.trace(args.key)
+        with open(args.trace_out, "w") as fp:
+            json.dump(trace["chrome_trace"], fp)
+        print(f"trace written to {args.trace_out} "
+              f"(trace id {trace.get('trace_id')})", file=sys.stderr)
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    from repro.service.queue import FAILED
+
+    client = _client(args)
+    after = args.after
+    while True:
+        resp = client.events(args.job_id, after=after,
+                             timeout=args.poll_timeout)
+        for ev in resp["events"]:
+            after = max(after, ev["seq"])
+            detail = "  ".join(
+                f"{k}={v}" for k, v in sorted(ev.items())
+                if k not in ("seq", "ts", "event", "job"))
+            print(f"[{ev['seq']:>4}] {ev['event']:<16} {detail}".rstrip(),
+                  flush=True)
+        if resp.get("done"):
+            state = resp.get("state")
+            print(f"-- job {args.job_id} {state}", file=sys.stderr)
+            return 1 if state == FAILED else 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.core.jsonio import load_report_json
+    from repro.obs.render import render_overhead_ledger
+
+    try:
+        data = load_report_json(args.report)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    meta = data.get("meta") or {}
+    overhead = meta.get("overhead")
+    if not overhead:
+        raise SystemExit(
+            f"{args.report} carries no meta.overhead ledger — export with "
+            "`diogenes run <workload> --json out.json --verbose-stages` "
+            "(any observability flag arms the ledger)")
+    if meta.get("trace_id"):
+        print(f"trace id: {meta['trace_id']}\n")
+    print(render_overhead_ledger(overhead))
     return 0
 
 
@@ -555,6 +639,8 @@ _SERVICE_COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
+    "tail": _cmd_tail,
+    "overhead": _cmd_overhead,
     "diff": _cmd_diff,
     "cache": _cmd_cache,
 }
@@ -589,8 +675,10 @@ def main(argv: list[str] | None = None) -> int:
 
     executor = _make_executor(args) if args.command == "run" else None
     observing = args.command == "run" and (
-        args.trace_out or args.metrics_out or args.verbose_stages)
-    session = obs.enable() if observing else None
+        args.trace_out or args.metrics_out or args.verbose_stages
+        or args.flight_dir)
+    session = (obs.enable(obs.Observability(flight_dir=args.flight_dir))
+               if observing else None)
     tool = Diogenes(workload, config, executor=executor,
                     profile_dir=getattr(args, "profile_dir", None))
     try:
@@ -612,8 +700,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print(_render(args, report))
     if args.json_path:
+        meta = session_meta(session) if session is not None else None
         with open(args.json_path, "w") as fp:
-            fp.write(dumps_report(report))
+            fp.write(dumps_report(report, meta=meta))
         print(f"\nJSON report written to {args.json_path}", file=sys.stderr)
     if session is not None:
         _export_observability(args, session)

@@ -77,12 +77,19 @@ def sequence_to_json(s: Sequence) -> dict:
     }
 
 
-def report_to_json(report: DiogenesReport) -> dict:
-    """Convert a full report to JSON-compatible types."""
+def report_to_json(report: DiogenesReport, *, meta: dict | None = None) -> dict:
+    """Convert a full report to JSON-compatible types.
+
+    ``meta`` attaches tool-side annotations — the perturbation ledger
+    (``meta.overhead``), the trace id — as a trailing ``meta`` key.
+    The default (no meta) output is byte-for-byte what it always was:
+    golden fixtures, store fingerprints, and diff inputs all hash the
+    *body*, and tool-side bookkeeping must never perturb them.
+    """
     from repro.core.autofix import fixes_to_json, recommend_fixes
 
     analysis = report.analysis
-    return {
+    body = {
         "schema_version": SCHEMA_VERSION,
         "workload": report.workload_name,
         "execution_time": analysis.execution_time,
@@ -114,6 +121,9 @@ def report_to_json(report: DiogenesReport) -> dict:
             "overhead_multiple": report.overhead.overhead_multiple,
         },
     }
+    if meta is not None:
+        body["meta"] = meta
+    return body
 
 
 def stages_to_json(report: DiogenesReport) -> dict:
@@ -174,10 +184,34 @@ def load_report_json(path: str) -> dict:
     return data
 
 
-def dump_report(report: DiogenesReport, fp: IO[str], *, indent: int = 2) -> None:
+def dump_report(report: DiogenesReport, fp: IO[str], *, indent: int = 2,
+                meta: dict | None = None) -> None:
     """Write a report as JSON to an open text file."""
-    json.dump(report_to_json(report), fp, indent=indent)
+    json.dump(report_to_json(report, meta=meta), fp, indent=indent)
 
 
-def dumps_report(report: DiogenesReport, *, indent: int = 2) -> str:
-    return json.dumps(report_to_json(report), indent=indent)
+def dumps_report(report: DiogenesReport, *, indent: int = 2,
+                 meta: dict | None = None) -> str:
+    return json.dumps(report_to_json(report, meta=meta), indent=indent)
+
+
+def session_meta(session) -> dict:
+    """The ``meta`` annotation for an observability session.
+
+    Charges the session tracer's own span count to the ledger first
+    (the ``tracing`` bucket's parent-side share, booked at finalize
+    under the ``(session)`` pseudo-stage; worker-side shares arrive
+    per-stage via the merged worker ledgers), then snapshots it.
+    Charging is delta-based, so a batch run calling this per report
+    never double-books earlier spans.
+    """
+    # Adopted worker spans (pid set) were already charged per-stage by
+    # the worker that minted them; count only locally-opened spans.
+    local = sum(1 for s in session.tracer.spans if s.pid is None)
+    flushed = getattr(session.tracer, "_ledger_spans_flushed", 0)
+    session.tracer._ledger_spans_flushed = local
+    session.ledger.charge_tracing("(session)", local - flushed)
+    return {
+        "trace_id": session.tracer.trace_id,
+        "overhead": session.ledger.as_json(),
+    }

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.core.records import SiteKey, Stage2Data, TraceEvent
 from repro.instr.discovery import discover_sync_function
 from repro.instr.probes import CallRecord, Probe
@@ -99,7 +100,14 @@ def run_single_run_collection(workload, *, escalation_threshold: int = 3,
     try:
         workload.run(ctx)
     finally:
-        dispatch.detach(probe)
+        # Flush telemetry even when the workload (or detach) raises —
+        # the ablation driver previously published nothing at all.
+        try:
+            dispatch.detach(probe)
+        finally:
+            obs.record_probe(probe, stage="single_run")
+            obs.record_device(ctx.machine.gpu)
+            obs.record_run_overhead("single_run", ctx.machine)
 
     result.stage2 = Stage2Data(execution_time=ctx.elapsed, events=events)
     return result

@@ -65,9 +65,15 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
         try:
             workload.run(ctx)
         finally:
-            dispatch.detach(probe)
-            obs.record_probe(probe)
-            obs.record_device(ctx.machine.gpu)
+            # Telemetry flushes sit in their own ``finally`` so a
+            # raising workload — or a raising detach — still publishes
+            # whatever the run accumulated.
+            try:
+                dispatch.detach(probe)
+            finally:
+                obs.record_probe(probe, stage="stage1_baseline")
+                obs.record_device(ctx.machine.gpu)
+                obs.record_run_overhead("stage1_baseline", ctx.machine)
         sp.set(sync_sites=len(sites), sync_functions=len(sync_functions))
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage="stage1_baseline")

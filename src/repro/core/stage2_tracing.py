@@ -81,11 +81,16 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
         try:
             workload.run(ctx)
         finally:
-            dispatch.detach(tracker.probe)
-            dispatch.detach(funnel_probe)
-            obs.record_probe(tracker.probe)
-            obs.record_probe(funnel_probe)
-            obs.record_device(ctx.machine.gpu)
+            # Flushes in their own ``finally``: a raising workload or
+            # detach must not drop the run's accumulated telemetry.
+            try:
+                dispatch.detach(tracker.probe)
+                dispatch.detach(funnel_probe)
+            finally:
+                obs.record_probe(tracker.probe, stage="stage2_tracing")
+                obs.record_probe(funnel_probe, stage="stage2_tracing")
+                obs.record_device(ctx.machine.gpu)
+                obs.record_run_overhead("stage2_tracing", ctx.machine)
         syncs = sum(1 for e in events if e.is_sync)
         sp.set(events=len(events), syncs=syncs,
                transfers=sum(1 for e in events if e.is_transfer))

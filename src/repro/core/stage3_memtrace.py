@@ -22,6 +22,7 @@ Two collection mechanisms run in the same instrumented execution:
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 
 import repro.obs as obs
@@ -130,6 +131,7 @@ def run_stage3(workload, stage1: Stage1Data, config,
     """
     if mode not in ("both", "memtrace", "hashing"):
         raise ValueError(f"unknown stage-3 mode {mode!r}")
+    stage_name = f"stage3_{mode}"
     do_memtrace = mode in ("both", "memtrace")
     do_hashing = mode in ("both", "hashing")
     ctx = ExecutionContext.create(config.machine_config)
@@ -159,7 +161,17 @@ def run_stage3(workload, stage1: Stage1Data, config,
             if do_hashing:
                 machine.cpu_api(nbytes / config.hash_bandwidth,
                                 "instrumentation")
-                digest = _transfer_digest(meta, payload, nbytes)
+                ledger = obs.active_ledger()
+                if ledger is not None:
+                    # The one bucket measured directly, not estimated:
+                    # digest cost varies with payload size and cache
+                    # state, so hits × unit would misstate it.
+                    h0 = time.perf_counter()
+                    digest = _transfer_digest(meta, payload, nbytes)
+                    ledger.charge(stage_name, "hashing",
+                                  time.perf_counter() - h0)
+                else:
+                    digest = _transfer_digest(meta, payload, nbytes)
                 first = dedup.check(digest, int(meta["transfer_dst"]),
                                     root.site)
                 transfer_hashes.append(TransferHashRecord(
@@ -234,13 +246,19 @@ def run_stage3(workload, stage1: Stage1Data, config,
         try:
             workload.run(ctx)
         finally:
-            if do_memtrace:
-                loadstore.uninstall()
-                dispatch.detach(managed_probe)
-                obs.record_probe(managed_probe)
-            dispatch.detach(tracker.probe)
-            obs.record_probe(tracker.probe)
-            obs.record_device(machine.gpu)
+            # Flushes in their own ``finally``: a raising workload,
+            # uninstall, or detach must not drop the run's telemetry.
+            try:
+                if do_memtrace:
+                    loadstore.uninstall()
+                    dispatch.detach(managed_probe)
+                dispatch.detach(tracker.probe)
+            finally:
+                if do_memtrace:
+                    obs.record_probe(managed_probe, stage=stage_name)
+                obs.record_probe(tracker.probe, stage=stage_name)
+                obs.record_device(machine.gpu)
+                obs.record_run_overhead(stage_name, machine)
         sp.set(sync_uses=len(sync_uses) + (open_sync is not None),
                hashes=len(transfer_hashes),
                duplicates=sum(1 for t in transfer_hashes if t.duplicate))

@@ -139,13 +139,18 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
         try:
             workload.run(ctx)
         finally:
-            loadstore.uninstall()
-            dispatch.detach(tracker.probe)
-            dispatch.detach(managed_probe)
-            dispatch.detach(funnel_probe)
-            for probe in (tracker.probe, managed_probe, funnel_probe):
-                obs.record_probe(probe)
-            obs.record_device(ctx.machine.gpu)
+            # Flushes in their own ``finally``: a raising workload,
+            # uninstall, or detach must not drop the run's telemetry.
+            try:
+                loadstore.uninstall()
+                dispatch.detach(tracker.probe)
+                dispatch.detach(managed_probe)
+                dispatch.detach(funnel_probe)
+            finally:
+                for probe in (tracker.probe, managed_probe, funnel_probe):
+                    obs.record_probe(probe, stage="stage4_syncuse")
+                obs.record_device(ctx.machine.gpu)
+                obs.record_run_overhead("stage4_syncuse", ctx.machine)
         sp.set(first_uses=len(first_uses),
                target_instructions=len(target_instructions))
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import repro.obs as obs
 from repro.exec.cache import ResultCache
 from repro.exec.columnar import decode_tree
+from repro.obs.context import ID_BLOCK
 from repro.exec.fingerprint import (
     CACHE_SCHEMA_VERSION,
     code_fingerprint,
@@ -167,18 +168,31 @@ class StageExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_workload(self, spec: WorkloadSpec, config) -> dict[str, dict]:
+    def run_workload(self, spec: WorkloadSpec, config, *, tracer=None,
+                     on_event=None) -> dict[str, dict]:
         """Run one workload's full stage DAG; see :meth:`run_workloads`."""
-        return self.run_workloads([spec], config)[spec]
+        return self.run_workloads([spec], config, tracer=tracer,
+                                  on_event=on_event)[spec]
 
-    def run_workloads(self, specs: list[WorkloadSpec],
-                      config) -> dict[WorkloadSpec, dict[str, dict]]:
+    def run_workloads(self, specs: list[WorkloadSpec], config, *,
+                      tracer=None,
+                      on_event=None) -> dict[WorkloadSpec, dict[str, dict]]:
         """Run the stage DAG of every workload, fanned out together.
 
         Returns ``{spec: {stage: stage_json, ...}}`` including the
         derived ``"stage3"`` merge.  Assembly is input-ordered and
         content-keyed, so the mapping is identical whatever order the
         pool completed the jobs in.
+
+        When a tracer is available — ``tracer`` explicitly (the service
+        daemon passes a per-job tracer) or the ambient session's — the
+        run is *distributed-traced*: each pool job carries a
+        :class:`~repro.obs.context.SpanContext` pointing at this run's
+        ``exec.run`` span plus a reserved span-id block, the worker
+        ships its spans back, and they are stitched here into one
+        connected timeline.  ``on_event``, when given, is called with a
+        plain dict after every job completion (the daemon's live-stream
+        feed).
         """
         config_json = config_to_json(config)
         plan = _stage_plan(config.split_sync_transfer_runs)
@@ -186,10 +200,24 @@ class StageExecutor:
                 for spec in specs}
         inflight: dict[concurrent.futures.Future, tuple[WorkloadSpec, StageJob, str]] = {}
 
-        with obs.span("exec.run", workloads=len(specs), jobs=self.jobs,
-                      cached=self.cache is not None):
+        ambient = obs.active().tracer if obs.is_enabled() else None
+        tr = tracer if tracer is not None else ambient
+        # A traced *inline* job would install its own collector over the
+        # caller's session; keep inline jobs live-recording on the
+        # ambient tracer and only ship contexts inline when the tracer
+        # was passed explicitly (daemon: per-job tracer != session).
+        trace_inline = tr is not None and tr is not ambient
+        handle = (tr.span("exec.run", workloads=len(specs), jobs=self.jobs,
+                          cached=self.cache is not None)
+                  if tr is not None else obs.span("exec.run"))
+        with handle as root:
+            parent_id = root.span_id if tr is not None else None
+            base_depth = root.depth + 1 if tr is not None else 0
+            stitch = {"tracer": tr, "parent_id": parent_id,
+                      "base_depth": base_depth, "trace_inline": trace_inline,
+                      "on_event": on_event}
             while True:
-                self._launch_ready(runs, config_json, inflight)
+                self._launch_ready(runs, config_json, inflight, stitch)
                 if not inflight:
                     break
                 done, _ = concurrent.futures.wait(
@@ -198,7 +226,7 @@ class StageExecutor:
                     spec, job, key = inflight.pop(future)
                     result: JobResult = future.result()
                     self._record_result(runs[spec], job, key, result,
-                                        cache_hit=False)
+                                        cache_hit=False, stitch=stitch)
             incomplete = [spec.name for spec, run in runs.items()
                           if not run.done()]
             if incomplete:  # pragma: no cover - defensive
@@ -206,8 +234,15 @@ class StageExecutor:
                     f"executor finished with incomplete workloads: {incomplete}")
         return {spec: run.results for spec, run in runs.items()}
 
+    def _job_trace(self, stitch: dict, inline: bool) -> tuple | None:
+        """Wire trace context for one job, or ``None`` when untraced."""
+        tr = stitch["tracer"]
+        if tr is None or (inline and not stitch["trace_inline"]):
+            return None
+        return (tr.trace_id, stitch["parent_id"], tr.reserve_ids(ID_BLOCK))
+
     # ------------------------------------------------------------------
-    def _launch_ready(self, runs, config_json, inflight) -> None:
+    def _launch_ready(self, runs, config_json, inflight, stitch) -> None:
         """Submit (or satisfy from cache / run inline) every ready job.
 
         Cache hits unlock dependents immediately, so the loop keeps
@@ -219,12 +254,14 @@ class StageExecutor:
             for spec, run in runs.items():
                 for stage in run.ready():
                     run.submitted.add(stage)
+                    inline = self.jobs == 1
                     job = StageJob(
                         workload=spec,
                         stage=stage,
                         config=config_json,
                         inputs={dep: run.results[dep]
                                 for dep in run.plan[stage]},
+                        trace=self._job_trace(stitch, inline),
                     )
                     key = self.job_key(job)
                     cached = self.cache.get(key) if self.cache else None
@@ -234,30 +271,56 @@ class StageExecutor:
                             JobResult(stage=stage, workload=spec.name,
                                       data=cached, worker_pid=os.getpid(),
                                       wall_seconds=0.0),
-                            cache_hit=True)
+                            cache_hit=True, stitch=stitch)
                         progressed = True
-                    elif self.jobs == 1:
+                    elif inline:
                         self._record_result(run, job, key, execute_job(job),
-                                            cache_hit=False)
+                                            cache_hit=False, stitch=stitch)
                         progressed = True
                     else:
                         inflight[self._get_pool().submit(execute_job, job)] = (
                             spec, job, key)
 
     def _record_result(self, run: _WorkloadRun, job: StageJob, key: str,
-                       result: JobResult, *, cache_hit: bool) -> None:
+                       result: JobResult, *, cache_hit: bool,
+                       stitch: dict) -> None:
         # ``result.data`` is the columnar wire/cache form: cache it
         # as-is, decode it for the scheduling state (input digests and
         # ``from_json`` loaders see exactly the classic row dicts).
         run.record(job.stage, decode_tree(result.data))
         if self.cache is not None and not cache_hit:
             self.cache.put(key, job.stage, job.workload.name, result.data)
-        if not obs.is_enabled():
+        tr = stitch["tracer"]
+        if tr is not None and result.spans is not None:
+            # Stitch the worker's shipped spans under this run's
+            # ``exec.run`` span.  Spans are never cached — a cache hit
+            # means no collection ran, so there is nothing to trace.
+            tr.adopt(decode_tree(result.spans),
+                     parent_id=stitch["parent_id"],
+                     base_depth=stitch["base_depth"])
+        if obs.is_enabled():
+            if result.overhead is not None:
+                obs.active().ledger.merge_json(result.overhead)
+            obs.event("exec.job.done", stage=job.stage,
+                      workload=job.workload.name, cache_hit=cache_hit,
+                      wall_seconds=round(result.wall_seconds, 6))
+        if stitch["on_event"] is not None:
+            stitch["on_event"]({
+                "event": "stage.done", "stage": job.stage,
+                "workload": job.workload.name, "cache_hit": cache_hit,
+                "wall_seconds": round(result.wall_seconds, 6),
+            })
+        job_span = (tr.span if tr is not None
+                    else obs.span if obs.is_enabled() else None)
+        if job_span is None:
             return
-        with obs.span("exec.job", stage=job.stage, workload=job.workload.name,
+        with job_span("exec.job", stage=job.stage,
+                      workload=job.workload.name,
                       cache_hit=cache_hit, worker=result.worker_pid,
                       worker_wall_seconds=round(result.wall_seconds, 6)):
             pass
+        if not obs.is_enabled():
+            return
         if cache_hit:
             obs.count("exec.cache_hits", stage=job.stage)
         else:

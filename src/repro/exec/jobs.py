@@ -96,6 +96,12 @@ class StageJob:
     stage: str
     config: dict = field(hash=False)
     inputs: dict = field(default_factory=dict, hash=False)
+    #: Wire-form :class:`repro.obs.context.SpanContext` — present when
+    #: the submitting session is tracing.  Deliberately *not* part of
+    #: the cache key (:meth:`StageExecutor.job_key` enumerates exactly
+    #: the measurement-relevant fields): trace ids identify tool runs,
+    #: not measurement content.
+    trace: tuple | None = field(default=None, hash=False)
 
     def input_digests(self) -> dict[str, str]:
         return {name: digest_json(data)
@@ -116,6 +122,12 @@ class JobResult:
     data: dict
     worker_pid: int
     wall_seconds: float
+    #: Columnar-encoded span batch (:meth:`Tracer.export_batch`) when
+    #: the job ran traced; ``None`` otherwise (untraced, cache hit).
+    spans: dict | None = None
+    #: The worker ledger's ``as_json()`` export when the job ran
+    #: traced — merged into the submitting session's ledger.
+    overhead: dict | None = None
 
 
 def _run_stage(job: StageJob, workload, config):
@@ -149,12 +161,16 @@ def execute_job(job: StageJob) -> JobResult:
 
     This is the pool-worker entry point, but it is also what the
     ``--jobs 1`` inline path calls, so both paths execute literally the
-    same code.  Observability is deliberately left alone here: inline
-    jobs record on the caller's live collector, while pool workers have
+    same code.  Untraced jobs leave observability alone: inline jobs
+    record on the caller's live collector, while pool workers have
     theirs disabled by the executor's process initializer (a forked
     worker inherits the parent's collector and would otherwise record
-    into a copy nobody can read).
+    into a copy nobody can read).  Jobs carrying a trace context run
+    under a local collector instead and ship their spans home — see
+    :func:`_execute_traced`.
     """
+    if job.trace is not None:
+        return _execute_traced(job)
     t0 = time.perf_counter()
     workload = job.workload.create()
     config = config_from_json(job.config)
@@ -165,6 +181,45 @@ def execute_job(job: StageJob) -> JobResult:
         data=data,
         worker_pid=os.getpid(),
         wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def _execute_traced(job: StageJob) -> JobResult:
+    """Run a stage job under a local tracer and ship its spans home.
+
+    The worker's tracer is seeded from the job's
+    :class:`~repro.obs.context.SpanContext`: same ``trace_id``, span
+    ids minted from the parent-reserved block (collision-free by
+    construction).  The whole run nests under a local ``exec.worker``
+    root span; the finished spans travel back columnar-encoded in
+    :attr:`JobResult.spans`, and the worker's perturbation ledger in
+    :attr:`JobResult.overhead`, for the submitting session to stitch
+    and merge.  The local collector is scoped — installed for this job
+    only — so a traced inline job restores the caller's session on the
+    way out.
+    """
+    import repro.obs as obs
+    from repro.obs.context import SpanContext
+
+    ctx = SpanContext.from_wire(job.trace)
+    t0 = time.perf_counter()
+    tracer = obs.Tracer(trace_id=ctx.trace_id, id_base=ctx.id_base)
+    bundle = obs.Observability(tracer=tracer)
+    with obs.enabled(bundle):
+        with tracer.span("exec.worker", stage=job.stage,
+                         workload=job.workload.name, pid=os.getpid()):
+            workload = job.workload.create()
+            config = config_from_json(job.config)
+            data = encode_tree(_run_stage(job, workload, config).to_json())
+    bundle.ledger.charge_tracing(job.stage, len(tracer.spans))
+    return JobResult(
+        stage=job.stage,
+        workload=job.workload.name,
+        data=data,
+        worker_pid=os.getpid(),
+        wall_seconds=time.perf_counter() - t0,
+        spans=encode_tree(tracer.export_batch(pid=os.getpid())),
+        overhead=bundle.ledger.as_json(),
     )
 
 

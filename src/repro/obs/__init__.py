@@ -9,8 +9,20 @@ on the tool itself.  It provides
   ``chrome://tracing``);
 * a metrics registry (:mod:`repro.obs.metrics`) of counters, gauges,
   and histograms, exportable as JSON or Prometheus text format;
+* a perturbation ledger (:mod:`repro.obs.ledger`) accounting for the
+  tool's own overhead per stage — callbacks, hashing, tracing,
+  virtual-clock charges — surfaced as ``meta.overhead`` in exported
+  reports;
+* a structured event log with flight recorder (:mod:`repro.obs.log`):
+  trace-correlated moments in a bounded ring, dumped to disk when a
+  stage span closes on an exception;
 * a renderer (:mod:`repro.obs.render`) for a human-readable per-stage
   summary table.
+
+Tracing crosses process boundaries: the tracer carries a ``trace_id``
+(:mod:`repro.obs.context`), pool workers run their own tracer seeded
+with the parent's context, and the executor stitches shipped span
+batches into one connected timeline — see ``docs/observability.md``.
 
 Observability is **off by default** and must cost ~nothing when off:
 every hook point in the pipeline goes through the module-level helpers
@@ -43,19 +55,24 @@ formats.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.ledger import PerturbationLedger
+from repro.obs.log import EventLog
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import _NOOP_HANDLE, Tracer
+from repro.obs.tracer import _NOOP_HANDLE, Span, Tracer
 
 __all__ = [
     "Observability",
     "active",
+    "active_ledger",
     "count",
     "disable",
     "enable",
     "enabled",
+    "event",
     "gauge",
     "is_enabled",
     "observe",
@@ -65,12 +82,41 @@ __all__ = [
 ]
 
 
+def _default_ledger() -> PerturbationLedger:
+    # Calibration is deferred to first use (see record_probe): a bundle
+    # created just to collect metrics must not pay two timing loops.
+    return PerturbationLedger(calibrate=False)
+
+
 @dataclass
 class Observability:
-    """One tracer + one metrics registry, installed together."""
+    """One tracer + metrics registry + ledger + event log, installed
+    together as a session.
+
+    ``flight_dir``, when set, arms the flight recorder: a stage span
+    closing on an exception dumps the event ring there as JSONL.
+    """
 
     tracer: Tracer = field(default_factory=Tracer)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    ledger: PerturbationLedger = field(default_factory=_default_ledger)
+    log: EventLog = field(default_factory=EventLog)
+    flight_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        self.tracer.on_span_error = self._on_span_error
+
+    def _on_span_error(self, span: Span, exc: BaseException) -> None:
+        """Span-error hook: log the failure, dump the flight ring."""
+        self.log.emit("span.error", trace_id=self.tracer.trace_id,
+                      span_id=span.span_id, span=span.name,
+                      error=type(exc).__name__)
+        if self.flight_dir is not None and span.name.startswith("stage."):
+            os.makedirs(self.flight_dir, exist_ok=True)
+            path = os.path.join(
+                self.flight_dir,
+                f"flight-{self.tracer.trace_id}-{span.span_id}.jsonl")
+            self.log.dump(path)
 
 
 #: The installed bundle, or ``None`` (observability off).
@@ -151,13 +197,43 @@ def observe(name: str, value: float, **labels) -> None:
         o.metrics.histogram(name, **labels).observe(value)
 
 
-def record_probe(probe) -> None:
+def event(name: str, **fields) -> None:
+    """Emit a structured event, stamped with the current trace context.
+
+    No-op when off; when on, the event lands in the session's ring
+    buffer carrying the active ``trace_id`` and innermost open span id,
+    so a streamed or flight-dumped event can be joined back to the
+    trace that produced it.
+    """
+    o = _ACTIVE
+    if o is not None:
+        ctx = o.tracer.current_context()
+        o.log.emit(name, trace_id=ctx.trace_id,
+                   span_id=ctx.parent_span_id, **fields)
+
+
+def active_ledger():
+    """The session's perturbation ledger, or ``None`` when off.
+
+    Hot paths that must measure their own cost directly (e.g. stage-3
+    payload hashing) check this once per region: a ``None`` means skip
+    the ``perf_counter`` pair entirely.
+    """
+    o = _ACTIVE
+    return o.ledger if o is not None else None
+
+
+def record_probe(probe, stage: str | None = None) -> None:
     """Flush a probe's accumulated hit count into ``instr.probe_hits``.
 
     Call after detaching the probe — :class:`repro.instr.probes.Probe`
     counts its own hits, so the hot path needs no extra work.  Flushing
     is delta-based (a side attribute remembers what was already
     counted), so repeated attach/detach cycles never double-count.
+
+    When ``stage`` is given, the flushed hits are also charged to the
+    perturbation ledger's ``callbacks`` bucket at the calibrated
+    per-fire cost.
     """
     o = _ACTIVE
     if o is None:
@@ -167,6 +243,21 @@ def record_probe(probe) -> None:
     if delta > 0:
         probe._obs_hits_flushed = probe.hits
         o.metrics.counter("instr.probe_hits", probe=probe.label).inc(delta)
+        if stage is not None:
+            o.ledger.charge_probe_hits(stage, delta)
+
+
+def record_run_overhead(stage: str, machine) -> None:
+    """Charge a finished run's modelled instrumentation cost.
+
+    Reads the machine's CPU timeline for the ``"api"`` intervals the
+    probes charged to the virtual clock and books them under the
+    ledger's ``virtual`` bucket — the simulated seconds the tool cost
+    the measured program, per stage.  No-op when off.
+    """
+    o = _ACTIVE
+    if o is not None:
+        o.ledger.charge_virtual(stage, machine)
 
 
 def record_device(device) -> None:

@@ -1,0 +1,64 @@
+"""Trace-context propagation across process boundaries.
+
+Diogenes' spans used to stop at the process boundary: a ``--jobs 4``
+run fans collection out to pool workers, and whatever those workers
+measured about *themselves* vanished with them.  This module carries
+the context a remote (or merely out-of-band) tracer needs so its spans
+stitch back into one connected timeline:
+
+* a **trace id** — one opaque hex string per run, stamping every span
+  of that run, however many processes contributed;
+* a **parent span id** — the span the shipped subtree hangs under
+  (the executor's ``exec.run`` span, the daemon's ``service.job``
+  request span);
+* an **id base** — a block of span ids reserved on the parent tracer
+  (:meth:`repro.obs.tracer.Tracer.reserve_ids`), so ids minted by a
+  worker can never collide with the parent's or another worker's.
+
+A :class:`SpanContext` crosses the boundary as a plain tuple (see
+:meth:`to_wire` / :meth:`from_wire`) inside the picklable
+:class:`~repro.exec.jobs.StageJob`, mirroring W3C ``traceparent``
+propagation in shape while staying JSON/pickle-trivial.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Span ids reserved per shipped subtree.  Workers mint ids starting at
+#: their block's base; a block far larger than any stage's span count
+#: keeps ids collision-free without coordination.
+ID_BLOCK = 1_000_000
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, never derived from data).
+
+    Trace ids identify *runs of the tool*, not measurement content —
+    they deliberately live outside every fingerprint, cache key, and
+    report body, so two byte-identical reports still carry distinct
+    traces.
+    """
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The portable part of an in-flight trace."""
+
+    trace_id: str
+    parent_span_id: int | None
+    id_base: int = 0
+
+    def to_wire(self) -> tuple:
+        """Plain-tuple form carried by picklable job specs."""
+        return (self.trace_id, self.parent_span_id, self.id_base)
+
+    @classmethod
+    def from_wire(cls, wire) -> "SpanContext | None":
+        if wire is None:
+            return None
+        trace_id, parent_span_id, id_base = wire
+        return cls(trace_id=trace_id, parent_span_id=parent_span_id,
+                   id_base=int(id_base))

@@ -1,0 +1,95 @@
+"""Structured event log with a crash-dump flight recorder.
+
+Spans describe *durations*; events describe *moments* — a stage
+transition, a cache hit, a job state change.  :class:`EventLog` keeps
+them as plain dicts, trace-correlated (each event is stamped with the
+active trace/span context when emitted through
+:func:`repro.obs.event`), behind the same zero-cost-when-off contract
+as the rest of the package: nothing is built, formatted, or stored
+unless an observability bundle is installed.
+
+Two consumers:
+
+* **Live streaming** — callers can :meth:`tail` events after a known
+  sequence number (the service daemon's ``/events`` long-poll sits on
+  exactly this), or :meth:`subscribe` a callback for push delivery.
+* **Flight recorder** — the log is a bounded ring buffer
+  (:data:`RING_CAPACITY` most-recent events).  On stage failure the
+  tracer's span-error hook asks the log to :meth:`dump` the ring to
+  disk as JSONL, so the moments *leading up to* a crash survive it —
+  without ever paying for unbounded retention on the happy path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable
+
+#: Most-recent events retained in the ring buffer.
+RING_CAPACITY = 4096
+
+
+class EventLog:
+    """Bounded, sequence-numbered structured event ring."""
+
+    def __init__(self, capacity: int = RING_CAPACITY) -> None:
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._subscribers: list[Callable[[dict], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    def emit(self, name: str, trace_id: str | None = None,
+             span_id: int | None = None, **fields: Any) -> dict:
+        """Record one event; returns the stored dict (incl. ``seq``)."""
+        self._seq += 1
+        event: dict[str, Any] = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "event": name,
+        }
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+        if span_id is not None:
+            event["span_id"] = span_id
+        event.update(fields)
+        self._ring.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def subscribe(self, callback: Callable[[dict], None]) -> None:
+        """Push every future event to ``callback`` as it is emitted."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    def tail(self, after_seq: int = 0) -> list[dict]:
+        """Events with ``seq > after_seq`` still in the ring, in order."""
+        return [e for e in self._ring if e["seq"] > after_seq]
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self._ring)
+
+    def dump(self, path) -> int:
+        """Write the ring to ``path`` as JSONL; returns events written.
+
+        This is the flight-recorder exit: called when a stage span
+        closes on an exception, it preserves the last
+        :attr:`capacity` moments before the failure.
+        """
+        with open(path, "w") as fp:
+            text = self.to_jsonl()
+            fp.write(text)
+            if text:
+                fp.write("\n")
+        return len(self._ring)

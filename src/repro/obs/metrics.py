@@ -126,6 +126,36 @@ class Histogram:
         return [*zip(self.buckets, self.bucket_counts),
                 (math.inf, self.count)]
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile by linear interpolation in buckets.
+
+        Prometheus-style ``histogram_quantile``, with one improvement
+        the exact ``min``/``max`` tracking buys us: estimates are
+        clamped to the observed range, so ``quantile(1.0)`` is the
+        true maximum and a one-observation histogram reports that
+        observation for every ``q``.  Returns ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        if q == 0.0:
+            return self.min
+        rank = q * self.count
+        prev_bound = 0.0
+        prev_cum = 0
+        for bound, cum in zip(self.buckets, self.bucket_counts):
+            if cum >= rank:
+                # prev_cum < rank <= cum, so the divisor is positive.
+                frac = (rank - prev_cum) / (cum - prev_cum)
+                est = prev_bound + (bound - prev_bound) * frac
+                return min(max(est, self.min), self.max)
+            prev_bound = bound
+            prev_cum = cum
+        # Rank falls in the +Inf bucket; the observed max is the only
+        # finite statement we can make about it.
+        return self.max
+
 
 class MetricsRegistry:
     """Get-or-create home for every metric of one session."""

@@ -3,12 +3,16 @@
 ``render_stage_summary`` prints the per-stage table the CLI shows
 under ``--verbose-stages``: one row per pipeline stage span, with the
 tool's wall time, the simulated machine's virtual time, and the
-attributes each stage attached (event counts, probe hits, ...).
-``render_metrics`` dumps every metric series, one per line.
+attributes each stage attached (event counts, probe hits, ...).  Pass
+the session's perturbation ledger to add a ``tool ms`` column — the
+tool's own measured cost per stage.  ``render_metrics`` dumps every
+metric series, one per line (histograms with p50/p95/max), and
+``render_overhead_ledger`` is the table behind ``diogenes overhead``.
 """
 
 from __future__ import annotations
 
+from repro.obs.ledger import BUCKETS, PerturbationLedger
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import Tracer
 
@@ -21,31 +25,56 @@ def _attrs_text(attrs: dict) -> str:
     return "  ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
 
 
-def render_stage_summary(tracer: Tracer) -> str:
-    """The per-stage summary table for one traced pipeline run."""
+def render_stage_summary(tracer: Tracer,
+                         ledger: PerturbationLedger | None = None) -> str:
+    """The per-stage summary table for one traced pipeline run.
+
+    With a ledger, each row also shows ``tool ms`` — the wall-clock
+    cost the tool's own bookkeeping (callbacks, hashing, tracing)
+    charged against that stage.
+    """
     stages = tracer.find(STAGE_PREFIX)
     if not stages:
         return "no stage spans recorded (was observability enabled for the run?)"
+    ledger_stages = set(ledger.stages()) if ledger is not None else set()
     rows = []
     total_wall = 0.0
     total_virtual = 0.0
+    total_tool = 0.0
     for sp in stages:
         virtual = sp.virtual_duration
         total_wall += sp.wall_duration
         total_virtual += virtual or 0.0
+        name = sp.name[len(STAGE_PREFIX):]
+        if name in ledger_stages:
+            tool_s = ledger.stage_wall_seconds(name)
+            total_tool += tool_s
+            tool = f"{tool_s * 1e3:10.3f}"
+        else:
+            tool = f"{'-':>10}"
         rows.append((
-            sp.name[len(STAGE_PREFIX):],
+            name,
             f"{sp.wall_duration * 1e3:10.2f}",
             f"{virtual:12.6f}" if virtual is not None else f"{'-':>12}",
+            tool,
             _attrs_text(sp.attrs),
         ))
-    header = (f"{'stage':<22} {'wall ms':>10} {'virtual s':>12}   detail")
-    lines = [header, "-" * max(72, len(header))]
-    lines += [f"{name:<22} {wall} {virtual}   {detail}"
-              for name, wall, virtual, detail in rows]
-    lines.append("-" * max(72, len(header)))
-    lines.append(f"{'total':<22} {total_wall * 1e3:10.2f} "
-                 f"{total_virtual:12.6f}")
+    header = f"{'stage':<22} {'wall ms':>10} {'virtual s':>12}"
+    if ledger is not None:
+        header += f" {'tool ms':>10}"
+    header += "   detail"
+    width = max(72, len(header))
+    lines = [header, "-" * width]
+    for name, wall, virtual, tool, detail in rows:
+        row = f"{name:<22} {wall} {virtual}"
+        if ledger is not None:
+            row += f" {tool}"
+        lines.append(row + f"   {detail}")
+    lines.append("-" * width)
+    total = f"{'total':<22} {total_wall * 1e3:10.2f} {total_virtual:12.6f}"
+    if ledger is not None:
+        total += f" {total_tool * 1e3:10.3f}"
+    lines.append(total)
     return "\n".join(lines)
 
 
@@ -61,6 +90,10 @@ def render_metrics(metrics: MetricsRegistry) -> str:
             mean = metric.sum / metric.count if metric.count else 0.0
             value = (f"count={metric.count} sum={metric.sum:.6g} "
                      f"mean={mean:.6g}")
+            if metric.count:
+                value += (f" p50={metric.quantile(0.5):.6g}"
+                          f" p95={metric.quantile(0.95):.6g}"
+                          f" max={metric.max:.6g}")
         else:
             v = metric.value
             value = str(int(v)) if float(v).is_integer() else f"{v:.6g}"
@@ -68,8 +101,68 @@ def render_metrics(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
-def render_session(tracer: Tracer, metrics: MetricsRegistry) -> str:
+#: Ledger buckets reported in wall milliseconds (``virtual`` is in
+#: simulated seconds and gets its own column).
+_WALL_BUCKETS = tuple(b for b in BUCKETS if b != "virtual")
+
+
+def render_overhead_ledger(overhead: dict) -> str:
+    """The perturbation-ledger table (``diogenes overhead`` view).
+
+    Takes the ``meta.overhead`` dict of an exported report — which is
+    :meth:`repro.obs.ledger.PerturbationLedger.as_json` — and renders
+    per-stage tool cost split by bucket, the simulator's virtual
+    instrumentation charge, and the calibration constants behind the
+    per-event estimates so the numbers can be audited, not just read.
+    """
+    stages = overhead.get("stages") or {}
+    if not stages:
+        return ("no overhead recorded (export a report with --json while "
+                "observability is on, e.g. with --trace-out)")
+    header = (f"{'stage':<22}"
+              + "".join(f" {b + ' ms':>13}" for b in _WALL_BUCKETS)
+              + f" {'virtual s':>12} {'events':>8}")
+    width = max(72, len(header))
+    lines = [header, "-" * width]
+    totals = {b: 0.0 for b in BUCKETS}
+    total_events = 0
+    for stage in sorted(stages):
+        accounts = stages[stage]
+        row = f"{stage:<22}"
+        events = 0
+        for bucket in _WALL_BUCKETS:
+            cell = accounts.get(bucket) or {}
+            seconds = cell.get("seconds", 0.0)
+            totals[bucket] += seconds
+            events += cell.get("events", 0)
+            row += f" {seconds * 1e3:13.3f}"
+        virtual = (accounts.get("virtual") or {}).get("seconds", 0.0)
+        totals["virtual"] += virtual
+        total_events += events
+        lines.append(row + f" {virtual:12.6f} {events:8d}")
+    lines.append("-" * width)
+    lines.append(f"{'total':<22}"
+                 + "".join(f" {totals[b] * 1e3:13.3f}"
+                           for b in _WALL_BUCKETS)
+                 + f" {totals['virtual']:12.6f} {total_events:8d}")
+    calibration = overhead.get("calibration") or {}
+    if calibration:
+        lines.append("")
+        lines.append(
+            "calibration: probe fire "
+            f"{calibration.get('probe_fire_seconds', 0.0) * 1e9:.0f} ns, "
+            f"span {calibration.get('span_seconds', 0.0) * 1e9:.0f} ns "
+            f"({calibration.get('iterations', 0)} iterations)")
+    return "\n".join(lines)
+
+
+def render_session(tracer: Tracer, metrics: MetricsRegistry,
+                   ledger: PerturbationLedger | None = None) -> str:
     """Stage table + metrics dump, the full ``--verbose-stages`` block."""
-    return (render_stage_summary(tracer)
-            + "\n\nmetrics\n" + "-" * 72 + "\n"
-            + render_metrics(metrics))
+    block = (render_stage_summary(tracer, ledger)
+             + "\n\nmetrics\n" + "-" * 72 + "\n"
+             + render_metrics(metrics))
+    if ledger is not None and ledger.stages():
+        block += ("\n\noverhead (tool self-measurement)\n" + "-" * 72 + "\n"
+                  + render_overhead_ledger(ledger.as_json()))
+    return block

@@ -13,6 +13,19 @@ Each span records
 * **attributes** — arbitrary JSON-serialisable key/values attached at
   open time or via :meth:`Span.set`.
 
+Distributed traces
+------------------
+Every tracer carries a ``trace_id`` (:mod:`repro.obs.context`).  A
+worker process runs its own tracer seeded with the parent's trace id
+and a reserved span-id block (:meth:`Tracer.reserve_ids`), exports its
+finished spans as a batch (:meth:`Tracer.export_batch`), and the
+parent stitches them back with :meth:`Tracer.adopt` — rebasing wall
+times onto its own epoch (``perf_counter`` is ``CLOCK_MONOTONIC`` and
+therefore comparable across processes on one machine) and linking the
+shipped roots under a parent span.  The result is one connected
+timeline: a single root, every worker span reachable from it, span
+ids unique.
+
 Exporters
 ---------
 ``write_jsonl`` emits one JSON object per line per span (append-
@@ -20,7 +33,10 @@ friendly, greppable).  ``write_chrome_trace`` emits the Chrome trace
 "JSON object format" loadable in Perfetto (https://ui.perfetto.dev) or
 ``chrome://tracing``: wall-time spans appear under the process named
 ``wall time`` and virtual-time spans under ``virtual time``, so the
-two timelines can be compared side by side.
+two timelines can be compared side by side.  Spans adopted from a
+worker keep that worker's pid as their thread id, with a
+``thread_name`` metadata row per worker, so a ``--jobs 4`` fan-out
+reads as four labelled worker lanes.
 """
 
 from __future__ import annotations
@@ -29,7 +45,13 @@ import json
 import time
 from dataclasses import dataclass, field
 from functools import wraps
-from typing import Any
+from typing import Any, Callable
+
+from repro.obs.context import SpanContext, new_trace_id
+
+#: Fixed keys of a span's uniform wire row (see :meth:`Span.to_row`).
+_ROW_KEYS = ("name", "span_id", "parent_id", "depth", "wall_start",
+             "wall_end", "virtual_start", "virtual_end", "attrs", "pid")
 
 
 @dataclass
@@ -47,6 +69,9 @@ class Span:
     virtual_start: float | None = None
     virtual_end: float | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: Pid of the process that recorded the span; ``None`` for spans
+    #: recorded locally, set on spans adopted from a worker.
+    pid: int | None = None
 
     @property
     def wall_duration(self) -> float:
@@ -79,7 +104,27 @@ class Span:
             out["virtual_end"] = self.virtual_end
         if self.attrs:
             out["attrs"] = self.attrs
+        if self.pid is not None:
+            out["pid"] = self.pid
         return out
+
+    def to_row(self) -> dict:
+        """Uniform-key row for columnar batch export.
+
+        Unlike :meth:`to_json` (which omits empty fields for
+        greppability), every row has the same keys in the same order —
+        the eligibility condition of
+        :func:`repro.exec.columnar.encode_records`.
+        """
+        return {key: getattr(self, key) for key in _ROW_KEYS}
+
+    @classmethod
+    def from_row(cls, row: dict) -> "Span":
+        sp = cls(**{key: row[key] for key in _ROW_KEYS})
+        # Decoded batches may share pooled attr dicts between rows
+        # (columnar dictionary encoding); give each span its own.
+        sp.attrs = dict(sp.attrs)
+        return sp
 
 
 class _SpanHandle:
@@ -99,6 +144,8 @@ class _SpanHandle:
         if exc_type is not None:
             self._span.attrs.setdefault("error", exc_type.__name__)
         self._tracer._close(self._span, self._clock)
+        if exc_type is not None and self._tracer.on_span_error is not None:
+            self._tracer.on_span_error(self._span, exc)
 
 
 class _NoopHandle:
@@ -136,13 +183,24 @@ _NOOP_HANDLE = _NoopHandle()
 
 class Tracer:
     """Collects spans for one observability session (single-threaded,
-    like the simulated machine itself)."""
+    like the simulated machine itself).
 
-    def __init__(self) -> None:
+    ``trace_id`` stamps every export of this tracer; pass the parent's
+    to a worker-side tracer so the batches stitch.  ``id_base`` offsets
+    span-id allocation — a worker starts at the base of a block the
+    parent reserved, so stitched ids never collide.
+    """
+
+    def __init__(self, trace_id: str | None = None, id_base: int = 0) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.epoch = time.perf_counter()
         self.spans: list[Span] = []
         self._open: list[Span] = []
-        self._next_id = 1
+        self._next_id = id_base + 1
+        #: Invoked as ``fn(span, exc)`` when a span closes on an
+        #: exception — the flight-recorder trigger (wired by
+        #: :class:`repro.obs.Observability`).
+        self.on_span_error: Callable[[Span, BaseException], None] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -196,19 +254,89 @@ class Tracer:
         return decorate
 
     # ------------------------------------------------------------------
+    # Distributed stitching
+    # ------------------------------------------------------------------
+    def reserve_ids(self, count: int) -> int:
+        """Reserve a block of ``count`` span ids; returns its base.
+
+        The parent tracer skips past the block, the holder mints ids
+        from within it — uniqueness across the stitched trace without
+        any cross-process coordination.
+        """
+        base = self._next_id
+        self._next_id += count
+        return base
+
+    def current_context(self) -> SpanContext:
+        """Portable context pointing at the innermost open span."""
+        parent = self._open[-1] if self._open else None
+        return SpanContext(
+            trace_id=self.trace_id,
+            parent_span_id=parent.span_id if parent else None,
+        )
+
+    def export_batch(self, pid: int | None = None) -> dict:
+        """Finished spans as one portable batch (see :meth:`adopt`).
+
+        ``epoch`` ships the tracer's raw ``perf_counter`` origin so the
+        adopting tracer can rebase wall times; ``pid`` labels the batch
+        with the recording process.
+        """
+        return {
+            "trace_id": self.trace_id,
+            "epoch": self.epoch,
+            "pid": pid,
+            "spans": [sp.to_row() for sp in self.spans],
+        }
+
+    def adopt(self, batch: dict, parent_id: int | None = None,
+              base_depth: int = 0) -> list[Span]:
+        """Stitch a shipped span batch into this tracer's timeline.
+
+        Wall times are rebased from the batch's epoch onto this
+        tracer's (both are ``CLOCK_MONOTONIC`` readings on the same
+        machine, so the rebased values land on one comparable axis).
+        Shipped roots — spans with no parent inside the batch — are
+        linked under ``parent_id``; depths shift by ``base_depth``.
+        Returns the adopted spans, already appended to :attr:`spans`.
+        """
+        delta = batch["epoch"] - self.epoch
+        pid = batch.get("pid")
+        adopted = []
+        for row in batch["spans"]:
+            sp = Span.from_row(dict(row))
+            sp.wall_start += delta
+            if sp.wall_end is not None:
+                sp.wall_end += delta
+            if sp.parent_id is None:
+                sp.parent_id = parent_id
+            sp.depth += base_depth
+            if sp.pid is None:
+                sp.pid = pid
+            adopted.append(sp)
+        self.spans.extend(adopted)
+        return adopted
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def find(self, prefix: str) -> list[Span]:
         """Finished spans whose name starts with ``prefix``, in finish order."""
         return [s for s in self.spans if s.name.startswith(prefix)]
 
+    def roots(self) -> list[Span]:
+        """Finished spans with no parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
     # ------------------------------------------------------------------
     # Exporters
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
         """One JSON object per line, in span-finish order."""
-        return "\n".join(json.dumps(s.to_json(), sort_keys=True)
-                         for s in self.spans)
+        return "\n".join(
+            json.dumps({"trace_id": self.trace_id, **s.to_json()},
+                       sort_keys=True)
+            for s in self.spans)
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w") as fp:
@@ -221,7 +349,11 @@ class Tracer:
 
         Two process tracks: pid 1 carries wall-time spans, pid 2
         carries virtual-time spans (only spans that were given a
-        clock).  Timestamps are microseconds; durations of complete
+        clock).  Spans recorded locally run on tid 1; spans adopted
+        from workers run on a tid equal to the worker's os pid, each
+        with a ``thread_name`` metadata row — the fan-out reads as
+        labelled parallel lanes of one connected process.
+        Timestamps are microseconds; durations of complete
         (``"ph": "X"``) events.
         """
         events: list[dict] = [
@@ -230,24 +362,37 @@ class Tracer:
             {"ph": "M", "pid": 2, "tid": 1, "name": "process_name",
              "args": {"name": "virtual time"}},
         ]
+        worker_tids = sorted({sp.pid for sp in self.spans
+                              if sp.pid is not None})
+        for tid in worker_tids:
+            for pid in (1, 2):
+                events.append({
+                    "ph": "M", "pid": pid, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": f"worker {tid}"},
+                })
         for sp in self.spans:
             if sp.wall_end is None:  # pragma: no cover - defensive
                 continue
+            tid = sp.pid if sp.pid is not None else 1
             args = {"span_id": sp.span_id, **sp.attrs}
+            if sp.parent_id is not None:
+                args["parent_id"] = sp.parent_id
             events.append({
-                "ph": "X", "pid": 1, "tid": 1, "name": sp.name,
+                "ph": "X", "pid": 1, "tid": tid, "name": sp.name,
                 "ts": sp.wall_start * 1e6,
                 "dur": sp.wall_duration * 1e6,
                 "args": args,
             })
             if sp.virtual_duration is not None:
                 events.append({
-                    "ph": "X", "pid": 2, "tid": 1, "name": sp.name,
+                    "ph": "X", "pid": 2, "tid": tid, "name": sp.name,
                     "ts": sp.virtual_start * 1e6,
                     "dur": sp.virtual_duration * 1e6,
                     "args": args,
                 })
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"trace_id": self.trace_id}}
 
     def write_chrome_trace(self, path: str) -> None:
         with open(path, "w") as fp:

@@ -92,6 +92,39 @@ class ServiceClient:
     def report(self, key: str) -> dict:
         return self._request("GET", f"/reports/{key}")
 
+    def trace(self, job_id: str) -> dict:
+        """The job's distributed trace (spans + Chrome-trace payload)."""
+        return self._request("GET", f"/trace/{job_id}")
+
+    def events(self, job_id: str, *, after: int = 0,
+               timeout: float = 10.0) -> dict:
+        """Long-poll the job's live event stream (``diogenes tail``).
+
+        The HTTP timeout stretches past the server-side poll window so
+        an idle long-poll returns empty-handed instead of erroring.
+        """
+        query = urllib.parse.urlencode({"job": job_id, "after": after,
+                                        "timeout": timeout})
+        request = urllib.request.Request(
+            self.base_url + f"/events?{query}", method="GET")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=max(self.timeout,
+                                         timeout + 10.0)) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(f"GET /events -> HTTP {exc.code}: {detail}",
+                               status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach analysis service at {self.base_url}: "
+                f"{exc.reason} (is `diogenes serve` running?)") from exc
+
     def history(self, workload: str | None = None) -> list[dict]:
         path = "/history"
         if workload is not None:

@@ -24,9 +24,22 @@ Routes::
     GET  /jobs                all jobs + per-state counts
     GET  /jobs/<id>           one job
     GET  /reports/<key>       stored report JSON (byte-equal to `diogenes run --json`)
+    GET  /trace/<job-id>      the job's distributed trace (request span +
+                              executor + worker spans, one connected tree)
+    GET  /events?job=<id>     long-poll live job events (&after=<seq>,
+                              &timeout=<seconds>); `diogenes tail` sits here
     GET  /history[?workload=] run history, oldest first
     GET  /diff?a=<key>&b=<key>  regression diff of two stored reports
     POST /shutdown            finish in-flight work and exit
+
+Each executed job runs under its own per-job tracer (thread-confined,
+so concurrent worker threads never share span stacks): the daemon
+opens a ``service.job`` request span carrying the job id, hands the
+tracer to the stage executor — which propagates trace context into
+pool workers and stitches their spans back — and persists the finished
+tree beside the report store, keyed by job id.  On failure the event
+ring is dumped to ``<data-dir>/flight/<job-id>.jsonl`` (the flight
+recorder).
 
 Crash safety: the job queue is persistent (`repro.service.queue`);
 jobs found ``running`` at startup are requeued and re-executed, which
@@ -49,8 +62,15 @@ from repro.core.diogenes import DiogenesConfig, report_from_stage_results
 from repro.exec import StageExecutor
 from repro.exec.fingerprint import config_from_json, config_to_json
 from repro.exec.jobs import WorkloadSpec
-from repro.service.queue import DONE, STATES, Job, JobQueue
+from repro.obs.tracer import Tracer
+from repro.service.queue import DONE, FAILED, STATES, Job, JobQueue
 from repro.service.store import ReportStore, report_identity
+
+#: Events retained per job for the ``/events`` stream.
+_EVENTS_PER_JOB = 1000
+
+#: Longest server-side wait one ``/events`` long-poll may ask for.
+_MAX_POLL_SECONDS = 30.0
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
@@ -96,6 +116,10 @@ class ServiceDaemon:
         self.started = threading.Event()
         self._stop: asyncio.Event | None = None
         self._wake: asyncio.Event | None = None
+        #: Per-job live event streams for ``/events`` (worker threads
+        #: append under the lock; the asyncio side reads snapshots).
+        self._events: dict[str, list[dict]] = {}
+        self._events_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -153,9 +177,36 @@ class ServiceDaemon:
             await asyncio.to_thread(self._execute, job)
             self._refresh_gauges()
 
+    def _publish(self, job_id: str, name: str, **fields) -> None:
+        """Append one event to a job's live stream (thread-safe)."""
+        with self._events_lock:
+            stream = self._events.setdefault(job_id, [])
+            event = {"seq": len(stream) + 1, "ts": time.time(),
+                     "event": name, "job": job_id, **fields}
+            stream.append(event)
+            # Bounded: a runaway job must not grow memory without limit.
+            if len(stream) > _EVENTS_PER_JOB:
+                del stream[:len(stream) - _EVENTS_PER_JOB]
+
+    def _job_events(self, job_id: str, after: int) -> list[dict]:
+        with self._events_lock:
+            return [e for e in self._events.get(job_id, ())
+                    if e["seq"] > after]
+
     def _execute(self, job: Job) -> None:
-        """Run one submission through the stage executor (worker thread)."""
+        """Run one submission through the stage executor (worker thread).
+
+        Each job gets its *own* tracer — thread-confined, so concurrent
+        worker threads never interleave span stacks — rooted at a
+        ``service.job`` request span carrying the job id.  The executor
+        propagates that context into pool workers and stitches their
+        spans back; the finished tree persists under the job id for
+        ``/trace/<job-id>``.
+        """
         self._ensure_obs()
+        tracer = Tracer()
+        self._publish(job.id, "job.running", trace_id=tracer.trace_id,
+                      workload=job.workload)
         try:
             config = config_from_json(job.config)
             spec = WorkloadSpec.from_params(job.workload, job.params)
@@ -165,16 +216,46 @@ class ServiceDaemon:
                 obs.count("service.store_hits")
                 self.queue.mark_done(job, identity.key())
                 obs.count("service.jobs_completed", result="done")
+                self._publish(job.id, "job.done", report_key=identity.key(),
+                              served_from="store")
                 return
-            results = self.executor.run_workloads([spec], config)[spec]
-            report = report_from_stage_results(
-                getattr(spec.create(), "name", spec.name), results, config)
+            with tracer.span("service.job", job=job.id,
+                             workload=job.workload):
+                results = self.executor.run_workloads(
+                    [spec], config, tracer=tracer,
+                    on_event=lambda e: self._publish(job.id, e.pop("event"),
+                                                     **e))[spec]
+                report = report_from_stage_results(
+                    getattr(spec.create(), "name", spec.name), results,
+                    config)
             key = self.store.put(identity, report.to_json(), job_id=job.id)
             self.queue.mark_done(job, key)
             obs.count("service.jobs_completed", result="done")
+            self._publish(job.id, "job.done", report_key=key)
         except Exception as exc:  # noqa: BLE001 - any failure fails the job
             self.queue.mark_failed(job, f"{type(exc).__name__}: {exc}")
             obs.count("service.jobs_completed", result="failed")
+            self._publish(job.id, "job.failed",
+                          error=f"{type(exc).__name__}: {exc}")
+            self._dump_flight(job, tracer)
+        finally:
+            if tracer.spans:
+                self.store.put_trace(job.id, {
+                    "job_id": job.id,
+                    "trace_id": tracer.trace_id,
+                    "spans": [sp.to_json() for sp in tracer.spans],
+                    "chrome_trace": tracer.to_chrome_trace(),
+                })
+
+    def _dump_flight(self, job: Job, tracer: Tracer) -> None:
+        """Flight recorder: preserve the job's last events on failure."""
+        flight_dir = os.path.join(self.data_dir, "flight")
+        os.makedirs(flight_dir, exist_ok=True)
+        path = os.path.join(flight_dir, f"{job.id}.jsonl")
+        with open(path, "w") as fp:
+            for event in self._job_events(job.id, 0):
+                fp.write(json.dumps({**event, "trace_id": tracer.trace_id},
+                                    sort_keys=True) + "\n")
 
     def _refresh_gauges(self) -> None:
         counts = self.queue.counts()
@@ -208,7 +289,8 @@ class ServiceDaemon:
             body = await reader.readexactly(
                 int(headers.get("content-length", 0) or 0))
             try:
-                route, status, payload = self._route(method, target, body)
+                route, status, payload = await self._route(method, target,
+                                                           body)
             except _HttpError as exc:
                 status, payload = exc.status, {"error": str(exc)}
             except SchemaMismatchError as exc:
@@ -253,11 +335,14 @@ class ServiceDaemon:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, method: str, target: str,
-               body: bytes) -> tuple[str, int, dict]:
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[str, int, dict]:
         url = urllib.parse.urlsplit(target)
         query = urllib.parse.parse_qs(url.query)
         segments = [s for s in url.path.split("/") if s]
+
+        if url.path == "/events" and method == "GET":
+            return "events", 200, await self._handle_events(query)
 
         if url.path == "/healthz" and method == "GET":
             self._refresh_gauges()
@@ -286,6 +371,14 @@ class ServiceDaemon:
                 raise _HttpError(404, f"no stored report under key "
                                       f"{segments[1]}")
             return "report", 200, report
+        if segments[:1] == ["trace"] and len(segments) == 2 \
+                and method == "GET":
+            trace = self.store.get_trace(segments[1])
+            if trace is None:
+                raise _HttpError(404, f"no trace stored for job "
+                                      f"{segments[1]} (traces exist only "
+                                      "for executed jobs)")
+            return "trace", 200, trace
         if url.path == "/history" and method == "GET":
             workload = query.get("workload", [None])[0]
             return "history", 200, {
@@ -336,12 +429,49 @@ class ServiceDaemon:
             obs.count("service.store_hits")
             job = self.queue.submit(name, params, config_to_json(config),
                                     key, state=DONE)
+            self._publish(job.id, "job.done", report_key=key,
+                          served_from="store")
         else:
             obs.count("service.store_misses")
             job = self.queue.submit(name, params, config_to_json(config), key)
+            self._publish(job.id, "job.submitted", workload=name)
             self._wake.set()
         self._refresh_gauges()
         return {"job": job.to_json(), "cached": cached}
+
+    async def _handle_events(self, query: dict[str, list[str]]) -> dict:
+        """Long-poll one job's live event stream.
+
+        Returns immediately when events newer than ``after`` exist or
+        the job is already terminal; otherwise waits — up to
+        ``timeout`` seconds (capped server-side) — for the next event.
+        The worker threads publish; this coroutine only naps and
+        snapshots, so a slow tail never blocks the executor.
+        """
+        job_id = query.get("job", [None])[0]
+        if job_id is None:
+            raise _HttpError(400, "events needs ?job=<job-id>"
+                                  "[&after=<seq>][&timeout=<seconds>]")
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job: {job_id}")
+        try:
+            after = int(query.get("after", ["0"])[0])
+            timeout = min(float(query.get("timeout", ["10"])[0]),
+                          _MAX_POLL_SECONDS)
+        except ValueError as exc:
+            raise _HttpError(400, f"bad events query: {exc}")
+        deadline = time.perf_counter() + timeout
+        while True:
+            events = self._job_events(job_id, after)
+            job = self.queue.get(job_id)
+            terminal = job.state in (DONE, FAILED)
+            if events or terminal or time.perf_counter() >= deadline:
+                last_seq = events[-1]["seq"] if events else after
+                return {"job": job_id, "state": job.state,
+                        "events": events, "last_seq": last_seq,
+                        "done": terminal}
+            await asyncio.sleep(0.05)
 
     def _handle_diff(self, query: dict[str, list[str]]) -> dict:
         keys = [query.get(side, [None])[0] for side in ("a", "b")]

@@ -155,6 +155,39 @@ class ReportStore:
         return key
 
     # ------------------------------------------------------------------
+    # Traces: one distributed-trace payload per executed job, keyed by
+    # job id (the link the issue names: request span ↔ executor spans).
+    # Traces are tool-side artifacts — they live beside the reports,
+    # never inside them, so report bytes and keys are trace-oblivious.
+    # ------------------------------------------------------------------
+    def _trace_path(self, job_id: str) -> pathlib.Path:
+        return self.directory / "traces" / f"{job_id}.json"
+
+    def put_trace(self, job_id: str, payload: dict) -> None:
+        """Persist one job's trace payload atomically."""
+        path = self._trace_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(payload, fp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_trace(self, job_id: str) -> dict | None:
+        """The stored trace for a job id, or ``None``."""
+        try:
+            payload = json.loads(self._trace_path(job_id).read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # ------------------------------------------------------------------
     def _append_history(self, key: str, identity: ReportIdentity,
                         job_id: str | None) -> None:
         with self._lock:
@@ -195,6 +228,8 @@ class ReportStore:
         return entries
 
     def __len__(self) -> int:
+        """Number of stored *reports* (traces live beside, not within)."""
         if not self.directory.is_dir():
             return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        return sum(1 for path in self.directory.glob("*/*.json")
+                   if path.parent.name != "traces")

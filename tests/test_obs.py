@@ -267,6 +267,36 @@ class TestMetrics:
         with pytest.raises(ValueError):
             Histogram("h", (), buckets=(1.0, 0.1))
 
+    def test_quantile_interpolates_within_buckets(self):
+        h = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 2.5, 3.5):
+            h.observe(v)
+        # p50 rank = 2 observations -> exactly the top of bucket 2.0.
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        # p75 rank = 3 -> halfway through the (2.0, 4.0] bucket.
+        assert h.quantile(0.75) == pytest.approx(3.0)
+        assert h.quantile(1.0) == 3.5  # clamped to the observed max
+        assert h.quantile(0.0) == 0.5  # the observed min
+
+    def test_quantile_is_clamped_to_observed_range(self):
+        h = Histogram("h", (), buckets=(10.0,))
+        h.observe(3.0)
+        # Interpolation alone would say 10.0; the true max is 3.0.
+        for q in (0.5, 0.9, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_quantile_beyond_last_bucket_reports_the_max(self):
+        h = Histogram("h", (), buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(99.0)
+        assert h.quantile(0.95) == 99.0
+
+    def test_quantile_edge_cases(self):
+        h = Histogram("h", ())
+        assert h.quantile(0.5) is None  # empty histogram
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
     def test_json_export_round_trips(self):
         reg = MetricsRegistry()
         reg.counter("a.count").inc(7)
@@ -284,6 +314,31 @@ class TestMetrics:
         path = tmp_path / "m.json"
         reg.write_json(str(path))
         assert json.loads(path.read_text())["a.count"][0]["value"] == 1
+
+
+def _parse_prometheus(text: str):
+    """Minimal conformant scraper for exposition format 0.0.4.
+
+    Returns ``(types, samples)``: TYPE headers by family name, and
+    ``{(name, sorted-label-tuple): value}`` for every sample line.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple[str, tuple], float] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        match = re.match(
+            r"^([a-zA-Z_][a-zA-Z0-9_]*)(?:\{(.*)\})? (.+)$", line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labeltext, value = match.groups()
+        labels = tuple(sorted(
+            re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"', labeltext or "")))
+        samples[(name, labels)] = float(value)
+    return types, samples
 
 
 class TestPrometheusFormat:
@@ -331,6 +386,48 @@ class TestPrometheusFormat:
             if line.startswith("#"):
                 continue
             assert sample.match(line), line
+
+    def test_scrape_parse_round_trip(self):
+        """A conformant scraper reads back exactly what was recorded.
+
+        Parses the exposition text the way Prometheus does — TYPE
+        headers, label sets, escaped values — and checks the parsed
+        samples against the registry, including histogram invariants
+        (monotone cumulative buckets, ``+Inf`` equals ``_count``).
+        """
+        reg = MetricsRegistry()
+        reg.counter("exec.jobs_executed", stage="stage1").inc(3)
+        reg.gauge("service.queue_depth").set(2)
+        h = reg.histogram("exec.job_wall_seconds", buckets=(0.1, 1.0),
+                          stage="s1")
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        types, samples = _parse_prometheus(reg.to_prometheus())
+
+        assert types["repro_exec_jobs_executed"] == "counter"
+        assert types["repro_service_queue_depth"] == "gauge"
+        assert types["repro_exec_job_wall_seconds"] == "histogram"
+        assert samples["repro_exec_jobs_executed",
+                       (("stage", "stage1"),)] == 3
+        assert samples["repro_service_queue_depth", ()] == 2
+        base = (("stage", "s1"),)
+        assert samples["repro_exec_job_wall_seconds_count", base] == 3
+        assert samples["repro_exec_job_wall_seconds_sum", base] == \
+            pytest.approx(5.55)
+        buckets = sorted(
+            (float(dict(labels)["le"]), value)
+            for (name, labels), value in samples.items()
+            if name == "repro_exec_job_wall_seconds_bucket")
+        assert buckets == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+        # Cumulative counts never decrease, and +Inf equals _count.
+        assert all(a[1] <= b[1] for a, b in zip(buckets, buckets[1:]))
+        assert buckets[-1][1] == samples[
+            "repro_exec_job_wall_seconds_count", base]
+        # Every sample belongs to a family announced by a TYPE header.
+        for name, _labels in samples:
+            family = re.sub(r"_(bucket|sum|count)$", "", name) \
+                if name.endswith(("_bucket", "_sum", "_count")) else name
+            assert family in types, name
 
 
 # ----------------------------------------------------------------------
@@ -464,6 +561,76 @@ class TestRender:
     def test_empty_session_renders_gracefully(self):
         assert "no stage spans" in render_stage_summary(Tracer())
         assert render_metrics(MetricsRegistry()) == "no metrics recorded"
+
+    def test_histogram_line_shows_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("exec.job_wall_seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 8.0):
+            h.observe(v)
+        (line,) = render_metrics(reg).splitlines()
+        for token in ("count=3", "p50=", "p95=", "max=8"):
+            assert token in line, line
+
+    def test_stage_summary_gains_tool_column_with_ledger(self):
+        from repro.obs.ledger import PerturbationLedger
+
+        tracer = Tracer()
+        with tracer.span("stage.stage1_baseline"):
+            pass
+        with tracer.span("stage.stage5_analysis"):
+            pass
+        plain = render_stage_summary(tracer)
+        assert "tool ms" not in plain  # the old table is unchanged
+        ledger = PerturbationLedger(calibrate=False)
+        ledger.charge("stage1_baseline", "callbacks", 0.002, events=4)
+        with_ledger = render_stage_summary(tracer, ledger)
+        assert "tool ms" in with_ledger
+        (row,) = [li for li in with_ledger.splitlines()
+                  if li.startswith("stage1_baseline")]
+        assert "2.000" in row  # 0.002 s -> 2.000 ms
+        (unlisted,) = [li for li in with_ledger.splitlines()
+                       if li.startswith("stage5_analysis")]
+        assert " - " in unlisted  # stages without charges show a dash
+
+    def test_overhead_ledger_table(self):
+        from repro.obs.ledger import PerturbationLedger
+        from repro.obs.render import render_overhead_ledger
+
+        ledger = PerturbationLedger(calibrate=False)
+        ledger.calibration = {"probe_fire_seconds": 1.5e-7,
+                              "span_seconds": 2e-6, "iterations": 100}
+        ledger.charge("stage1_baseline", "callbacks", 0.001, events=8)
+        ledger.charge("stage3_hashing", "hashing", 0.0005, events=8)
+        ledger.charge("stage3_hashing", "virtual", 0.25)
+        text = render_overhead_ledger(ledger.as_json())
+        lines = text.splitlines()
+        assert "callbacks ms" in lines[0] and "virtual s" in lines[0]
+        (row,) = [li for li in lines if li.startswith("stage3_hashing")]
+        assert "0.500" in row and "0.250000" in row
+        (total,) = [li for li in lines if li.startswith("total")]
+        assert "1.000" in total and "0.500" in total
+        assert "calibration: probe fire 150 ns, span 2000 ns" in text
+        assert "(100 iterations)" in text
+
+    def test_overhead_ledger_empty_message(self):
+        from repro.obs.render import render_overhead_ledger
+
+        assert "no overhead recorded" in render_overhead_ledger({})
+
+    def test_render_session_appends_overhead_section(self):
+        from repro.obs.ledger import PerturbationLedger
+
+        tracer = Tracer()
+        with tracer.span("stage.stage1_baseline"):
+            pass
+        ledger = PerturbationLedger(calibrate=False)
+        ledger.charge("stage1_baseline", "tracing", 0.001, events=2)
+        text = render_session(tracer, MetricsRegistry(), ledger)
+        assert "overhead (tool self-measurement)" in text
+        # No charges -> no section (the pre-ledger layout).
+        bare = render_session(tracer, MetricsRegistry(),
+                              PerturbationLedger(calibrate=False))
+        assert "overhead (tool self-measurement)" not in bare
 
 
 # ----------------------------------------------------------------------

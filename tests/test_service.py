@@ -16,6 +16,7 @@ The contracts that keep the daemon honest:
 from __future__ import annotations
 
 import json
+import pathlib
 import re
 import threading
 from contextlib import contextmanager
@@ -351,6 +352,133 @@ class TestDaemonRoundTrip:
         final = client.job(bad.id)
         assert final["state"] == FAILED
         assert "TypeError" in final["error"]
+
+
+class TestTraceAndEvents:
+    """Distributed traces and the live event stream (`/trace`, `/events`)."""
+
+    def test_executed_job_stores_a_connected_trace(self, service):
+        client, _ = service
+        job = client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        trace = client.trace(job["id"])
+        assert trace["job_id"] == job["id"]
+        spans = trace["spans"]
+        roots = [sp for sp in spans if sp.get("parent_id") is None]
+        assert [sp["name"] for sp in roots] == ["service.job"]
+        assert roots[0]["attrs"]["job"] == job["id"]
+        # Every span reachable from the request span: one tree.
+        by_id = {sp["span_id"]: sp for sp in spans}
+        for sp in spans:
+            node = sp
+            while node.get("parent_id") is not None:
+                node = by_id[node["parent_id"]]
+            assert node["name"] == "service.job"
+        stage_names = {sp["name"] for sp in spans
+                       if sp["name"].startswith("stage.")}
+        assert "stage.stage1_baseline" in stage_names
+        chrome = trace["chrome_trace"]
+        assert chrome["otherData"]["trace_id"] == trace["trace_id"]
+        assert any(e.get("ph") == "X" for e in chrome["traceEvents"])
+
+    def test_store_served_job_has_no_trace(self, service):
+        client, _ = service
+        client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        cached = client.submit(APP, PARAMS)["job"]
+        with pytest.raises(ServiceError, match="no trace stored") as info:
+            client.trace(cached["id"])
+        assert info.value.status == 404
+
+    def test_events_stream_reaches_done(self, service):
+        client, _ = service
+        job = client.submit(APP, PARAMS)["job"]
+        collected, after = [], 0
+        for _ in range(100):
+            resp = client.events(job["id"], after=after, timeout=5)
+            collected += resp["events"]
+            after = resp["last_seq"]
+            if resp["done"]:
+                break
+        names = [e["event"] for e in collected]
+        assert names[0] == "job.submitted"
+        assert "job.running" in names and names[-1] == "job.done"
+        stage_events = [e for e in collected if e["event"] == "stage.done"]
+        assert len(stage_events) == 5  # one per stage run
+        assert {e["stage"] for e in stage_events} == {
+            "stage1", "stage2", "stage3_memtrace", "stage3_hashing",
+            "stage4"}
+        assert all(e["seq"] > 0 for e in collected)
+        assert resp["state"] == DONE
+        # The trace and the stream agree on the trace id.
+        (running,) = [e for e in collected if e["event"] == "job.running"]
+        assert client.trace(job["id"])["trace_id"] == running["trace_id"]
+
+    def test_events_long_poll_returns_empty_on_timeout(self, service):
+        client, _ = service
+        job = client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        resp = client.events(job["id"], after=10_000, timeout=0.2)
+        assert resp["events"] == [] and resp["done"] is True
+
+    def test_events_validation(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="job=") as info:
+            client._request("GET", "/events")
+        assert info.value.status == 400
+        with pytest.raises(ServiceError, match="no such job") as info:
+            client.events("job-424242")
+        assert info.value.status == 404
+        client.submit(APP, PARAMS)
+        with pytest.raises(ServiceError, match="bad events query") as info:
+            client._request("GET", "/events?job=job-000001&after=nope")
+        assert info.value.status == 400
+
+    def test_failed_job_dumps_flight_recording(self, service, tmp_path):
+        client, daemon = service
+        bad = daemon.queue.submit("synthetic-quiet", {"bogus_arg": 1},
+                                  config_to_json(DiogenesConfig()), "k")
+        with pytest.raises(ServiceError, match="failed"):
+            client.wait(bad.id, timeout=30)
+        flight = pathlib.Path(daemon.data_dir) / "flight" / f"{bad.id}.jsonl"
+        assert flight.is_file()
+        events = [json.loads(li)
+                  for li in flight.read_text().splitlines()]
+        names = [e["event"] for e in events]
+        assert "job.running" in names and "job.failed" in names
+        (failed,) = [e for e in events if e["event"] == "job.failed"]
+        assert "TypeError" in failed["error"]
+        assert all("trace_id" in e for e in events)
+
+    def test_tail_cli_streams_to_done(self, service, capsys):
+        client, _ = service
+        job = client.submit(APP, PARAMS)["job"]
+        assert main(["tail", job["id"], "--url", client.base_url]) == 0
+        captured = capsys.readouterr()
+        assert "job.running" in captured.out
+        assert "stage.done" in captured.out
+        assert "job.done" in captured.out
+        assert f"job {job['id']} done" in captured.err
+
+    def test_tail_cli_exit_code_on_failed_job(self, service, capsys):
+        client, daemon = service
+        bad = daemon.queue.submit("synthetic-quiet", {"bogus_arg": 1},
+                                  config_to_json(DiogenesConfig()), "k")
+        assert main(["tail", bad.id, "--url", client.base_url]) == 1
+        assert "job.failed" in capsys.readouterr().out
+
+    def test_fetch_trace_out_cli(self, service, tmp_path, capsys):
+        client, _ = service
+        job = client.wait(client.submit(APP, PARAMS)["job"]["id"])
+        out = tmp_path / "trace.json"
+        assert main(["fetch", job["id"], "--url", client.base_url,
+                     "--out", str(tmp_path / "r.json"),
+                     "--trace-out", str(out)]) == 0
+        assert "trace written" in capsys.readouterr().err
+        chrome = json.loads(out.read_text())
+        assert {e["name"] for e in chrome["traceEvents"]
+                if e.get("ph") == "X"} >= {"service.job", "exec.run"}
+        # A report key is not a job id: refuse rather than guess.
+        with pytest.raises(SystemExit, match="job id"):
+            main(["fetch", job["report_key"], "--url", client.base_url,
+                  "--trace-out", str(out)])
 
 
 class TestDaemonValidation:
