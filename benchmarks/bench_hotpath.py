@@ -14,7 +14,12 @@ against:
 * **interning** — grouping-key throughput: interned integer stack ids
   vs structural tuple keys;
 * **columnar** — the record-batch codec vs plain JSON text for a
-  realistic trace-event list: MB/s each way and the size ratio.
+  realistic trace-event list: MB/s each way and the size ratio;
+* **analysis** — the columnar-native stage-5 core on a synthetic
+  1M-event workload (classify, graph build, benefit, groupings,
+  sequences) vs the row-by-row reference engine on a subsample of the
+  same trace.  Both engines produce identical problems (asserted);
+  the columnar engine must clear the >= 10x events/sec floor.
 
 Standalone::
 
@@ -55,6 +60,10 @@ THRESHOLD = 0.25
 #: The floor the dirty-region digest cache must clear on repeated
 #: payloads (the ISSUE's acceptance criterion).
 HASH_SPEEDUP_FLOOR = 2.0
+
+#: Events/sec multiple the columnar analysis core must clear over the
+#: row-by-row reference engine on the 1M-event workload.
+ANALYSIS_SPEEDUP_FLOOR = 10.0
 
 
 # ----------------------------------------------------------------------
@@ -237,6 +246,156 @@ def bench_columnar(n: int = 5_000, rounds: int = 5) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Columnar-native analysis core vs the row-by-row reference engine
+# ----------------------------------------------------------------------
+def _analysis_workload(n: int):
+    """A native 1M-event trace plus matching stage-3/4 evidence.
+
+    Built straight as columns (``EventTable.from_columns``) — no
+    ``TraceEvent`` objects exist for the full trace.  Every 250-event
+    block carries one unnecessary sync, one duplicate synchronous
+    transfer whose (required) sync is misplaced, one adjacent pair of
+    duplicate transfers (a recurring static sequence), and one
+    necessary sync — so the benefit, grouping, and sequence passes all
+    have real work, and the necessary syncs give sequences boundaries.
+    """
+    from repro.core.records import (
+        FirstUseRecord,
+        SiteKey,
+        Stage1Data,
+        Stage2Data,
+        Stage3Data,
+        Stage4Data,
+        SyncUseRecord,
+        TransferHashRecord,
+    )
+    from repro.exec.table import EventTable
+
+    stacks = _synthetic_stacks(sites=100, depth=5)
+    idx = np.arange(n, dtype=np.int64)
+    mod = idx % 250
+    unnecessary = mod == 0
+    misplaced_dup = mod == 1
+    seq_dup = (mod == 2) | (mod == 3)
+    necessary = mod == 127
+    is_sync = unnecessary | misplaced_dup | necessary
+    is_transfer = misplaced_dup | seq_dup | (~is_sync & (idx % 2 == 1))
+
+    t_entry = idx * 12e-6 + 2e-6
+    t_exit = t_entry + 10e-6
+    sync_wait = np.where(is_sync, 6e-6, 0.0)
+    api_pool = ["cudaLaunchKernel", "cudaMemcpy", "cudaDeviceSynchronize"]
+    api_codes = np.where(is_transfer, 1,
+                         np.where(is_sync, 2, 0)).astype(np.int32)
+    table = EventTable.from_columns(
+        t_entry=t_entry, t_exit=t_exit, sync_wait=sync_wait,
+        is_sync=is_sync, is_transfer=is_transfer,
+        api_codes=api_codes, api_pool=api_pool,
+        stack_codes=(idx % len(stacks)).astype(np.int32),
+        stack_pool=stacks, occurrence=idx // len(stacks),
+    )
+
+    def site_of(i: int) -> SiteKey:
+        return SiteKey(stacks[i % len(stacks)].address_key(),
+                       i // len(stacks))
+
+    sync_uses, first_uses, transfer_hashes = [], [], []
+    for i in np.flatnonzero(unnecessary).tolist():
+        sync_uses.append(SyncUseRecord(
+            site=site_of(i), api_name="cudaDeviceSynchronize"))
+    for i in np.flatnonzero(misplaced_dup).tolist():
+        site = site_of(i)
+        sync_uses.append(SyncUseRecord(
+            site=site, api_name="cudaMemcpy", required=True))
+        first_uses.append(FirstUseRecord(site=site, first_use_delay=200e-6))
+        transfer_hashes.append(TransferHashRecord(
+            site=site, api_name="cudaMemcpy", nbytes=4096,
+            direction="h2d", digest="bench", duplicate=True))
+    for i in np.flatnonzero(seq_dup).tolist():
+        transfer_hashes.append(TransferHashRecord(
+            site=site_of(i), api_name="cudaMemcpy", nbytes=4096,
+            direction="h2d", digest="bench-seq", duplicate=True))
+    for i in np.flatnonzero(necessary).tolist():
+        site = site_of(i)
+        sync_uses.append(SyncUseRecord(
+            site=site, api_name="cudaDeviceSynchronize", required=True))
+        first_uses.append(FirstUseRecord(site=site, first_use_delay=5e-6))
+
+    execution_time = float(t_exit[-1]) + 5e-6
+    stage1 = Stage1Data(execution_time=execution_time,
+                        wait_symbol="(bench)")
+    stage2 = Stage2Data.from_table(table, execution_time)
+    stage3 = Stage3Data(execution_time=execution_time, sync_uses=sync_uses,
+                        transfer_hashes=transfer_hashes)
+    stage4 = Stage4Data(execution_time=execution_time,
+                        first_uses=first_uses)
+    return table, stage1, stage2, stage3, stage4
+
+
+def _run_stage5(stage1, stage2, stage3, stage4, engine: str):
+    from repro.core.analysis import analyze
+    from repro.core.grouping import (
+        group_by_api,
+        group_folded_function,
+        group_single_point,
+    )
+    from repro.core.sequences import find_sequences
+
+    result = analyze(stage1, stage2, stage3, stage4, engine=engine)
+    group_by_api(result)
+    group_single_point(result)
+    group_folded_function(result)
+    sequences = find_sequences(result)
+    return result, sequences
+
+
+def bench_analysis(n: int = 1_000_000, reference_n: int = 40_000) -> dict:
+    from repro.core.records import Stage2Data
+
+    table, stage1, stage2, stage3, stage4 = _analysis_workload(n)
+
+    t0 = time.perf_counter()
+    result, sequences = _run_stage5(stage1, stage2, stage3, stage4,
+                                    engine="columnar")
+    t_columnar = time.perf_counter() - t0
+
+    # Row-by-row reference on a time-prefix of the same trace (the
+    # full million would take minutes — exactly the point).
+    sub = table.slice(0, reference_n)
+    sub_time = float(sub.t_exit[-1]) + 5e-6
+    ref_stage2 = Stage2Data(execution_time=sub_time,
+                            events=sub.to_events())
+    t0 = time.perf_counter()
+    ref_result, _ = _run_stage5(stage1, ref_stage2, stage3, stage4,
+                                engine="rows")
+    t_reference = time.perf_counter() - t0
+
+    # Honesty check: both engines must agree problem for problem on
+    # the shared subsample (bit-identical benefits included).
+    sub_stage2 = Stage2Data.from_table(sub, sub_time)
+    sub_result, _ = _run_stage5(stage1, sub_stage2, stage3, stage4,
+                                engine="columnar")
+    assert (
+        [(p.node_index, p.kind, p.est_benefit) for p in sub_result.problems]
+        == [(p.node_index, p.kind, p.est_benefit)
+            for p in ref_result.problems]
+    ), "columnar and reference engines must produce identical problems"
+
+    columnar_rate = n / t_columnar
+    reference_rate = reference_n / t_reference
+    return {
+        "events": n,
+        "reference_events": reference_n,
+        "problems": len(result.problems),
+        "sequences": len(sequences),
+        "columnar_wall_seconds": round(t_columnar, 4),
+        "columnar_events_per_second": round(columnar_rate, 0),
+        "reference_events_per_second": round(reference_rate, 0),
+        "speedup": round(columnar_rate / reference_rate, 1),
+    }
+
+
+# ----------------------------------------------------------------------
 def generate() -> dict:
     results = {
         "schema": SCHEMA,
@@ -244,10 +403,14 @@ def generate() -> dict:
         "hashing": bench_hashing(),
         "interning": bench_interning(),
         "columnar": bench_columnar(),
+        "analysis": bench_analysis(),
     }
     assert results["hashing"]["speedup"] >= HASH_SPEEDUP_FLOOR, (
         f"digest cache speedup {results['hashing']['speedup']}x is below "
         f"the {HASH_SPEEDUP_FLOOR}x floor")
+    assert results["analysis"]["speedup"] >= ANALYSIS_SPEEDUP_FLOOR, (
+        f"columnar analysis speedup {results['analysis']['speedup']}x is "
+        f"below the {ANALYSIS_SPEEDUP_FLOOR}x floor")
     return results
 
 
@@ -270,6 +433,11 @@ def render(results: dict) -> str:
     lines.append(f"  columnar {c['columnar_roundtrip_mb_per_second']:,.0f} "
                  f"MB/s vs json {c['json_roundtrip_mb_per_second']:,.0f} MB/s "
                  f"round-trip; size ratio {c['size_ratio']}")
+    a = results["analysis"]
+    lines.append(f"  analysis {a['columnar_events_per_second']:,.0f} events/s "
+                 f"columnar ({a['events']:,} events) vs "
+                 f"{a['reference_events_per_second']:,.0f} events/s reference "
+                 f"({a['speedup']}x)")
     return "\n".join(lines)
 
 
@@ -294,6 +462,7 @@ def _regressions(baseline: dict, current: dict,
         ("hashing", "cached_mb_per_second"),
         ("interning", "interned_keys_per_second"),
         ("columnar", "columnar_roundtrip_mb_per_second"),
+        ("analysis", "columnar_events_per_second"),
     ]
     for section, key in rate_keys:
         before = baseline.get(section, {}).get(key)
@@ -344,6 +513,7 @@ def test_hotpath_floors():
     results = generate()
     assert results["hashing"]["speedup"] >= HASH_SPEEDUP_FLOOR
     assert results["columnar"]["size_ratio"] < 1.0
+    assert results["analysis"]["speedup"] >= ANALYSIS_SPEEDUP_FLOOR
     archive("hotpath", render(results))
 
 

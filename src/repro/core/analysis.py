@@ -9,10 +9,24 @@ export.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.benefit import BenefitConfig, BenefitResult, expected_benefit
-from repro.core.graph import CpuNode, ExecutionGraph, ProblemKind
-from repro.core.graph_builder import Classification, build_graph
+from repro.core.graph import (
+    PROBLEM_CODES,
+    PROBLEMS_BY_CODE,
+    CpuNode,
+    ExecutionGraph,
+    ProblemKind,
+)
+from repro.core.graph_builder import (
+    Classification,
+    ColumnVerdicts,
+    build_graph,
+    build_graph_table,
+)
 from repro.core.records import (
     SiteKey,
     Stage1Data,
@@ -21,6 +35,9 @@ from repro.core.records import (
     Stage4Data,
 )
 from repro.instr.stacks import StackTrace
+
+if TYPE_CHECKING:  # repro.exec imports core at runtime; type-only here
+    from repro.exec.table import EventTable
 
 
 @dataclass
@@ -52,6 +69,23 @@ class ProblemRecord:
 
 
 @dataclass
+class ProblemColumns:
+    """Grouping keys for the ranked problem list, as columns.
+
+    Row ``k`` describes ``problems[k]``: the API-name dictionary code,
+    the interned stack address/function IDs, and the problem-kind code.
+    The columnar grouping pass partitions on these integer arrays
+    instead of building per-record key tuples; the ID↔value mappings
+    are process-wide bijections, so the partition is identical.
+    """
+
+    api_codes: np.ndarray
+    addr_ids: np.ndarray
+    func_ids: np.ndarray
+    kind_codes: np.ndarray
+
+
+@dataclass
 class AnalysisResult:
     """Everything stage 5 produced for one application."""
 
@@ -59,6 +93,9 @@ class AnalysisResult:
     graph: ExecutionGraph
     benefit: BenefitResult
     problems: list[ProblemRecord] = field(default_factory=list)
+    #: Present when the columnar engine produced the result; grouping
+    #: uses it to partition on integer arrays instead of key tuples.
+    columns: ProblemColumns | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -130,11 +167,163 @@ def classify_operations(stage2: Stage2Data, stage3: Stage3Data,
     return verdicts
 
 
+def _packed_members(sites) -> np.ndarray:
+    """Sorted, unique packed keys for a collection of sites."""
+    from repro.exec.table import pack_site_key
+
+    keys = {pack_site_key(s) for s in sites}
+    return np.array(sorted(keys), dtype=np.int64)
+
+
+def _in_sorted(keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Elementwise set membership of ``values`` in sorted ``keys``."""
+    if not len(keys):
+        return np.zeros(len(values), dtype=bool)
+    pos = np.minimum(np.searchsorted(keys, values), len(keys) - 1)
+    return keys[pos] == values
+
+
+def classify_table(table: EventTable, stage3: Stage3Data, stage4: Stage4Data,
+                   *, misplaced_min_delay: float = 50e-6) -> ColumnVerdicts:
+    """Columnar :func:`classify_operations`: verdict columns per event.
+
+    Site-set membership becomes a ``searchsorted`` probe against sorted
+    packed ``(address_id, occurrence)`` keys; the stage-4 delay lookup
+    becomes a sorted key/value join.  The decision ladder per event is
+    the same as the row classifier's, so for every event the resulting
+    (sync verdict, transfer verdict, first-use) triple equals the one
+    the ``dict[SiteKey, Classification]`` path would hand the builder.
+    """
+    n = len(table)
+    packed = table.packed_sites()
+    required = _packed_members(r.site for r in stage3.sync_uses if r.required)
+    observed = _packed_members(r.site for r in stage3.sync_uses)
+    duplicates = _packed_members(
+        r.site for r in stage3.transfer_hashes if r.duplicate)
+
+    from repro.exec.table import pack_site_key
+
+    # Stage-4 delay join (dict semantics: the last record for a site
+    # wins, exactly as ``delay_by_site`` builds its dict).
+    delay_map: dict[int, float] = {}
+    for rec in stage4.first_uses:
+        delay_map[pack_site_key(rec.site)] = rec.first_use_delay
+    if delay_map:
+        dkeys = np.array(sorted(delay_map), dtype=np.int64)
+        dvals = np.array([delay_map[k] for k in sorted(delay_map)],
+                         dtype=np.float64)
+        pos = np.minimum(np.searchsorted(dkeys, packed), len(dkeys) - 1)
+        delay_all = np.where(dkeys[pos] == packed, dvals[pos], 0.0)
+    else:
+        delay_all = np.zeros(n, dtype=np.float64)
+
+    is_sync = table.is_sync
+    observed_sync = is_sync & _in_sorted(observed, packed)
+    req = _in_sorted(required, packed)
+    required_sync = observed_sync & req
+    fu_all = np.where(required_sync, delay_all, 0.0)
+
+    unnecessary = PROBLEM_CODES[ProblemKind.UNNECESSARY_SYNC]
+    misplaced = PROBLEM_CODES[ProblemKind.MISPLACED_SYNC]
+    transfer = PROBLEM_CODES[ProblemKind.UNNECESSARY_TRANSFER]
+    sync_codes = np.where(
+        observed_sync & ~req, unnecessary,
+        np.where(required_sync & (fu_all >= misplaced_min_delay),
+                 misplaced, 0),
+    ).astype(np.int8)
+    transfer_codes = np.where(
+        table.is_transfer & _in_sorted(duplicates, packed), transfer, 0,
+    ).astype(np.int8)
+    verdict = (sync_codes != 0) | (transfer_codes != 0)
+    return ColumnVerdicts(
+        sync_codes=sync_codes,
+        transfer_codes=transfer_codes,
+        first_use=np.where(verdict, fu_all, 0.0),
+    )
+
+
+def _analyze_table(stage1: Stage1Data, stage2: Stage2Data,
+                   stage3: Stage3Data, stage4: Stage4Data, *,
+                   misplaced_min_delay: float,
+                   benefit_config: BenefitConfig | None) -> AnalysisResult:
+    """The columnar engine behind :func:`analyze`."""
+    table = stage2.table()
+    verdicts = classify_table(
+        table, stage3, stage4, misplaced_min_delay=misplaced_min_delay,
+    )
+    graph = build_graph_table(
+        table, verdicts, stage2.execution_time,
+        stage2.instrumentation_intervals,
+    )
+    benefit = expected_benefit(graph, benefit_config)
+
+    indices = graph.problematic_indices()
+    rows = graph.event_rows[indices]
+    bene = np.array([nb.est_benefit for nb in benefit.per_node],
+                    dtype=np.float64)
+    # Stable argsort on the negated keys is Python's
+    # ``sort(key=..., reverse=True)``: descending, ties in list order.
+    order = (np.argsort(-bene, kind="stable") if len(bene)
+             else np.empty(0, dtype=np.int64))
+
+    dur = graph.duration
+    fuc = graph.first_use
+    pcodes = graph.problem_codes
+    problems: list[ProblemRecord] = []
+    for k in order.tolist():
+        i = int(indices[k])
+        row = int(rows[k])
+        problems.append(ProblemRecord(
+            node_index=i,
+            kind=PROBLEMS_BY_CODE[pcodes[i]],
+            api_name=table.api_at(row),
+            site=table.site_at(row),
+            stack=table.stack_at(row),
+            duration=float(dur[i]),
+            est_benefit=benefit.per_node[k].est_benefit,
+            first_use_time=float(fuc[i]),
+        ))
+
+    columns = None
+    if len(order):
+        rows_sorted = rows[order]
+        columns = ProblemColumns(
+            api_codes=table.api_codes[rows_sorted].astype(np.int64),
+            addr_ids=table.stack_address_ids()[rows_sorted],
+            func_ids=table.function_ids()[rows_sorted],
+            kind_codes=pcodes[indices[order]].astype(np.int64),
+        )
+
+    return AnalysisResult(
+        execution_time=stage1.execution_time,
+        graph=graph,
+        benefit=benefit,
+        problems=problems,
+        columns=columns,
+    )
+
+
 def analyze(stage1: Stage1Data, stage2: Stage2Data, stage3: Stage3Data,
             stage4: Stage4Data, *,
             misplaced_min_delay: float = 50e-6,
-            benefit_config: BenefitConfig | None = None) -> AnalysisResult:
-    """Run the full analysis stage."""
+            benefit_config: BenefitConfig | None = None,
+            engine: str = "columnar") -> AnalysisResult:
+    """Run the full analysis stage.
+
+    ``engine`` selects the implementation: ``"columnar"`` (default)
+    runs the vectorized passes over the run's :class:`EventTable`;
+    ``"rows"`` runs the original record-at-a-time reference.  Both
+    produce bit-identical results — the property tests assert it — so
+    the switch exists for testing and for profiling comparisons.
+    """
+    if engine not in ("columnar", "rows"):
+        raise ValueError(f"unknown analysis engine {engine!r}")
+    if engine == "columnar" and len(stage2.table()):
+        return _analyze_table(
+            stage1, stage2, stage3, stage4,
+            misplaced_min_delay=misplaced_min_delay,
+            benefit_config=benefit_config,
+        )
     verdicts = classify_operations(
         stage2, stage3, stage4, misplaced_min_delay=misplaced_min_delay,
     )

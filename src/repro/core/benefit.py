@@ -29,9 +29,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 import repro.obs as obs
 from repro.core.graph import (
     IDLE_COVER_TYPES,
+    PROBLEM_CODES,
+    PROBLEMS_BY_CODE,
+    ColumnarGraph,
     CpuNode,
     ExecutionGraph,
     NodeType,
@@ -152,6 +157,81 @@ class _Pass:
         return result
 
 
+def _run_table(graph: ColumnarGraph, config: BenefitConfig,
+               indices: np.ndarray) -> BenefitResult:
+    """The estimator pass over a columnar graph, without node objects.
+
+    Mirrors :class:`_Pass` exactly.  Durations are pulled out of the
+    column into a plain Python list (``tolist`` preserves every bit),
+    and the per-node mutations are the same scalar float operations in
+    the same order, so every estimate — and the final durations — is
+    bit-identical to the row path.
+
+    The idle-cover window sums deserve a note: the reference sums the
+    *live* durations of CLaunch/CWork nodes strictly between the sync
+    and the next sync.  Processing is in time order and carried waits
+    land only on sync nodes (never idle-cover ones), so no cover
+    duration inside a window has been mutated when that window is
+    read — summing over a zero-padded copy of the *original* cover
+    durations gives the same sequence of float additions (``x + 0.0``
+    is exact for the non-negative durations the graph validates).
+    """
+    orig = graph.duration_list()      # cached, read-only originals
+    durations = orig.copy()           # this pass's live durations
+    fu_col = graph.first_use
+    cov = graph.cover_list()          # cached, read-only (see below)
+    sync = graph.sync_positions()
+    sync_list = sync.tolist()
+    next_pos = np.searchsorted(sync, indices, side="right").tolist()
+
+    unnecessary = PROBLEM_CODES[ProblemKind.UNNECESSARY_SYNC]
+    misplaced = PROBLEM_CODES[ProblemKind.MISPLACED_SYNC]
+    transfer = PROBLEM_CODES[ProblemKind.UNNECESSARY_TRANSFER]
+    kind_codes = graph.problem_codes[indices].tolist()
+
+    result = BenefitResult()
+    for k, i in enumerate(indices.tolist()):
+        code = kind_codes[k]
+        if code == unnecessary:
+            pos = next_pos[k]
+            if pos >= len(sync_list):
+                raise IndexError(
+                    f"no sync node after index {i} (missing Exit?)")
+            nxt = sync_list[pos]
+            window = sum(cov[i + 1: nxt])
+            duration = durations[i]
+            est = min(window, duration)
+            carried_out = max(0.0, duration - est)
+            durations[nxt] += carried_out
+            durations[i] = 0.0
+            nb = NodeBenefit(
+                i, ProblemKind.UNNECESSARY_SYNC, est, window=window,
+                carried_in=max(0.0, duration - orig[i]),
+                carried_out=carried_out,
+            )
+        elif code == misplaced:
+            first_use = float(fu_col[i])
+            est = first_use
+            if config.cap_misplaced_at_wait:
+                est = min(est, durations[i])
+            durations[i] = max(0.0, durations[i] - first_use)
+            nb = NodeBenefit(i, ProblemKind.MISPLACED_SYNC, est,
+                             window=first_use)
+        elif code == transfer:
+            est = durations[i]
+            durations[i] = 0.0
+            nb = NodeBenefit(i, ProblemKind.UNNECESSARY_TRANSFER, est,
+                             window=est)
+        else:  # pragma: no cover - callers pass problematic indices
+            continue
+        result.per_node.append(nb)
+        result.total += nb.est_benefit
+    result.final_durations = durations
+    obs.count("core.benefit_passes")
+    obs.count("core.benefit_nodes_processed", len(result.per_node))
+    return result
+
+
 def expected_benefit(graph: ExecutionGraph,
                      config: BenefitConfig | None = None) -> BenefitResult:
     """Estimate the benefit of fixing *every* problematic node.
@@ -162,6 +242,8 @@ def expected_benefit(graph: ExecutionGraph,
     sums of their members.
     """
     config = config if config is not None else BenefitConfig()
+    if isinstance(graph, ColumnarGraph):
+        return _run_table(graph, config, graph.problematic_indices())
     return _Pass(graph, config).run(graph.problematic_nodes())
 
 
@@ -175,6 +257,20 @@ def expected_benefit_subset(graph: ExecutionGraph, node_indices,
     """
     config = config if config is not None else BenefitConfig()
     wanted = set(node_indices)
+    if isinstance(graph, ColumnarGraph):
+        n = len(graph)
+        missing = {i for i in wanted if not 0 <= i < n}
+        if missing:
+            raise IndexError(f"unknown node indices: {sorted(missing)}")
+        indices = np.array(sorted(wanted), dtype=np.int64)
+        not_problematic = [int(i) for i in indices
+                           if not graph.problem_codes[i]]
+        if not_problematic:
+            raise ValueError(
+                f"nodes {not_problematic} carry no problem annotation; "
+                "subset estimates only apply to problematic nodes"
+            )
+        return _run_table(graph, config, indices)
     nodes = [n for n in graph.nodes if n.index in wanted]
     missing = wanted - {n.index for n in nodes}
     if missing:

@@ -192,9 +192,15 @@ def assemble_report(workload_name: str, stage1: Stage1Data,
             benefit_config=cfg.benefit,
         )
         analysis_span.set(problems=len(analysis.problems),
-                          graph_nodes=len(analysis.graph.nodes))
+                          graph_nodes=len(analysis.graph))
     obs.gauge("core.stage_wall_seconds", analysis_span.wall_duration,
               stage="stage5_analysis")
+    ledger = obs.active_ledger()
+    if ledger is not None:
+        # Tool time the user waits on after collection; the columnar
+        # engine's speedup shows up here (meta-only — body-safe).
+        ledger.charge_analysis("stage5_analysis",
+                               analysis_span.wall_duration)
     stage_times = {
         "stage1_baseline": stage1.execution_time,
         "stage2_tracing": stage2.execution_time,

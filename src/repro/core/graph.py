@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.records import SiteKey
 from repro.instr.stacks import StackTrace
 
@@ -49,6 +51,28 @@ SYNC_TYPES = (NodeType.CWAIT, NodeType.EXIT)
 #: Node types whose durations bound GPU idle contraction
 #: (``CPUNodesBetween(..., CLaunch or CWork)`` in Figure 5).
 IDLE_COVER_TYPES = (NodeType.CLAUNCH, NodeType.CWORK)
+
+#: Integer codes for the columnar graph representation.  The code is a
+#: storage detail (an ``int8`` column), never serialized — reports
+#: always carry the enum's string value.
+NODE_TYPE_CODES: dict[NodeType, int] = {
+    NodeType.CWORK: 0, NodeType.CLAUNCH: 1, NodeType.CWAIT: 2,
+    NodeType.EXIT: 3, NodeType.GWORK: 4, NodeType.GWAIT: 5,
+}
+NODE_TYPES_BY_CODE: list[NodeType] = sorted(
+    NODE_TYPE_CODES, key=NODE_TYPE_CODES.get)
+
+PROBLEM_CODES: dict[ProblemKind, int] = {
+    ProblemKind.NONE: 0, ProblemKind.UNNECESSARY_SYNC: 1,
+    ProblemKind.MISPLACED_SYNC: 2, ProblemKind.UNNECESSARY_TRANSFER: 3,
+}
+PROBLEMS_BY_CODE: list[ProblemKind] = sorted(
+    PROBLEM_CODES, key=PROBLEM_CODES.get)
+
+#: Code-space mirrors of :data:`SYNC_TYPES` / :data:`IDLE_COVER_TYPES`.
+SYNC_CODES = (NODE_TYPE_CODES[NodeType.CWAIT], NODE_TYPE_CODES[NodeType.EXIT])
+IDLE_COVER_CODES = (NODE_TYPE_CODES[NodeType.CLAUNCH],
+                    NODE_TYPE_CODES[NodeType.CWORK])
 
 
 @dataclass
@@ -137,4 +161,147 @@ class ExecutionGraph:
                 )
             prev_end = node.stime + node.duration
         if self.nodes[-1].ntype is not NodeType.EXIT:
+            raise ValueError("graph must end with an Exit node")
+
+
+class ColumnarGraph(ExecutionGraph):
+    """An :class:`ExecutionGraph` stored as columns, not objects.
+
+    The vectorized builder (:func:`repro.core.graph_builder.build_graph_table`)
+    produces one ``int8``/``float64`` array per node attribute; the
+    benefit, grouping, and sequence passes consume the arrays directly.
+    ``nodes`` stays available as a *lazy* property — the first consumer
+    that genuinely needs :class:`CpuNode` objects (hand-written tests,
+    the explorer) pays the materialization cost; the report pipeline
+    never does.
+
+    Node identity strings (``api_name``), sites, and stacks are not
+    copied per node: ``event_rows[i]`` points back into the
+    :class:`repro.exec.table.EventTable` the graph was built from
+    (``-1`` for synthetic gap/tail/exit nodes).
+    """
+
+    def __init__(self, *, ntype_codes, stime, duration, problem_codes,
+                 first_use, event_rows, table, execution_time) -> None:
+        # Deliberately no super().__init__: columns replace the node list.
+        self.ntype_codes = ntype_codes
+        self.stime = stime
+        self.duration = duration
+        self.problem_codes = problem_codes
+        self.first_use = first_use
+        self.event_rows = event_rows
+        self.table = table
+        self.execution_time = execution_time
+        self._nodes: list[CpuNode] | None = None
+        self._sync_positions: np.ndarray | None = None
+        self._problem_positions: np.ndarray | None = None
+        self._duration_list: list[float] | None = None
+        self._cover_list: list[float] | None = None
+
+    # -- columnar accessors --------------------------------------------
+    def sync_positions(self) -> np.ndarray:
+        """Indices of CWait/Exit nodes, ascending."""
+        if self._sync_positions is None:
+            self._sync_positions = np.flatnonzero(
+                (self.ntype_codes == SYNC_CODES[0])
+                | (self.ntype_codes == SYNC_CODES[1]))
+        return self._sync_positions
+
+    def problematic_indices(self) -> np.ndarray:
+        """Indices of problem-annotated nodes, ascending (time order)."""
+        if self._problem_positions is None:
+            self._problem_positions = np.flatnonzero(self.problem_codes != 0)
+        return self._problem_positions
+
+    def duration_list(self) -> list[float]:
+        """The duration column as a cached Python list — READ ONLY.
+
+        The benefit pass needs plain floats (``tolist`` preserves every
+        bit); the graph is immutable once built, so the conversion is
+        paid once and shared by every pass over it.  Callers that
+        mutate durations must ``copy()`` first.
+        """
+        if self._duration_list is None:
+            self._duration_list = self.duration.tolist()
+        return self._duration_list
+
+    def cover_list(self) -> list[float]:
+        """Durations of idle-cover (CWork/CLaunch) nodes, zero-padded
+        to node indices — cached, READ ONLY (see :meth:`duration_list`)."""
+        if self._cover_list is None:
+            is_cover = ((self.ntype_codes == IDLE_COVER_CODES[0])
+                        | (self.ntype_codes == IDLE_COVER_CODES[1]))
+            self._cover_list = np.where(is_cover, self.duration, 0.0).tolist()
+        return self._cover_list
+
+    # -- ExecutionGraph API --------------------------------------------
+    @property
+    def nodes(self) -> list[CpuNode]:
+        if self._nodes is None:
+            table = self.table
+            rows = self.event_rows
+            by_nt = NODE_TYPES_BY_CODE
+            by_pk = PROBLEMS_BY_CODE
+            nodes = []
+            for i in range(len(self.ntype_codes)):
+                row = rows[i]
+                if row >= 0:
+                    api, site, stack = (table.api_at(row), table.site_at(row),
+                                        table.stack_at(row))
+                else:
+                    api, site, stack = "", None, None
+                nodes.append(CpuNode(
+                    ntype=by_nt[self.ntype_codes[i]],
+                    stime=float(self.stime[i]),
+                    duration=float(self.duration[i]),
+                    problem=by_pk[self.problem_codes[i]],
+                    first_use_time=float(self.first_use[i]),
+                    api_name=api, site=site, stack=stack, index=i,
+                ))
+            self._nodes = nodes
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self.ntype_codes)
+
+    def __iter__(self) -> Iterator[CpuNode]:
+        return iter(self.nodes)
+
+    def problematic_nodes(self) -> list[CpuNode]:
+        nodes = self.nodes
+        return [nodes[i] for i in self.problematic_indices()]
+
+    def next_sync_index(self, index: int) -> int:
+        sync = self.sync_positions()
+        pos = int(np.searchsorted(sync, index, side="right"))
+        if pos >= len(sync):
+            raise IndexError(
+                f"no sync node after index {index} (missing Exit?)")
+        return int(sync[pos])
+
+    def total_problem_wait(self) -> float:
+        # cumsum is a strict left-to-right fold, so the last element
+        # equals the row-by-row ``sum`` bit for bit.
+        wait = self.duration[self.problematic_indices()]
+        return float(np.cumsum(wait)[-1]) if len(wait) else 0.0
+
+    def validate(self) -> None:
+        neg = np.flatnonzero(self.duration < 0)
+        if len(neg):
+            raise ValueError(f"node {int(neg[0])} has negative duration")
+        if len(self.stime) and self.stime[0] + 1e-12 < 0.0:
+            raise ValueError(
+                f"node 0 starts at {float(self.stime[0])} before previous "
+                "node ended at 0.0"
+            )
+        ends = self.stime + self.duration
+        bad = np.flatnonzero(self.stime[1:] + 1e-12 < ends[:-1]) + 1
+        if len(bad):
+            i = int(bad[0])
+            raise ValueError(
+                f"node {i} starts at {float(self.stime[i])} before previous "
+                f"node ended at {float(ends[i - 1])}"
+            )
+        if (not len(self.ntype_codes)
+                or self.ntype_codes[-1] != NODE_TYPE_CODES[NodeType.EXIT]):
             raise ValueError("graph must end with an Exit node")

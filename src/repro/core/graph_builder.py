@@ -22,8 +22,17 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+import numpy as np
+
 import repro.obs as obs
-from repro.core.graph import CpuNode, ExecutionGraph, NodeType, ProblemKind
+from repro.core.graph import (
+    NODE_TYPE_CODES,
+    ColumnarGraph,
+    CpuNode,
+    ExecutionGraph,
+    NodeType,
+    ProblemKind,
+)
 from repro.core.records import SiteKey, Stage2Data, TraceEvent
 
 #: Gaps shorter than this are noise from float accumulation, not work.
@@ -58,6 +67,38 @@ class _InstrumentationClock:
         if b <= a:
             return 0.0
         return self.upto(b) - self.upto(a)
+
+    # -- vectorized mirrors (bit-identical to the scalar queries) ------
+    def _arrays(self):
+        try:
+            return self._np
+        except AttributeError:
+            self._np = (np.asarray(self._starts), np.asarray(self._ends),
+                        np.asarray(self._cum))
+            return self._np
+
+    def upto_many(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`upto`.  ``searchsorted(side="right")`` is
+        the same comparison ladder as ``bisect_right``, and the min/max
+        arithmetic is elementwise-identical, so each output equals the
+        scalar result bit for bit."""
+        starts, ends, cum = self._arrays()
+        out = np.zeros(len(t), dtype=np.float64)
+        if not len(starts):
+            return out
+        idx = np.searchsorted(starts, t, side="right") - 1
+        valid = idx >= 0
+        iv = idx[valid]
+        inside = np.minimum(t[valid], ends[iv]) - starts[iv]
+        out[valid] = cum[iv] + np.maximum(0.0, inside)
+        return out
+
+    def within_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`within` over paired interval bounds."""
+        starts, _, _ = self._arrays()
+        if not len(starts):
+            return np.zeros(len(a), dtype=np.float64)
+        return np.where(b <= a, 0.0, self.upto_many(b) - self.upto_many(a))
 
 
 @dataclass(frozen=True)
@@ -132,3 +173,129 @@ def build_graph(stage2: Stage2Data,
 
 
 _NO_PROBLEM = Classification()
+
+
+@dataclass
+class ColumnVerdicts:
+    """Per-event problem verdicts as columns (one row per table event).
+
+    The columnar mirror of the ``dict[SiteKey, Classification]`` the
+    row-by-row classifier returns: ``sync_codes`` / ``transfer_codes``
+    hold :data:`repro.core.graph.PROBLEM_CODES` values, ``first_use``
+    the stage-4 delay for events that carry a verdict (0.0 otherwise —
+    the same value :data:`_NO_PROBLEM` supplies on the row path).
+    """
+
+    sync_codes: np.ndarray
+    transfer_codes: np.ndarray
+    first_use: np.ndarray
+
+
+def build_graph_table(table, verdicts: ColumnVerdicts | None,
+                      execution_time: float,
+                      instrumentation_intervals) -> ColumnarGraph:
+    """Vectorized :func:`build_graph` over an :class:`EventTable`.
+
+    Emits the same nodes with the same start times, durations, and
+    annotations as the row-by-row walk — bit for bit.  The sequential
+    cursor (``cursor = max(cursor, t_exit)``) becomes a running
+    maximum (``np.maximum.accumulate``), which is exact because ``max``
+    is just a comparison; gap arithmetic and timer compensation use the
+    elementwise mirrors of the scalar expressions; and node scatter
+    positions come from a cumulative count of how many nodes each event
+    emits (gap + launch/sliver/work + wait).
+    """
+    n = len(table)
+    order = np.argsort(table.seq, kind="stable")
+    te = table.t_entry[order]
+    tx = table.t_exit[order]
+    sw = table.sync_wait[order]
+    is_t = table.is_transfer[order]
+    is_s = table.is_sync[order]
+    if verdicts is None:
+        sync_c = np.zeros(n, dtype=np.int8)
+        transfer_c = np.zeros(n, dtype=np.int8)
+        fu = np.zeros(n, dtype=np.float64)
+    else:
+        sync_c = verdicts.sync_codes[order]
+        transfer_c = verdicts.transfer_codes[order]
+        fu = verdicts.first_use[order]
+
+    instr = _InstrumentationClock(list(instrumentation_intervals))
+    cb = np.empty(n, dtype=np.float64)
+    if n:
+        cb[0] = 0.0
+        if n > 1:
+            cb[1:] = np.maximum(np.maximum.accumulate(tx[:-1]), 0.0)
+    gap = (te - cb) - instr.within_many(cb, te)
+    has_gap = gap > _MIN_GAP
+    launch = np.maximum(0.0, (tx - te) - sw)
+
+    # Node count per event: optional gap CWork, then the call's own
+    # node(s) — transfer CLaunch / sync-call CWork sliver / plain CWork
+    # — then a CWait when the call synchronized.
+    sliver = (~is_t) & is_s & (launch > _MIN_GAP)
+    n1 = np.where(is_t | ~is_s, 1, sliver.astype(np.int64))
+    n2 = is_s.astype(np.int64)
+    counts = has_gap.astype(np.int64) + n1 + n2
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+
+    cwork = NODE_TYPE_CODES[NodeType.CWORK]
+    claunch = NODE_TYPE_CODES[NodeType.CLAUNCH]
+    cwait = NODE_TYPE_CODES[NodeType.CWAIT]
+    nexit = NODE_TYPE_CODES[NodeType.EXIT]
+
+    ntype = np.full(total, cwork, dtype=np.int8)
+    stime = np.empty(total, dtype=np.float64)
+    dur = np.empty(total, dtype=np.float64)
+    prob = np.zeros(total, dtype=np.int8)
+    first_use = np.zeros(total, dtype=np.float64)
+    erows = np.full(total, -1, dtype=np.int64)
+
+    gpos = starts[has_gap]
+    stime[gpos] = cb[has_gap]
+    dur[gpos] = gap[has_gap]
+
+    pos1 = starts + has_gap
+    m1 = n1 > 0
+    p1 = pos1[m1]
+    ntype[p1] = np.where(is_t[m1], claunch, cwork)
+    stime[p1] = te[m1]
+    dur[p1] = np.where(is_t | is_s, launch, tx - te)[m1]
+    prob[p1] = np.where(is_t, transfer_c, 0)[m1]
+    erows[p1] = order[m1]
+
+    p2 = (pos1 + n1)[is_s]
+    ntype[p2] = cwait
+    stime[p2] = (te + launch)[is_s]
+    dur[p2] = sw[is_s]
+    prob[p2] = sync_c[is_s]
+    first_use[p2] = fu[is_s]
+    erows[p2] = order[is_s]
+
+    cursor_end = float(np.maximum(np.max(tx), 0.0)) if n else 0.0
+    tail = execution_time - cursor_end
+    tail -= instr.within(cursor_end, execution_time)
+    extra_n, extra_s, extra_d = [], [], []
+    if tail > _MIN_GAP:
+        extra_n.append(cwork)
+        extra_s.append(cursor_end)
+        extra_d.append(tail)
+    extra_n.append(nexit)
+    extra_s.append(execution_time)
+    extra_d.append(0.0)
+    k = len(extra_n)
+    graph = ColumnarGraph(
+        ntype_codes=np.concatenate([ntype, np.array(extra_n, dtype=np.int8)]),
+        stime=np.concatenate([stime, np.array(extra_s, dtype=np.float64)]),
+        duration=np.concatenate([dur, np.array(extra_d, dtype=np.float64)]),
+        problem_codes=np.concatenate([prob, np.zeros(k, dtype=np.int8)]),
+        first_use=np.concatenate([first_use, np.zeros(k, dtype=np.float64)]),
+        event_rows=np.concatenate([erows, np.full(k, -1, dtype=np.int64)]),
+        table=table,
+        execution_time=execution_time,
+    )
+    graph.validate()
+    obs.count("core.graph_nodes_built", len(graph))
+    return graph

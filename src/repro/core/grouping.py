@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 import repro.obs as obs
 from repro.core.analysis import AnalysisResult, ProblemRecord
 from repro.core.graph import ProblemKind
@@ -50,7 +52,13 @@ class ProblemGroup:
         return {m.kind for m in self.members}
 
 
-def _grouped(result: AnalysisResult, kind: str, key_fn, label_fn) -> list[ProblemGroup]:
+def _grouped(result: AnalysisResult, kind: str, key_fn, label_fn,
+             packed_fn=None) -> list[ProblemGroup]:
+    columns = getattr(result, "columns", None)
+    if columns is not None and packed_fn is not None and result.problems:
+        packed = packed_fn(columns)
+        if packed is not None:
+            return _grouped_packed(result, kind, packed, label_fn)
     groups: dict = {}
     for problem in result.problems:
         key = key_fn(problem)
@@ -61,6 +69,55 @@ def _grouped(result: AnalysisResult, kind: str, key_fn, label_fn) -> list[Proble
     obs.count("core.problems_grouped", len(result.problems), kind=kind)
     obs.count("core.groups_built", len(groups), kind=kind)
     return sorted(groups.values(), key=lambda g: g.total_benefit, reverse=True)
+
+
+def _grouped_packed(result: AnalysisResult, kind: str, packed: np.ndarray,
+                    label_fn) -> list[ProblemGroup]:
+    """Array partition on packed integer keys.
+
+    ``np.unique`` yields the partition; first-occurrence indices
+    restore the dict path's insertion order for groups, and a stable
+    argsort over the remapped inverse restores each group's member
+    order (problems-list order).  The final ranking reuses the same
+    ``sorted`` over ``total_benefit`` — a sequential Python sum per
+    group — so ordering ties break exactly as on the dict path.
+    """
+    _, first_idx, inverse = np.unique(
+        packed, return_index=True, return_inverse=True)
+    n_groups = len(first_idx)
+    rank = np.empty(n_groups, dtype=np.int64)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(n_groups)
+    by_seen = rank[inverse]
+    member_order = np.argsort(by_seen, kind="stable")
+    bounds = np.cumsum(np.bincount(by_seen, minlength=n_groups))
+
+    problems = result.problems
+    groups: list[ProblemGroup] = []
+    start = 0
+    for end in bounds.tolist():
+        members = [problems[i] for i in member_order[start:end].tolist()]
+        groups.append(ProblemGroup(kind=kind, label=label_fn(members[0]),
+                                   members=members))
+        start = end
+    obs.count("core.problems_grouped", len(problems), kind=kind)
+    obs.count("core.groups_built", len(groups), kind=kind)
+    return sorted(groups, key=lambda g: g.total_benefit, reverse=True)
+
+
+#: Bit-field guards for key packing: API codes and interned IDs far
+#: below these bounds pack into one int64 without collision; if a run
+#: ever exceeds them the packers return None and the dict path runs.
+_MAX_ID = 1 << 33
+_MAX_API = 1 << 26
+
+
+def _pack_keys(columns, ids) -> np.ndarray | None:
+    if (len(ids) and int(ids.max()) + 2 >= _MAX_ID) or (
+            len(columns.api_codes)
+            and int(columns.api_codes.max()) >= _MAX_API):
+        return None  # pragma: no cover - interner IDs never get here
+    return (columns.api_codes * (_MAX_ID << 2)
+            + (ids + 2) * 4 + columns.kind_codes)
 
 
 def group_single_point(result: AnalysisResult) -> list[ProblemGroup]:
@@ -77,6 +134,7 @@ def group_single_point(result: AnalysisResult) -> list[ProblemGroup]:
         key_fn=lambda p: (p.api_name,
                           p.stack.address_id() if p.stack else -1, p.kind),
         label_fn=lambda p: p.location(),
+        packed_fn=lambda cols: _pack_keys(cols, cols.addr_ids),
     )
 
 
@@ -92,6 +150,7 @@ def group_folded_function(result: AnalysisResult) -> list[ProblemGroup]:
                           p.stack.function_id() if p.stack else -1, p.kind),
         label_fn=lambda p: (p.stack.leaf.base_name if p.stack and p.stack.leaf
                             else p.api_name),
+        packed_fn=lambda cols: _pack_keys(cols, cols.func_ids),
     )
 
 
@@ -101,6 +160,7 @@ def group_by_api(result: AnalysisResult) -> list[ProblemGroup]:
         result, "api_fold",
         key_fn=lambda p: p.api_name,
         label_fn=lambda p: f"Fold on {p.api_name}",
+        packed_fn=lambda cols: cols.api_codes,
     )
 
 

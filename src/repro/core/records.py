@@ -199,6 +199,40 @@ class Stage2Data:
     instrumentation_intervals: list[tuple[float, float]] = field(
         default_factory=list)
 
+    @classmethod
+    def from_table(cls, table, execution_time: float,
+                   instrumentation_intervals=None) -> "Stage2Data":
+        """Wrap a native :class:`repro.exec.table.EventTable` directly.
+
+        The columnar analysis path consumes :meth:`table` and never
+        touches ``events``, so a natively-built run (synthetic
+        workloads, decoded wire batches) skips row materialization
+        entirely.  ``events`` stays empty — call ``table.to_events()``
+        if a row view is genuinely needed.
+        """
+        data = cls(
+            execution_time=execution_time,
+            instrumentation_intervals=list(instrumentation_intervals or []),
+        )
+        object.__setattr__(data, "_table", (data.events, table))
+        return data
+
+    def table(self):
+        """This run's events as a columnar :class:`repro.exec.table.EventTable`.
+
+        Built once and cached on the instance — stage 5's vectorized
+        passes all consume the same arrays.  The cache is safe because
+        stage data is frozen once collected (nothing mutates ``events``
+        after a stage returns).
+        """
+        table = getattr(self, "_table", None)
+        if table is None or table[0] is not self.events:
+            from repro.exec.table import EventTable
+
+            table = (self.events, EventTable.from_events(self.events))
+            object.__setattr__(self, "_table", table)
+        return table[1]
+
     def sync_events(self) -> list[TraceEvent]:
         return [e for e in self.events if e.is_sync]
 

@@ -35,9 +35,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.analysis import AnalysisResult, ProblemRecord
 from repro.core.benefit import BenefitConfig, expected_benefit_subset
-from repro.core.graph import NodeType, ProblemKind
+from repro.core.graph import (
+    PROBLEM_CODES,
+    SYNC_CODES,
+    ColumnarGraph,
+    NodeType,
+    ProblemKind,
+)
 
 _SYNC_KINDS = (ProblemKind.UNNECESSARY_SYNC, ProblemKind.MISPLACED_SYNC)
 
@@ -155,6 +163,8 @@ def _merge_operations(run: list[ProblemRecord]) -> list[Operation]:
 
 def _dynamic_runs(result: AnalysisResult) -> list[list[Operation]]:
     """Maximal contiguous problematic runs, split at necessary syncs."""
+    if isinstance(result.graph, ColumnarGraph):
+        return _dynamic_runs_columnar(result, result.graph)
     problems_by_index = {p.node_index: p for p in result.problems}
     runs: list[list[Operation]] = []
     current: list[ProblemRecord] = []
@@ -181,6 +191,42 @@ def _dynamic_runs(result: AnalysisResult) -> list[list[Operation]]:
         elif node.ntype in (NodeType.CWAIT, NodeType.EXIT):
             flush()
     flush()
+    return runs
+
+
+def _dynamic_runs_columnar(result: AnalysisResult,
+                           graph: ColumnarGraph) -> list[list[Operation]]:
+    """:func:`_dynamic_runs` without walking node objects.
+
+    The reference walk splits the time-ordered problem records wherever
+    a *non-problematic* CWait/Exit falls between neighbours, plus
+    around every misplaced sync (necessary, so it stands alone).  A
+    cumulative count of flush nodes answers "any flush strictly between
+    indices ``a`` and ``b``?" in O(1), turning the walk into a handful
+    of array expressions over the problem records alone.
+    """
+    if not result.problems:
+        return []
+    node_idx = np.array([p.node_index for p in result.problems],
+                        dtype=np.int64)
+    order = np.argsort(node_idx, kind="stable")
+    records = [result.problems[k] for k in order.tolist()]
+    idx = node_idx[order]
+    misplaced = (graph.problem_codes[idx]
+                 == PROBLEM_CODES[ProblemKind.MISPLACED_SYNC])
+    flush = (((graph.ntype_codes == SYNC_CODES[0])
+              | (graph.ntype_codes == SYNC_CODES[1]))
+             & (graph.problem_codes == 0))
+    cum = np.cumsum(flush.astype(np.int64))
+    between = (cum[idx[1:] - 1] - cum[idx[:-1]]) > 0
+    boundary = between | misplaced[1:] | misplaced[:-1]
+
+    runs: list[list[Operation]] = []
+    start = 0
+    for cut in (np.flatnonzero(boundary) + 1).tolist():
+        runs.append(_merge_operations(records[start:cut]))
+        start = cut
+    runs.append(_merge_operations(records[start:]))
     return runs
 
 

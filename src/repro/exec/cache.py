@@ -175,6 +175,11 @@ class ResultCache:
                 except (OSError, ValueError):
                     removed_entries += 1
                     removed_bytes += self._unlink(path)
+            # Crash debris: a write interrupted between mkstemp and
+            # os.replace leaves a *.tmp no read path ever touches.
+            for path in self.directory.glob("*/*.tmp"):
+                removed_entries += 1
+                removed_bytes += self._unlink(path)
         infos = self.entries()
         if max_age is not None:
             fresh = []

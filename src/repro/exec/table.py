@@ -1,0 +1,375 @@
+"""Columnar-native event table: the in-memory format of the analysis core.
+
+PR 4 made stage payloads columnar *on the wire*
+(:mod:`repro.exec.columnar`); this module makes columnar the *native*
+in-memory representation.  An :class:`EventTable` holds one run's
+stage-2 trace events as numpy arrays — one column per
+:class:`repro.core.records.TraceEvent` field — with the composite
+columns dictionary-encoded exactly like the wire format:
+
+* ``api_name`` and ``direction`` are small string pools plus per-event
+  integer codes;
+* ``stack`` is a pool of interned :class:`StackTrace` snapshots plus
+  per-event codes — the dense IDs the process-wide stack interner
+  issues (:mod:`repro.instr.stacks`) become plain ``int64`` columns;
+* ``site`` identity is carried as two integer columns — the interned
+  address-key ID and the dynamic occurrence index — packed into one
+  ``int64`` for vectorized joins (:meth:`EventTable.packed_sites`).
+  The :class:`SiteKey` *objects* are materialized lazily, and only for
+  the (few) events the analysis flags as problematic.
+
+Stage 5's graph builder, benefit estimator, grouping, and sequence
+passes consume these arrays directly (see ``docs/columnar_format.md``);
+the row-dict and :class:`TraceEvent` views remain available through
+:meth:`to_events` / :meth:`to_batch` and are exact round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import SiteKey, TraceEvent, frames_from_json
+from repro.instr.stacks import StackTrace, address_id_for
+
+#: Bits reserved for the occurrence index in a packed site key.  Site
+#: identity packs as ``address_id << 32 | occurrence``; both halves are
+#: bounded by the dynamic event count, far below 2**31.
+_OCC_BITS = 32
+_OCC_LIMIT = 1 << _OCC_BITS
+
+
+def pack_site(address_id: int, occurrence: int) -> int:
+    """One ``int64`` standing for a (address-key, occurrence) site."""
+    if not 0 <= occurrence < _OCC_LIMIT:
+        raise ValueError(f"occurrence {occurrence} out of packing range")
+    return (address_id << _OCC_BITS) | occurrence
+
+
+def pack_site_key(site: SiteKey) -> int:
+    """Packed integer identity of a :class:`SiteKey`.
+
+    Goes through the process-wide interner, so the result compares
+    equal to the packed site of any event with the same address key
+    and occurrence — the property the vectorized classifier joins on.
+    """
+    return pack_site(address_id_for(site.address_key), site.occurrence)
+
+
+def _encode_strings(values) -> tuple[np.ndarray, list[str]]:
+    """Dictionary-encode a string sequence (first-seen pool order)."""
+    index: dict[str, int] = {}
+    codes = np.empty(len(values), dtype=np.int32)
+    pool: list[str] = []
+    for i, v in enumerate(values):
+        code = index.get(v)
+        if code is None:
+            code = index[v] = len(pool)
+            pool.append(v)
+        codes[i] = code
+    return codes, pool
+
+
+class EventTable:
+    """One run's trace events as columns (see module docstring)."""
+
+    __slots__ = (
+        "seq", "t_entry", "t_exit", "sync_wait", "is_sync", "is_transfer",
+        "nbytes", "api_codes", "api_pool", "stack_codes", "stack_pool",
+        "occurrence", "site_address_ids", "direction_codes",
+        "direction_pool", "_sites", "_packed", "_stack_aids", "_func_ids",
+    )
+
+    def __init__(self, *, seq, t_entry, t_exit, sync_wait, is_sync,
+                 is_transfer, nbytes, api_codes, api_pool, stack_codes,
+                 stack_pool, occurrence, site_address_ids,
+                 direction_codes, direction_pool, sites=None) -> None:
+        self.seq = np.asarray(seq, dtype=np.int64)
+        self.t_entry = np.asarray(t_entry, dtype=np.float64)
+        self.t_exit = np.asarray(t_exit, dtype=np.float64)
+        self.sync_wait = np.asarray(sync_wait, dtype=np.float64)
+        self.is_sync = np.asarray(is_sync, dtype=bool)
+        self.is_transfer = np.asarray(is_transfer, dtype=bool)
+        self.nbytes = np.asarray(nbytes, dtype=np.int64)
+        self.api_codes = np.asarray(api_codes, dtype=np.int32)
+        self.api_pool = list(api_pool)
+        self.stack_codes = np.asarray(stack_codes, dtype=np.int32)
+        self.stack_pool = list(stack_pool)
+        self.occurrence = np.asarray(occurrence, dtype=np.int64)
+        self.site_address_ids = np.asarray(site_address_ids, dtype=np.int64)
+        self.direction_codes = np.asarray(direction_codes, dtype=np.int32)
+        self.direction_pool = list(direction_pool)
+        #: Real SiteKey objects when built from events (authoritative
+        #: even if a hand-built event's site disagrees with its stack);
+        #: ``None`` for native tables, where sites synthesize lazily.
+        self._sites = sites
+        self._packed = None
+        self._stack_aids = None
+        self._func_ids = None
+        n = len(self.seq)
+        for name in ("t_entry", "t_exit", "sync_wait", "is_sync",
+                     "is_transfer", "nbytes", "api_codes", "stack_codes",
+                     "occurrence", "site_address_ids", "direction_codes"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name!r} length != {n}")
+        if sites is not None and len(sites) != n:
+            raise ValueError("sites length mismatch")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events: list[TraceEvent]) -> "EventTable":
+        """Columnarize a list of trace events (exact, order-preserving)."""
+        n = len(events)
+        seq = np.empty(n, dtype=np.int64)
+        t_entry = np.empty(n, dtype=np.float64)
+        t_exit = np.empty(n, dtype=np.float64)
+        sync_wait = np.empty(n, dtype=np.float64)
+        is_sync = np.empty(n, dtype=bool)
+        is_transfer = np.empty(n, dtype=bool)
+        nbytes = np.empty(n, dtype=np.int64)
+        occurrence = np.empty(n, dtype=np.int64)
+        site_aids = np.empty(n, dtype=np.int64)
+        api_codes = np.empty(n, dtype=np.int32)
+        stack_codes = np.empty(n, dtype=np.int32)
+        direction_codes = np.empty(n, dtype=np.int32)
+        api_index: dict[str, int] = {}
+        api_pool: list[str] = []
+        stack_index: dict[StackTrace, int] = {}
+        stack_pool: list[StackTrace] = []
+        dir_index: dict[str, int] = {}
+        dir_pool: list[str] = []
+        sites: list[SiteKey] = []
+        for i, e in enumerate(events):
+            seq[i] = e.seq
+            t_entry[i] = e.t_entry
+            t_exit[i] = e.t_exit
+            sync_wait[i] = e.sync_wait
+            is_sync[i] = e.is_sync
+            is_transfer[i] = e.is_transfer
+            nbytes[i] = e.nbytes
+            occurrence[i] = e.site.occurrence
+            site_aids[i] = address_id_for(e.site.address_key)
+            code = api_index.get(e.api_name)
+            if code is None:
+                code = api_index[e.api_name] = len(api_pool)
+                api_pool.append(e.api_name)
+            api_codes[i] = code
+            code = stack_index.get(e.stack)
+            if code is None:
+                code = stack_index[e.stack] = len(stack_pool)
+                stack_pool.append(e.stack)
+            stack_codes[i] = code
+            code = dir_index.get(e.direction)
+            if code is None:
+                code = dir_index[e.direction] = len(dir_pool)
+                dir_pool.append(e.direction)
+            direction_codes[i] = code
+            sites.append(e.site)
+        return cls(
+            seq=seq, t_entry=t_entry, t_exit=t_exit, sync_wait=sync_wait,
+            is_sync=is_sync, is_transfer=is_transfer, nbytes=nbytes,
+            api_codes=api_codes, api_pool=api_pool,
+            stack_codes=stack_codes, stack_pool=stack_pool,
+            occurrence=occurrence, site_address_ids=site_aids,
+            direction_codes=direction_codes, direction_pool=dir_pool,
+            sites=sites,
+        )
+
+    @classmethod
+    def from_columns(cls, *, t_entry, t_exit, sync_wait, is_sync,
+                     is_transfer, api_codes, api_pool, stack_codes,
+                     stack_pool, occurrence, seq=None, nbytes=None,
+                     direction_codes=None, direction_pool=None,
+                     ) -> "EventTable":
+        """Build a native table directly from columns (no row objects).
+
+        Site identity derives from each event's stack: the address-key
+        ID of ``stack_pool[stack_codes[i]]`` plus ``occurrence[i]`` —
+        exactly how the tracer mints :class:`SiteKey` for real runs.
+        """
+        n = len(np.asarray(t_entry))
+        if seq is None:
+            seq = np.arange(n, dtype=np.int64)
+        if nbytes is None:
+            nbytes = np.zeros(n, dtype=np.int64)
+        if direction_codes is None:
+            direction_codes = np.zeros(n, dtype=np.int32)
+            direction_pool = [""]
+        pool_aids = np.array([s.address_id() for s in stack_pool],
+                             dtype=np.int64)
+        stack_codes = np.asarray(stack_codes, dtype=np.int32)
+        return cls(
+            seq=seq, t_entry=t_entry, t_exit=t_exit, sync_wait=sync_wait,
+            is_sync=is_sync, is_transfer=is_transfer, nbytes=nbytes,
+            api_codes=api_codes, api_pool=api_pool,
+            stack_codes=stack_codes, stack_pool=stack_pool,
+            occurrence=occurrence,
+            site_address_ids=pool_aids[stack_codes],
+            direction_codes=direction_codes, direction_pool=direction_pool,
+        )
+
+    @classmethod
+    def from_batch(cls, batch: dict) -> "EventTable":
+        """Build a table straight from a columnar wire batch.
+
+        ``batch`` is an encoded stage-2 ``events`` payload
+        (:func:`repro.exec.columnar.encode_records` of
+        ``TraceEvent.to_json`` rows).  Pools decode once — per distinct
+        stack and site, not per event — so no row dicts or
+        :class:`TraceEvent` objects are materialized.
+        """
+        from repro.exec.columnar import is_columnar
+
+        if not is_columnar(batch):
+            raise ValueError("not a columnar batch")
+        cols = dict(zip(batch["keys"], batch["columns"]))
+        expected = {"seq", "api_name", "stack", "site", "t_entry", "t_exit",
+                    "sync_wait", "is_sync", "is_transfer", "nbytes",
+                    "direction"}
+        if set(cols) != expected:
+            raise ValueError(
+                f"not a stage-2 event batch (keys {sorted(cols)})")
+        n = batch["count"]
+
+        def scalars(name):
+            col = cols[name]
+            if "values" in col:
+                return col["values"]
+            pool = col["dict"]
+            return [pool[c] for c in col["codes"]]
+
+        stack_col = cols["stack"]
+        if "codes" in stack_col:
+            stack_pool = [frames_from_json(v) for v in stack_col["dict"]]
+            stack_codes = np.asarray(stack_col["codes"], dtype=np.int32)
+        else:  # single-event batches may come through un-pooled
+            stack_pool = [frames_from_json(v) for v in stack_col["values"]]
+            stack_codes = np.arange(n, dtype=np.int32)
+        site_col = cols["site"]
+        if "codes" in site_col:
+            site_pool = site_col["dict"]
+            site_codes = np.asarray(site_col["codes"], dtype=np.int64)
+        else:
+            site_pool = site_col["values"]
+            site_codes = np.arange(n, dtype=np.int64)
+        occ_pool = np.array([s["occurrence"] for s in site_pool],
+                            dtype=np.int64)
+        aid_pool = np.array(
+            [address_id_for(tuple(s["address_key"])) for s in site_pool],
+            dtype=np.int64)
+        api_codes, api_pool = _encode_strings(scalars("api_name"))
+        dir_codes, dir_pool = _encode_strings(scalars("direction"))
+        return cls(
+            seq=scalars("seq"), t_entry=scalars("t_entry"),
+            t_exit=scalars("t_exit"), sync_wait=scalars("sync_wait"),
+            is_sync=scalars("is_sync"), is_transfer=scalars("is_transfer"),
+            nbytes=scalars("nbytes"),
+            api_codes=api_codes, api_pool=api_pool,
+            stack_codes=stack_codes, stack_pool=stack_pool,
+            occurrence=occ_pool[site_codes],
+            site_address_ids=aid_pool[site_codes],
+            direction_codes=dir_codes, direction_pool=dir_pool,
+            sites=[SiteKey(tuple(site_pool[c]["address_key"]),
+                           site_pool[c]["occurrence"])
+                   for c in site_codes],
+        )
+
+    # ------------------------------------------------------------------
+    # Derived columns (cached)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def packed_sites(self) -> np.ndarray:
+        """``int64`` site identity per event (join key for stages 3/4)."""
+        if self._packed is None:
+            if len(self) and int(self.occurrence.max()) >= _OCC_LIMIT:
+                raise ValueError("occurrence exceeds packing range")
+            self._packed = ((self.site_address_ids << _OCC_BITS)
+                            | self.occurrence)
+        return self._packed
+
+    def stack_address_ids(self) -> np.ndarray:
+        """Interned *stack* address ID per event (grouping key)."""
+        if self._stack_aids is None:
+            pool = np.array([s.address_id() for s in self.stack_pool],
+                            dtype=np.int64)
+            self._stack_aids = (pool[self.stack_codes] if len(pool)
+                                else np.zeros(len(self), dtype=np.int64))
+        return self._stack_aids
+
+    def function_ids(self) -> np.ndarray:
+        """Interned function-key ID per event (folded-function key)."""
+        if self._func_ids is None:
+            pool = np.array([s.function_id() for s in self.stack_pool],
+                            dtype=np.int64)
+            self._func_ids = (pool[self.stack_codes] if len(pool)
+                              else np.zeros(len(self), dtype=np.int64))
+        return self._func_ids
+
+    def site_at(self, i: int) -> SiteKey:
+        """The :class:`SiteKey` of event ``i`` (lazy for native tables)."""
+        if self._sites is not None:
+            return self._sites[i]
+        stack = self.stack_pool[self.stack_codes[i]]
+        return SiteKey(stack.address_key(), int(self.occurrence[i]))
+
+    def stack_at(self, i: int) -> StackTrace:
+        return self.stack_pool[self.stack_codes[i]]
+
+    def api_at(self, i: int) -> str:
+        return self.api_pool[self.api_codes[i]]
+
+    # ------------------------------------------------------------------
+    # Row-oriented views (exact round trips)
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "EventTable":
+        """A new table over rows ``[start, stop)`` (pools shared)."""
+        return EventTable(
+            seq=self.seq[start:stop], t_entry=self.t_entry[start:stop],
+            t_exit=self.t_exit[start:stop],
+            sync_wait=self.sync_wait[start:stop],
+            is_sync=self.is_sync[start:stop],
+            is_transfer=self.is_transfer[start:stop],
+            nbytes=self.nbytes[start:stop],
+            api_codes=self.api_codes[start:stop], api_pool=self.api_pool,
+            stack_codes=self.stack_codes[start:stop],
+            stack_pool=self.stack_pool,
+            occurrence=self.occurrence[start:stop],
+            site_address_ids=self.site_address_ids[start:stop],
+            direction_codes=self.direction_codes[start:stop],
+            direction_pool=self.direction_pool,
+            sites=self._sites[start:stop] if self._sites is not None
+            else None,
+        )
+
+    def to_events(self) -> list[TraceEvent]:
+        """Materialize the row view (inverse of :meth:`from_events`)."""
+        return [
+            TraceEvent(
+                seq=int(self.seq[i]),
+                api_name=self.api_pool[self.api_codes[i]],
+                stack=self.stack_pool[self.stack_codes[i]],
+                site=self.site_at(i),
+                t_entry=float(self.t_entry[i]),
+                t_exit=float(self.t_exit[i]),
+                sync_wait=float(self.sync_wait[i]),
+                is_sync=bool(self.is_sync[i]),
+                is_transfer=bool(self.is_transfer[i]),
+                nbytes=int(self.nbytes[i]),
+                direction=self.direction_pool[self.direction_codes[i]],
+            )
+            for i in range(len(self))
+        ]
+
+    def to_batch(self) -> dict | None:
+        """The wire-format columnar batch of this table's events.
+
+        Defined as ``encode_records`` over the row view, so the bytes
+        are identical to what the executor would have produced — the
+        wire format stays a pure function of the rows.
+        """
+        from repro.exec.columnar import encode_records
+
+        return encode_records([e.to_json() for e in self.to_events()])

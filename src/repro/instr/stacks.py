@@ -193,6 +193,18 @@ def intern_stack(frames: tuple[Frame, ...]) -> StackTrace:
     return _INTERNER.stack(frames)
 
 
+def address_id_for(address_key: tuple[int, ...]) -> int:
+    """Interned ID for a bare address-key tuple.
+
+    The same issue table :meth:`StackTrace.address_id` consults, so an
+    ID obtained here for a :class:`repro.core.records.SiteKey` address
+    key compares equal to the ID of any stack with that key.  Columnar
+    analysis (:mod:`repro.exec.table`) uses this to turn site identity
+    into integer arrays.
+    """
+    return _INTERNER.address_id(address_key)
+
+
 class CallStackTracker:
     """Mutable per-run stack of application frames.
 

@@ -16,6 +16,13 @@ of the reproduction's own overhead, split into four buckets:
     Wall time the observability layer spends on itself — spans opened
     and events emitted, charged at the calibrated per-span /
     per-event unit cost.
+``analysis``
+    Wall time stage 5 spends turning collected data into the report —
+    classification, graph build, benefit estimation, grouping, and
+    sequence mining — measured directly around the analysis call.
+    Unlike the collection buckets this cost is paid *after* the
+    measured runs, but it is still tool time the user waits on; the
+    columnar analysis core exists to shrink this account.
 ``virtual``
     *Simulated* seconds the virtual clock was charged for modelled
     instrumentation (the ``"api"`` timeline intervals labelled
@@ -43,7 +50,7 @@ import time
 from dataclasses import dataclass, field
 
 #: Ledger buckets, in reporting order.
-BUCKETS = ("callbacks", "hashing", "tracing", "virtual")
+BUCKETS = ("callbacks", "hashing", "tracing", "analysis", "virtual")
 
 #: Iterations used when calibrating unit costs.
 CALIBRATION_ITERATIONS = 2000
@@ -152,6 +159,11 @@ class PerturbationLedger:
         self.ensure_calibrated()
         unit = self.calibration["span_seconds"]
         self.charge(stage, "tracing", spans * unit, events=spans)
+
+    def charge_analysis(self, stage: str, seconds: float) -> None:
+        """Charge stage-5 analysis wall time (measured, not estimated)."""
+        if seconds > 0.0:
+            self.charge(stage, "analysis", seconds)
 
     def charge_virtual(self, stage: str, machine) -> None:
         """Charge the virtual-clock instrumentation cost of one run.

@@ -23,7 +23,9 @@ Routes::
     POST /submit              {"workload", "params"?, "config"?, "force"?}
     GET  /jobs                all jobs + per-state counts
     GET  /jobs/<id>           one job
-    GET  /reports/<key>       stored report JSON (byte-equal to `diogenes run --json`)
+    GET  /reports/<key>       stored report JSON, served from the store's
+                              mmap'd body segment (no decode on fetch;
+                              byte-equal to `diogenes run --json`)
     GET  /trace/<job-id>      the job's distributed trace (request span +
                               executor + worker spans, one connected tree)
     GET  /events?job=<id>     long-poll live job events (&after=<seq>,
@@ -64,7 +66,7 @@ from repro.exec.fingerprint import config_from_json, config_to_json
 from repro.exec.jobs import WorkloadSpec
 from repro.obs.tracer import Tracer
 from repro.service.queue import DONE, FAILED, STATES, Job, JobQueue
-from repro.service.store import ReportStore, report_identity
+from repro.service.store import MappedBody, ReportStore, report_identity
 
 #: Events retained per job for the ``/events`` stream.
 _EVENTS_PER_JOB = 1000
@@ -303,6 +305,16 @@ class ServiceDaemon:
                 raw = payload["text"].encode()
                 await self._write(writer, status, raw,
                                   "text/plain; version=0.0.4")
+            elif route == "report" and status == 200:
+                body = payload["raw"]
+                try:
+                    await self._write(
+                        writer, status,
+                        body.view if isinstance(body, MappedBody) else body,
+                        "application/json")
+                finally:
+                    if isinstance(body, MappedBody):
+                        body.close()
             else:
                 await self._write(
                     writer, status,
@@ -324,12 +336,15 @@ class ServiceDaemon:
                 self._wake.set()
 
     async def _write(self, writer: asyncio.StreamWriter, status: int,
-                     body: bytes, content_type: str) -> None:
+                     body, content_type: str) -> None:
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n")
-        writer.write(head.encode() + body)
+        # Two writes, no concatenation: mmap-backed bodies go to the
+        # transport without being copied into a joined bytes object.
+        writer.write(head.encode())
+        writer.write(body)
         await writer.drain()
 
     # ------------------------------------------------------------------
@@ -366,11 +381,14 @@ class ServiceDaemon:
             return "job", 200, job.to_json()
         if segments[:1] == ["reports"] and len(segments) == 2 \
                 and method == "GET":
-            report = self.store.get(segments[1])
-            if report is None:
+            # Served straight from the store's mmap'd body segment:
+            # the bytes written at put time go to the socket with no
+            # JSON decode or re-encode on the fetch path.
+            raw = self.store.get_bytes(segments[1])
+            if raw is None:
                 raise _HttpError(404, f"no stored report under key "
                                       f"{segments[1]}")
-            return "report", 200, report
+            return "report", 200, {"raw": raw}
         if segments[:1] == ["trace"] and len(segments) == 2 \
                 and method == "GET":
             trace = self.store.get_trace(segments[1])

@@ -21,13 +21,23 @@ one line to ``history.jsonl`` — the per-workload run history that the
 Layout mirrors the stage cache (git-object style, atomic writes,
 tolerant reads)::
 
-    <dir>/<key[:2]>/<key>.json    envelope: identity + report JSON
-    <dir>/history.jsonl           one append-only line per stored report
+    <dir>/<key[:2]>/<key>.json       envelope: identity + report JSON
+    <dir>/<key[:2]>/<key>.body.json  the serialized report, byte-exact
+    <dir>/history.jsonl              one append-only line per stored report
+
+The *body segment* holds exactly the bytes a fetch response carries
+(``json.dumps(report, indent=2)``), written once at ``put`` time.  A
+fetch maps the segment (:func:`mmap.mmap`) and hands the pages to the
+socket — no JSON decode, no re-encode, no heap copy of the report.
+The envelope records the segment's expected size; a mismatch (torn
+write, truncation) makes the mapped path refuse and the fetch falls
+back to the envelope's columnar payload.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import pathlib
 import tempfile
@@ -46,7 +56,36 @@ from repro.exec.jobs import WorkloadSpec
 #: Bump when the envelope layout changes (old entries become misses).
 #: v2: the embedded report's record lists are stored columnar-encoded
 #: (:mod:`repro.exec.columnar`); ``get`` decodes transparently.
-STORE_SCHEMA_VERSION = 2
+#: v3: a ``.body.json`` segment beside the envelope holds the exact
+#: serialized response bytes (``body_bytes`` in the envelope names its
+#: size); fetches are served from an mmap of that segment.
+STORE_SCHEMA_VERSION = 3
+
+
+class MappedBody:
+    """Zero-copy view of a stored report's serialized bytes.
+
+    Wraps the mmap so the buffer can be handed to a socket writer and
+    released afterwards; ``close`` is idempotent.
+    """
+
+    __slots__ = ("_mm", "view")
+
+    def __init__(self, mm: mmap.mmap) -> None:
+        self._mm = mm
+        self.view = memoryview(mm)
+
+    def __len__(self) -> int:
+        return len(self.view)
+
+    def tobytes(self) -> bytes:
+        return self.view.tobytes()
+
+    def close(self) -> None:
+        try:
+            self.view.release()
+        finally:
+            self._mm.close()
 
 
 class ReportIdentity(dict):
@@ -81,6 +120,9 @@ class ReportStore:
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.json"
+
+    def _body_path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.body.json"
 
     @property
     def history_path(self) -> pathlib.Path:
@@ -133,17 +175,29 @@ class ReportStore:
         key = identity.key()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Body segment first: the envelope's body_bytes stamp is the
+        # validity witness, so the envelope must never land before the
+        # bytes it vouches for.
+        body = json.dumps(report_json, indent=2).encode()
+        self._write_atomic(self._body_path(key), body)
         envelope = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
             "identity": dict(identity),
             "job_id": job_id,
+            "body_bytes": len(body),
             "report": encode_tree(report_json),
         }
+        self._write_atomic(path, json.dumps(envelope).encode())
+        self._append_history(key, identity, job_id)
+        return key
+
+    @staticmethod
+    def _write_atomic(path: pathlib.Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fp:
-                json.dump(envelope, fp)
+            with os.fdopen(fd, "wb") as fp:
+                fp.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -151,8 +205,33 @@ class ReportStore:
             except OSError:
                 pass
             raise
-        self._append_history(key, identity, job_id)
-        return key
+
+    def get_bytes(self, key: str) -> MappedBody | bytes | None:
+        """The serialized report response, served without decoding.
+
+        Maps the body segment when its size matches the envelope's
+        ``body_bytes`` stamp (zero-copy); a missing or torn segment
+        falls back to decoding the envelope payload and re-serializing
+        — same bytes, just slower.  ``None`` only when the key itself
+        is a miss.
+        """
+        envelope = self.get_envelope(key)
+        if (isinstance(envelope, dict)
+                and envelope.get("schema") == STORE_SCHEMA_VERSION
+                and isinstance(envelope.get("body_bytes"), int)):
+            try:
+                with open(self._body_path(key), "rb") as fp:
+                    mm = mmap.mmap(fp.fileno(), 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                mm = None
+            if mm is not None:
+                if len(mm) == envelope["body_bytes"]:
+                    return MappedBody(mm)
+                mm.close()
+        report = self.get(key)
+        if report is None:
+            return None
+        return json.dumps(report, indent=2).encode()
 
     # ------------------------------------------------------------------
     # Traces: one distributed-trace payload per executed job, keyed by
@@ -227,9 +306,96 @@ class ReportStore:
                 entries.append(entry)
         return entries
 
+    # ------------------------------------------------------------------
+    # Size accounting and pruning
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[tuple[float, str, int]]:
+        """(mtime, key, bytes) per stored report — envelope *and* body.
+
+        The body segment is the dominant cost of an entry (it holds the
+        full serialized report, resident in the page cache while
+        mapped), so it must count toward the entry's footprint or the
+        prune budget silently under-measures by roughly half.
+        """
+        if not self.directory.is_dir():
+            return []
+        entries = []
+        for path in self.directory.glob("*/*.json"):
+            if path.parent.name == "traces" or path.name.endswith(".body.json"):
+                continue
+            key = path.stem
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            nbytes = stat.st_size
+            try:
+                nbytes += self._body_path(key).stat().st_size
+            except OSError:
+                pass
+            entries.append((stat.st_mtime, key, nbytes))
+        return entries
+
+    def stats(self) -> dict:
+        """Report count and on-disk footprint (envelopes + bodies)."""
+        entries = self._entries()
+        return {
+            "reports": len(entries),
+            "bytes": sum(nbytes for _, _, nbytes in entries),
+        }
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-stored reports until under ``max_bytes``.
+
+        Both files of an entry go together — an orphaned body segment
+        would hold page-cache-resident report bytes that no key can
+        reach.  Stray ``*.tmp`` files (crash debris from interrupted
+        atomic writes) and bodies whose envelope is gone are removed
+        unconditionally.  Traces and history are never touched.
+        """
+        with self._lock:
+            removed = 0
+            freed = 0
+            entries = sorted(self._entries(), reverse=True)  # newest first
+            kept_keys = set()
+            total = 0
+            for mtime, key, nbytes in entries:
+                if total + nbytes <= max_bytes:
+                    total += nbytes
+                    kept_keys.add(key)
+                    continue
+                for path in (self._path(key), self._body_path(key)):
+                    try:
+                        freed += path.stat().st_size
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+            if self.directory.is_dir():
+                for path in self.directory.glob("*/*"):
+                    if path.parent.name == "traces":
+                        continue
+                    orphan_body = (path.name.endswith(".body.json")
+                                   and path.name[:-len(".body.json")]
+                                   not in kept_keys)
+                    if path.suffix == ".tmp" or orphan_body:
+                        try:
+                            freed += path.stat().st_size
+                            path.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+            return {
+                "removed": removed,
+                "freed_bytes": freed,
+                "reports": len(kept_keys),
+                "bytes": total,
+            }
+
     def __len__(self) -> int:
         """Number of stored *reports* (traces live beside, not within)."""
         if not self.directory.is_dir():
             return 0
         return sum(1 for path in self.directory.glob("*/*.json")
-                   if path.parent.name != "traces")
+                   if path.parent.name != "traces"
+                   and not path.name.endswith(".body.json"))

@@ -1,0 +1,372 @@
+"""The columnar EventTable and its contract with the row world.
+
+Half of this file pins the round trips `docs/columnar_format.md`
+promises (events → table → events, table → wire batch → table, native
+construction, packed-site identity).  The other half is property-based:
+on randomized workloads, the columnar analysis engine must agree with
+the row-by-row reference *exactly* — same problems, same benefits,
+same groups, same sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.analysis import analyze
+from repro.core.grouping import (
+    group_by_api,
+    group_folded_function,
+    group_single_point,
+)
+from repro.core.records import (
+    FirstUseRecord,
+    SiteKey,
+    Stage1Data,
+    Stage2Data,
+    Stage3Data,
+    Stage4Data,
+    SyncUseRecord,
+    TraceEvent,
+    TransferHashRecord,
+)
+from repro.core.sequences import find_sequences
+from repro.exec.columnar import decode_records
+from repro.exec.table import EventTable, pack_site, pack_site_key
+from repro.instr.stacks import intern_frame, intern_stack
+
+
+def _stack(tag: int, depth: int = 2):
+    return intern_stack(tuple(
+        intern_frame(f"fn_{tag}_{d}", "app.cpp", 100 * tag + d)
+        for d in range(depth)))
+
+
+def _event(i: int, stack, occurrence: int, *, is_sync=False,
+           is_transfer=False, t_entry=None, duration=50e-6,
+           sync_wait=0.0, direction="", nbytes=0,
+           api_name="cudaLaunchKernel") -> TraceEvent:
+    t_entry = i * 1e-3 if t_entry is None else t_entry
+    return TraceEvent(
+        seq=i, api_name=api_name, stack=stack,
+        site=SiteKey(stack.address_key(), occurrence),
+        t_entry=t_entry, t_exit=t_entry + duration,
+        sync_wait=sync_wait, is_sync=is_sync, is_transfer=is_transfer,
+        nbytes=nbytes, direction=direction,
+    )
+
+
+def _mixed_events() -> list[TraceEvent]:
+    a, b = _stack(1), _stack(2)
+    return [
+        _event(0, a, 0, api_name="cudaLaunchKernel"),
+        _event(1, b, 0, is_sync=True, sync_wait=30e-6,
+               api_name="cudaDeviceSynchronize"),
+        _event(2, a, 1, is_transfer=True, nbytes=4096, direction="h2d",
+               api_name="cudaMemcpy"),
+        _event(3, b, 1, is_sync=True, is_transfer=True, nbytes=64,
+               direction="d2h", sync_wait=10e-6, api_name="cudaMemcpy"),
+    ]
+
+
+class TestRowRoundTrips:
+    def test_from_events_to_events_is_identity(self):
+        events = _mixed_events()
+        table = EventTable.from_events(events)
+        assert table.to_events() == events
+
+    def test_pools_are_first_seen_order(self):
+        table = EventTable.from_events(_mixed_events())
+        assert table.api_pool == [
+            "cudaLaunchKernel", "cudaDeviceSynchronize", "cudaMemcpy"]
+        assert table.direction_pool == ["", "h2d", "d2h"]
+        assert len(table.stack_pool) == 2
+
+    def test_column_dtypes(self):
+        table = EventTable.from_events(_mixed_events())
+        assert table.seq.dtype == np.int64
+        assert table.nbytes.dtype == np.int64
+        assert table.occurrence.dtype == np.int64
+        assert table.site_address_ids.dtype == np.int64
+        assert table.t_entry.dtype == np.float64
+        assert table.t_exit.dtype == np.float64
+        assert table.sync_wait.dtype == np.float64
+        assert table.is_sync.dtype == bool
+        assert table.is_transfer.dtype == bool
+        assert table.api_codes.dtype == np.int32
+        assert table.stack_codes.dtype == np.int32
+        assert table.direction_codes.dtype == np.int32
+
+    def test_slice_shares_pools_and_round_trips(self):
+        events = _mixed_events()
+        table = EventTable.from_events(events)
+        part = table.slice(1, 3)
+        assert part.to_events() == events[1:3]
+        assert part.api_pool is not None
+        assert part.stack_pool == table.stack_pool
+
+    def test_empty_table(self):
+        table = EventTable.from_events([])
+        assert len(table) == 0
+        assert table.to_events() == []
+        assert table.packed_sites().tolist() == []
+        assert table.stack_address_ids().tolist() == []
+        assert table.function_ids().tolist() == []
+
+    def test_column_length_mismatch_rejected(self):
+        table = EventTable.from_events(_mixed_events())
+        with pytest.raises(ValueError, match="length"):
+            EventTable(
+                seq=table.seq, t_entry=table.t_entry[:2],
+                t_exit=table.t_exit, sync_wait=table.sync_wait,
+                is_sync=table.is_sync, is_transfer=table.is_transfer,
+                nbytes=table.nbytes, api_codes=table.api_codes,
+                api_pool=table.api_pool, stack_codes=table.stack_codes,
+                stack_pool=table.stack_pool, occurrence=table.occurrence,
+                site_address_ids=table.site_address_ids,
+                direction_codes=table.direction_codes,
+                direction_pool=table.direction_pool,
+            )
+
+
+class TestWireBatchRoundTrips:
+    def test_to_batch_matches_row_serialization(self):
+        events = _mixed_events()
+        batch = EventTable.from_events(events).to_batch()
+        assert batch["__columnar__"] == 1
+        assert batch["count"] == len(events)
+        assert decode_records(batch) == [e.to_json() for e in events]
+
+    def test_from_batch_round_trips(self):
+        events = _mixed_events()
+        batch = EventTable.from_events(events).to_batch()
+        rebuilt = EventTable.from_batch(batch)
+        assert rebuilt.to_events() == events
+        assert rebuilt.packed_sites().tolist() == \
+            EventTable.from_events(events).packed_sites().tolist()
+
+    def test_from_batch_unpooled_columns(self):
+        # Hand-built batches may carry composite columns un-pooled
+        # ("values" instead of "dict"/"codes"); decoding must agree.
+        events = _mixed_events()[:2]
+        batch = EventTable.from_events(events).to_batch()
+        cols = dict(zip(batch["keys"], batch["columns"]))
+        for name in ("stack", "site"):
+            col = cols[name]
+            col_idx = batch["keys"].index(name)
+            values = [col["dict"][c] for c in col["codes"]]
+            batch["columns"][col_idx] = {"values": values}
+        assert EventTable.from_batch(batch).to_events() == events
+
+    def test_from_batch_accepts_dict_encoded_scalars(self):
+        # Scalar columns may arrive dictionary-encoded too (a foreign
+        # encoder is allowed to pool anything); decode must agree.
+        events = _mixed_events()
+        batch = EventTable.from_events(events).to_batch()
+        idx = batch["keys"].index("api_name")
+        values = batch["columns"][idx]["values"]
+        pool = list(dict.fromkeys(values))
+        batch["columns"][idx] = {
+            "dict": pool, "codes": [pool.index(v) for v in values]}
+        assert EventTable.from_batch(batch).to_events() == events
+
+    def test_from_batch_rejects_non_batches(self):
+        with pytest.raises(ValueError, match="not a columnar batch"):
+            EventTable.from_batch({"keys": [], "columns": []})
+        foreign = {"__columnar__": 1, "keys": ["a"], "count": 1,
+                   "columns": [{"values": [1]}]}
+        with pytest.raises(ValueError, match="not a stage-2 event batch"):
+            EventTable.from_batch(foreign)
+
+
+class TestSiteIdentity:
+    def test_pack_site_layout(self):
+        assert pack_site(3, 7) == (3 << 32) | 7
+
+    def test_pack_site_range_enforced(self):
+        with pytest.raises(ValueError, match="packing range"):
+            pack_site(1, -1)
+        with pytest.raises(ValueError, match="packing range"):
+            pack_site(1, 1 << 32)
+
+    def test_packed_sites_refuse_overflowing_occurrence(self):
+        stacks = [_stack(8)]
+        table = EventTable.from_columns(
+            t_entry=[0.0], t_exit=[1e-4], sync_wait=[0.0],
+            is_sync=[False], is_transfer=[False],
+            api_codes=np.array([0], dtype=np.int32), api_pool=["x"],
+            stack_codes=np.array([0], dtype=np.int32), stack_pool=stacks,
+            occurrence=[1 << 32],
+        )
+        with pytest.raises(ValueError, match="packing range"):
+            table.packed_sites()
+
+    def test_sites_length_mismatch_rejected(self):
+        events = _mixed_events()
+        table = EventTable.from_events(events)
+        with pytest.raises(ValueError, match="sites length"):
+            EventTable(
+                seq=table.seq, t_entry=table.t_entry, t_exit=table.t_exit,
+                sync_wait=table.sync_wait, is_sync=table.is_sync,
+                is_transfer=table.is_transfer, nbytes=table.nbytes,
+                api_codes=table.api_codes, api_pool=table.api_pool,
+                stack_codes=table.stack_codes, stack_pool=table.stack_pool,
+                occurrence=table.occurrence,
+                site_address_ids=table.site_address_ids,
+                direction_codes=table.direction_codes,
+                direction_pool=table.direction_pool,
+                sites=[events[0].site],
+            )
+
+    def test_packed_sites_match_pack_site_key(self):
+        events = _mixed_events()
+        table = EventTable.from_events(events)
+        assert table.packed_sites().tolist() == [
+            pack_site_key(e.site) for e in events]
+
+    def test_site_at_lazy_for_native_tables(self):
+        stacks = [_stack(9)]
+        table = EventTable.from_columns(
+            t_entry=[0.0, 1e-3], t_exit=[1e-4, 1.1e-3],
+            sync_wait=[0.0, 0.0], is_sync=[False, True],
+            is_transfer=[False, False],
+            api_codes=np.array([0, 0], dtype=np.int32),
+            api_pool=["cudaFree"],
+            stack_codes=np.array([0, 0], dtype=np.int32),
+            stack_pool=stacks, occurrence=[0, 1],
+        )
+        assert table.site_at(1) == SiteKey(stacks[0].address_key(), 1)
+        assert table.to_events()[0].site == \
+            SiteKey(stacks[0].address_key(), 0)
+
+    def test_interned_id_columns(self):
+        events = _mixed_events()
+        table = EventTable.from_events(events)
+        aids = table.stack_address_ids()
+        fids = table.function_ids()
+        assert len(aids) == len(events) and len(fids) == len(events)
+        # Same stack → same ids, different stacks → different ids.
+        assert aids[0] == aids[2] and aids[1] == aids[3]
+        assert aids[0] != aids[1]
+
+
+class TestStage2Wrapping:
+    def test_from_table_skips_row_materialization(self):
+        events = _mixed_events()
+        table = EventTable.from_events(events)
+        stage2 = Stage2Data.from_table(table, execution_time=1.0)
+        assert stage2.events == []
+        assert stage2.table() is table
+
+    def test_table_cached_per_events_list(self):
+        stage2 = Stage2Data(execution_time=1.0, events=_mixed_events())
+        assert stage2.table() is stage2.table()
+
+
+# ----------------------------------------------------------------------
+# Property tests: columnar engine == row engine on random workloads
+# ----------------------------------------------------------------------
+_STACKS = [_stack(100 + i) for i in range(4)]
+
+_event_specs = st.tuples(
+    st.integers(0, len(_STACKS) - 1),              # stack index
+    st.sampled_from(["sync", "transfer", "both", "plain"]),
+    st.sampled_from([0.0, 20e-6, 150e-6]),         # gap before entry
+    st.sampled_from([10e-6, 80e-6, 300e-6]),       # duration
+    st.sampled_from(["unused", "required", "silent"]),
+    st.sampled_from([0.0, 30e-6, 80e-6, 400e-6]),  # stage-4 delay
+    st.booleans(),                                 # duplicate transfer
+)
+
+workload_specs = st.lists(_event_specs, min_size=1, max_size=40)
+
+
+def _build_stages(specs):
+    events, sync_uses, hashes, first_uses = [], [], [], []
+    occurrence = {}
+    t = 0.0
+    for i, (s_idx, kind, gap, dur, verdict, delay, dup) in enumerate(specs):
+        is_sync = kind in ("sync", "both")
+        is_transfer = kind in ("transfer", "both")
+        stack = _STACKS[s_idx]
+        occ = occurrence.get(s_idx, 0)
+        occurrence[s_idx] = occ + 1
+        api = ("cudaMemcpy" if is_transfer
+               else "cudaDeviceSynchronize" if is_sync
+               else "cudaLaunchKernel")
+        event = _event(i, stack, occ, is_sync=is_sync,
+                       is_transfer=is_transfer, t_entry=t + gap,
+                       duration=dur, sync_wait=dur * 0.5 if is_sync else 0.0,
+                       direction="h2d" if is_transfer else "",
+                       nbytes=4096 if is_transfer else 0, api_name=api)
+        t = event.t_exit
+        events.append(event)
+        if is_sync and verdict != "silent":
+            required = verdict == "required"
+            sync_uses.append(SyncUseRecord(site=event.site, api_name=api,
+                                           required=required))
+            if required and delay:
+                first_uses.append(FirstUseRecord(site=event.site,
+                                                 first_use_delay=delay))
+        if is_transfer:
+            hashes.append(TransferHashRecord(
+                site=event.site, api_name=api, nbytes=4096,
+                direction="h2d", digest="d", duplicate=dup))
+    execution_time = t + 100e-6
+    return (Stage1Data(execution_time=execution_time, wait_symbol="w"),
+            Stage2Data(execution_time=execution_time, events=events),
+            Stage3Data(execution_time=execution_time, sync_uses=sync_uses,
+                       transfer_hashes=hashes),
+            Stage4Data(execution_time=execution_time, first_uses=first_uses))
+
+
+def _problem_tuples(result):
+    return [(p.node_index, p.kind, p.est_benefit, p.api_name, p.site,
+             p.duration, p.first_use_time) for p in result.problems]
+
+
+class TestEngineEquivalence:
+    @given(workload_specs)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trips_hold_for_random_workloads(self, specs):
+        events = _build_stages(specs)[1].events
+        table = EventTable.from_events(events)
+        assert table.to_events() == events
+        assert EventTable.from_batch(table.to_batch()).to_events() == events
+
+    @given(workload_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_problems_and_benefits_identical(self, specs):
+        stage1, stage2, stage3, stage4 = _build_stages(specs)
+        col = analyze(stage1, stage2, stage3, stage4, engine="columnar")
+        ref = analyze(stage1, stage2, stage3, stage4, engine="rows")
+        assert _problem_tuples(col) == _problem_tuples(ref)
+        assert col.total_benefit == ref.total_benefit
+        assert col.benefit.final_durations == ref.benefit.final_durations
+
+    @given(workload_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_groupings_and_sequences_identical(self, specs):
+        stage1, stage2, stage3, stage4 = _build_stages(specs)
+        col = analyze(stage1, stage2, stage3, stage4, engine="columnar")
+        ref = analyze(stage1, stage2, stage3, stage4, engine="rows")
+
+        def group_view(groups):
+            return [(g.kind, g.label, g.total_benefit,
+                     [m.node_index for m in g.members]) for g in groups]
+
+        for grouper in (group_by_api, group_single_point,
+                        group_folded_function):
+            assert group_view(grouper(col)) == group_view(grouper(ref))
+
+        def seq_view(sequences):
+            return [([(e.api_name, e.file, e.line, e.kinds)
+                      for e in s.entries],
+                     s.est_benefit,
+                     [[op.node_indices for op in inst]
+                      for inst in s.instances]) for s in sequences]
+
+        assert seq_view(find_sequences(col)) == seq_view(find_sequences(ref))

@@ -1,0 +1,211 @@
+"""The report store's v3 body segments: mmap serving and crash safety.
+
+Store schema v3 writes each report's exact response bytes to a
+``.body.json`` segment beside the envelope and serves fetches from an
+mmap of it (``docs/columnar_format.md`` §4).  These tests pin the
+contract: mapped bytes equal fallback bytes equal ``json.dumps(report,
+indent=2)``; any torn, truncated, or missing segment degrades to the
+decode path with *identical* bytes; pruning accounts and removes
+bodies together with their envelopes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.store import (
+    STORE_SCHEMA_VERSION,
+    MappedBody,
+    ReportIdentity,
+    ReportStore,
+)
+
+
+def _report(tag: str = "a") -> dict:
+    # Homogeneous record lists so the envelope's columnar encoding has
+    # something to pool; schema_version is mandatory for put().
+    return {
+        "schema_version": 1,
+        "app": f"app-{tag}",
+        "problems": [
+            {"kind": "unnecessary_synchronization", "benefit": 0.25,
+             "site": {"address_key": [1, 2], "occurrence": i}}
+            for i in range(4)
+        ],
+    }
+
+
+def _identity(tag: str = "a") -> ReportIdentity:
+    return ReportIdentity(workload=f"app-{tag}",
+                          workload_fingerprint=f"wf-{tag}",
+                          config_digest=tag, code_fingerprint="f",
+                          schema_version=1)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ReportStore(tmp_path / "store")
+
+
+class TestBodySegment:
+    def test_put_writes_exact_response_bytes(self, store):
+        report = _report()
+        key = store.put(_identity(), report)
+        body = store._body_path(key).read_bytes()
+        assert body == json.dumps(report, indent=2).encode()
+        envelope = store.get_envelope(key)
+        assert envelope["schema"] == STORE_SCHEMA_VERSION
+        assert envelope["body_bytes"] == len(body)
+
+    def test_get_bytes_serves_mmap(self, store):
+        report = _report()
+        key = store.put(_identity(), report)
+        served = store.get_bytes(key)
+        assert isinstance(served, MappedBody)
+        assert len(served) == len(json.dumps(report, indent=2).encode())
+        assert served.tobytes() == json.dumps(report, indent=2).encode()
+        assert bytes(served.view) == served.tobytes()
+        served.close()
+        served.close()  # idempotent
+
+    def test_envelope_report_is_columnar_but_get_decodes(self, store):
+        report = _report()
+        key = store.put(_identity(), report)
+        envelope = store.get_envelope(key)
+        assert envelope["report"]["problems"].get("__columnar__") == 1
+        assert store.get(key) == report
+
+    def test_missing_key_is_none(self, store):
+        assert store.get_bytes("0" * 40) is None
+        assert store.get("0" * 40) is None
+
+
+class TestFallback:
+    def _fetch_bytes(self, store, key) -> bytes:
+        served = store.get_bytes(key)
+        if isinstance(served, MappedBody):
+            data = served.tobytes()
+            served.close()
+            return data
+        return served
+
+    def test_missing_body_falls_back_to_identical_bytes(self, store):
+        key = store.put(_identity(), _report())
+        expected = self._fetch_bytes(store, key)
+        store._body_path(key).unlink()
+        fallback = store.get_bytes(key)
+        assert isinstance(fallback, bytes)
+        assert fallback == expected
+
+    def test_truncated_body_falls_back_to_identical_bytes(self, store):
+        key = store.put(_identity(), _report())
+        expected = self._fetch_bytes(store, key)
+        path = store._body_path(key)
+        path.write_bytes(path.read_bytes()[:10])
+        fallback = store.get_bytes(key)
+        assert isinstance(fallback, bytes)
+        assert fallback == expected
+
+    def test_oversized_body_refused(self, store):
+        key = store.put(_identity(), _report())
+        expected = self._fetch_bytes(store, key)
+        path = store._body_path(key)
+        path.write_bytes(path.read_bytes() + b"garbage")
+        fallback = store.get_bytes(key)
+        assert isinstance(fallback, bytes)
+        assert fallback == expected
+
+    def test_non_dict_envelope_is_a_miss(self, store):
+        key = store.put(_identity(), _report())
+        store._path(key).write_text("[1, 2, 3]")
+        assert store.get(key) is None
+        assert store.get_envelope(key) is None
+
+    def test_unversioned_report_is_a_miss(self, store):
+        key = store.put(_identity(), _report())
+        path = store._path(key)
+        envelope = json.loads(path.read_text())
+        del envelope["report"]["schema_version"]
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+
+    def test_put_refuses_unversioned_reports(self, store):
+        with pytest.raises(ValueError, match="schema_version"):
+            store.put(_identity(), {"app": "a"})
+
+    def test_foreign_schema_envelope_is_a_miss(self, store):
+        key = store.put(_identity(), _report())
+        path = store._path(key)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = STORE_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(envelope))
+        assert store.get(key) is None
+        assert store.get_bytes(key) is None
+
+
+class TestAccounting:
+    def test_stats_count_envelope_and_body(self, store):
+        key = store.put(_identity(), _report())
+        stats = store.stats()
+        expected = (store._path(key).stat().st_size
+                    + store._body_path(key).stat().st_size)
+        assert stats == {"reports": 1, "bytes": expected}
+
+    def test_len_excludes_bodies_and_traces(self, store):
+        store.put(_identity("a"), _report("a"))
+        store.put(_identity("b"), _report("b"))
+        store.put_trace("job-1", {"spans": []})
+        assert len(store) == 2
+
+    def test_prune_evicts_body_with_envelope(self, store):
+        old = store.put(_identity("a"), _report("a"))
+        new = store.put(_identity("b"), _report("b"))
+        os.utime(store._path(old), (1.0, 1.0))
+        keep = (store._path(new).stat().st_size
+                + store._body_path(new).stat().st_size)
+        result = store.prune(max_bytes=keep)
+        assert result["reports"] == 1 and result["bytes"] == keep
+        assert not store._path(old).exists()
+        assert not store._body_path(old).exists()
+        assert store.get(new) is not None
+        served = store.get_bytes(new)
+        assert isinstance(served, MappedBody)
+        served.close()
+
+    def test_prune_sweeps_orphan_bodies_and_tmp_debris(self, store):
+        key = store.put(_identity(), _report())
+        shard = store._path(key).parent
+        orphan = shard / ("f" * 40 + ".body.json")
+        orphan.write_bytes(b"{}")
+        debris = shard / "leftover.tmp"
+        debris.write_bytes(b"partial")
+        result = store.prune(max_bytes=1 << 30)
+        assert result["removed"] == 2
+        assert not orphan.exists() and not debris.exists()
+        assert store.get(key) is not None
+
+    def test_prune_never_touches_traces(self, store):
+        store.put_trace("job-9", {"spans": [1]})
+        store.prune(max_bytes=0)
+        assert store.get_trace("job-9") == {"spans": [1]}
+
+    def test_stats_tolerate_missing_body(self, store):
+        key = store.put(_identity(), _report())
+        store._body_path(key).unlink()
+        assert store.stats()["reports"] == 1
+
+    def test_empty_store_accounting(self, tmp_path):
+        store = ReportStore(tmp_path / "never-created")
+        assert len(store) == 0
+        assert store.stats() == {"reports": 0, "bytes": 0}
+        assert store.prune(max_bytes=0)["removed"] == 0
+
+    def test_history_survives_prune(self, store):
+        store.put(_identity("a"), _report("a"), job_id="job-1")
+        store.prune(max_bytes=0)
+        assert len(store) == 0
+        entries = store.history()
+        assert len(entries) == 1 and entries[0]["job_id"] == "job-1"
