@@ -1,0 +1,60 @@
+"""Fuzz-campaign calibration at bench scale.
+
+Runs a larger seed sweep than the tier-1 shard and archives the
+distribution of estimated-vs-actual deviations — a population-scale
+extension of the paper's Table 1 honesty check, over adversarial
+generated programs instead of four curated applications.
+
+Asserted shape: planted-problem recall is perfect, nothing is flagged
+off-site, and the worst absolute deviation across the population stays
+inside the stated tolerance.
+"""
+
+from __future__ import annotations
+
+from common import archive
+
+from repro.fuzz import Tolerance, run_campaign
+
+_N_SEEDS = 60
+_START = 100
+
+
+def generate_fuzz_sweep():
+    tol = Tolerance()
+    campaign = run_campaign(_N_SEEDS, start_seed=_START, tolerance=tol)
+
+    lines = [f"{'seed':>6} {'segments':>9} {'planted':>8} {'found':>6} "
+             f"{'est':>10} {'actual':>10} {'dev':>8}"]
+    for r in campaign.results:
+        dev = abs(r.est_benefit - r.actual_benefit)
+        lines.append(
+            f"{r.seed:>6} {len(r.segments):>9} {r.planted_problems:>8} "
+            f"{r.detected_problems:>6} {r.est_benefit * 1e6:8.1f}us "
+            f"{r.actual_benefit * 1e6:8.1f}us {dev * 1e6:6.1f}us")
+    deviations = sorted(abs(r.est_benefit - r.actual_benefit)
+                        for r in campaign.results)
+    median_dev = deviations[len(deviations) // 2]
+    lines += [
+        "",
+        f"seeds: {_N_SEEDS} (from {_START}), "
+        f"recall: {campaign.recall() * 100:.1f}%, "
+        f"failing: {len(campaign.failures)}",
+        f"deviation median {median_dev * 1e6:.1f}us, "
+        f"max {campaign.max_deviation() * 1e6:.1f}us "
+        f"(tolerance: {tol.rel * 100:.0f}% rel + "
+        f"{tol.abs_per_op * 1e6:.0f}us/op)",
+    ]
+    return "\n".join(lines), campaign
+
+
+def test_fuzz_sweep(benchmark):
+    text, campaign = benchmark.pedantic(generate_fuzz_sweep,
+                                        rounds=1, iterations=1)
+    archive("fuzz_sweep", text)
+
+    assert campaign.ok, [r.seed for r in campaign.failures]
+    assert campaign.recall() == 1.0
+    # Deviations are microsecond-scale residue (API overhead of the
+    # removed calls), far below the planted problems' own magnitude.
+    assert campaign.max_deviation() < 60e-6

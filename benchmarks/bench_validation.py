@@ -25,26 +25,15 @@ price of the simple one-pass upper-bound design.
 from __future__ import annotations
 
 import math
-import random
 
 from common import archive
 
-from repro.apps.synthetic import ScriptedApp
+from repro.apps.synthetic import ScriptedApp, random_script
 from repro.core.benefit import expected_benefit_subset, naive_resource_estimate
 from repro.core.diogenes import Diogenes
 from repro.core.graph import ProblemKind
 
 _N_PROGRAMS = 24
-_STEP_MENU = [
-    ("work", 60e-6), ("work", 250e-6),
-    ("launch", 120e-6), ("launch", 450e-6),
-    ("sync",), ("h2d_same", 0), ("h2d", 0), ("d2h", 0), ("read",), ("free",),
-]
-
-
-def _random_script(seed: int, length: int = 18) -> list:
-    rng = random.Random(seed)
-    return [rng.choice(_STEP_MENU) for _ in range(length)]
 
 
 def _flagged_step_indexes(report, script) -> tuple[set[int], list[int]]:
@@ -68,7 +57,7 @@ def _flagged_step_indexes(report, script) -> tuple[set[int], list[int]]:
 
 
 def _evaluate_one(seed: int) -> dict | None:
-    script = _random_script(seed)
+    script = random_script(seed)
     report = Diogenes(ScriptedApp(script)).run()
     removable, node_indexes = _flagged_step_indexes(report, script)
     if not removable:

@@ -300,3 +300,43 @@ class ScriptedApp(Workload):
 
 registry.register("synthetic-scripted",
                   lambda: ScriptedApp([("launch", 1e-4), ("sync",)]))
+
+
+#: Step menu for seeded random scripts (shared with the validation
+#: bench, so bench populations and registry workloads agree).
+STEP_MENU: tuple = (
+    ("work", 60e-6), ("work", 250e-6),
+    ("launch", 120e-6), ("launch", 450e-6),
+    ("sync",), ("h2d_same", 0), ("h2d", 0), ("d2h", 0), ("read",), ("free",),
+)
+
+
+def random_script(seed: int, length: int = 18, menu=None) -> list:
+    """A reproducible random op script: one seed, one program.
+
+    All randomness flows through a single ``random.Random(seed)``, so a
+    recorded seed alone rebuilds the exact script — the contract the
+    fuzz harness's copy-pasteable failure reports depend on.
+    """
+    import random
+
+    rng = random.Random(seed)
+    chosen_menu = menu if menu is not None else STEP_MENU
+    return [rng.choice(chosen_menu) for _ in range(length)]
+
+
+class RandomScriptApp(ScriptedApp):
+    """A seeded random :class:`ScriptedApp`, rebuildable by name+params."""
+
+    name = "synthetic-random"
+    description = "seeded random op script (reproducible from the seed)"
+
+    def __init__(self, seed: int = 0, length: int = 18,
+                 elements: int = 1024) -> None:
+        super().__init__(random_script(seed, length), elements=elements)
+        self.seed = seed
+        self.length = length
+        self.name = f"synthetic-random-{seed}"
+
+
+registry.register("synthetic-random", RandomScriptApp)

@@ -237,6 +237,51 @@ def render_fixes(report: DiogenesReport,
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ActualBenefit:
+    """Measured effect of applying a fix: base vs fixed run time.
+
+    ``delta`` is positive when the fix helped and *negative* when it
+    made things worse — a worsening "fix" is reported as found, not
+    clamped, so estimator honesty checks can compare sign and
+    magnitude against :func:`repro.core.benefit.expected_benefit`.
+    """
+
+    base_time: float
+    fixed_time: float
+
+    @property
+    def delta(self) -> float:
+        return self.base_time - self.fixed_time
+
+    @property
+    def percent(self) -> float:
+        if self.base_time <= 0.0:
+            return 0.0
+        return 100.0 * self.delta / self.base_time
+
+    def to_json(self) -> dict:
+        return {"base_time": self.base_time, "fixed_time": self.fixed_time,
+                "delta": self.delta, "percent": self.percent}
+
+
+def measure_actual_benefit(base_workload, fixed_workload,
+                           machine_config=None) -> ActualBenefit:
+    """Measure a fix by re-running both variants uninstrumented.
+
+    This is the closing step of the paper's Table 1 loop: the
+    recommendation engine *estimates* what a remedy is worth; this
+    function *measures* it, by executing the base and fixed workload
+    variants on the same simulated machine and differencing their
+    virtual wall times.  Both runs are uninstrumented, so no probe
+    perturbation pollutes the comparison.
+    """
+    return ActualBenefit(
+        base_time=base_workload.uninstrumented_time(machine_config),
+        fixed_time=fixed_workload.uninstrumented_time(machine_config),
+    )
+
+
 def fixes_to_json(recommendations: list[FixRecommendation]) -> list[dict]:
     return [
         {

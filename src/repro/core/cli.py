@@ -40,6 +40,7 @@ The third execution path is the persistent analysis service
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import repro.obs as obs
@@ -56,6 +57,8 @@ def _load_workloads() -> None:
     import repro.apps.cuibm  # noqa: F401
     import repro.apps.amg  # noqa: F401
     import repro.apps.rodinia_gaussian  # noqa: F401
+    import repro.apps.replay  # noqa: F401
+    import repro.fuzz.generator  # noqa: F401
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,6 +200,29 @@ def build_parser() -> argparse.ArgumentParser:
                            "groups (for CI gates)")
     _add_url_flag(diff)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="validate seeded fuzz workloads: planted-problem recall + "
+             "estimated-vs-actual benefit (docs/fuzzing_and_replay.md)")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="first seed of the sweep (default: 0)")
+    fuzz.add_argument("--count", type=int, default=1, metavar="N",
+                      help="number of consecutive seeds (default: 1)")
+    fuzz.add_argument("--segments", type=int, default=None, metavar="N",
+                      help="fix the per-app segment count (default: the "
+                           "seed chooses 3-7)")
+    fuzz.add_argument("--tol-rel", type=float, default=None, metavar="F",
+                      help="relative est-vs-actual tolerance (default: 0.1)")
+    fuzz.add_argument("--tol-abs-per-op", type=float, default=None,
+                      metavar="SECONDS",
+                      help="absolute tolerance per fixed operation "
+                           "(default: 15e-6)")
+    fuzz.add_argument("--out", default=None, metavar="PATH",
+                      help="write the campaign manifest JSON (byte-stable: "
+                           "the same sweep always produces the same bytes)")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-seed progress lines")
+
     cache = sub.add_parser(
         "cache", help="manage a stage-result cache directory")
     cache.add_argument("action", choices=["stats", "prune"])
@@ -322,7 +348,7 @@ def _render(args, report) -> str:
     return reports.render_full_report(report)
 
 
-def _export_observability(args, session) -> None:
+def _export_observability(args, session, reports=()) -> None:
     """Write --trace-out / --metrics-out and the --verbose-stages table."""
     from repro.obs.render import render_session
 
@@ -330,7 +356,16 @@ def _export_observability(args, session) -> None:
         if args.trace_out.endswith(".jsonl"):
             session.tracer.write_jsonl(args.trace_out)
         else:
-            session.tracer.write_chrome_trace(args.trace_out)
+            # Chrome export gets an extra lane per analyzed workload:
+            # the application's own traced timeline (pid 3+), which
+            # `diogenes run replay --param trace=...` can re-ingest.
+            from repro.apps.replay import app_timeline_events
+            doc = session.tracer.to_chrome_trace()
+            for offset, report in enumerate(reports):
+                doc["traceEvents"].extend(
+                    app_timeline_events(report, pid=3 + offset))
+            with open(args.trace_out, "w") as fp:
+                json.dump(doc, fp)
         print(f"pipeline trace written to {args.trace_out}", file=sys.stderr)
     if args.metrics_out:
         if args.metrics_out.endswith(".json"):
@@ -393,7 +428,7 @@ def _run_batch(args) -> int:
     if args.json_dir:
         print(f"\nJSON reports written to {args.json_dir}", file=sys.stderr)
     if session is not None:
-        _export_observability(args, session)
+        _export_observability(args, session, reports)
     return 0
 
 
@@ -634,6 +669,55 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import Tolerance, run_campaign
+
+    if args.count < 1:
+        raise SystemExit(f"--count must be >= 1, got {args.count}")
+    tol = Tolerance()
+    if args.tol_rel is not None or args.tol_abs_per_op is not None:
+        tol = Tolerance(
+            rel=args.tol_rel if args.tol_rel is not None else tol.rel,
+            abs_per_op=(args.tol_abs_per_op
+                        if args.tol_abs_per_op is not None
+                        else tol.abs_per_op),
+        )
+
+    def progress(result) -> None:
+        if args.quiet:
+            return
+        verdict = "ok  " if result.ok else "FAIL"
+        print(f"seed {result.seed:>6}  {verdict}  "
+              f"planted {result.planted_problems:>3}  "
+              f"detected {result.detected_problems:>3}  "
+              f"est {result.est_benefit * 1e6:>8.1f}us  "
+              f"actual {result.actual_benefit * 1e6:>8.1f}us")
+        for error in result.errors:
+            print(f"             {error}")
+
+    campaign = run_campaign(args.count, args.seed, segments=args.segments,
+                            tolerance=tol, progress=progress)
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write(campaign.to_json_text())
+        print(f"campaign manifest written to {args.out}", file=sys.stderr)
+
+    n = len(campaign.results)
+    print(f"\n{n} seeds: planted-problem recall "
+          f"{campaign.recall() * 100.0:.1f}%, "
+          f"max est-vs-actual deviation "
+          f"{campaign.max_deviation() * 1e6:.1f}us, "
+          f"{len(campaign.failures)} failing")
+    if campaign.failures:
+        print("reproduce each failure with:")
+        for result in campaign.failures:
+            seg = (f" --segments {args.segments}"
+                   if args.segments is not None else "")
+            print(f"  diogenes fuzz --seed {result.seed}{seg}")
+        return 1
+    return 0
+
+
 _SERVICE_COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
@@ -657,6 +741,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "batch":
         return _run_batch(args)
+
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
 
     if args.command in _SERVICE_COMMANDS:
         from repro.service.client import ServiceError
@@ -705,7 +792,7 @@ def main(argv: list[str] | None = None) -> int:
             fp.write(dumps_report(report, meta=meta))
         print(f"\nJSON report written to {args.json_path}", file=sys.stderr)
     if session is not None:
-        _export_observability(args, session)
+        _export_observability(args, session, [report])
     return 0
 
 

@@ -1,0 +1,44 @@
+"""Seeded workload fuzzing with planted, verifiable problems.
+
+The fuzzer generates random-but-valid GPU workloads from a single
+integer seed, *plants* known problems (unnecessary synchronizations,
+misplaced synchronizations, duplicate transfers) at known call sites,
+and records a ground-truth manifest.  The validation harness then runs
+every generated app through the full five-stage pipeline and checks:
+
+* **recall** — every planted problem is detected at its planted site;
+* **precision** — nothing is flagged at a non-planted site;
+* **honesty** — the estimated benefit of applying exactly the planted
+  fixes agrees with the *measured* saving of the fixed variant, within
+  a stated tolerance — the paper's Table 1 loop, at population scale.
+
+See docs/fuzzing_and_replay.md and the ``diogenes fuzz`` subcommand.
+"""
+
+from repro.fuzz.generator import (
+    FuzzedApp,
+    FuzzPlan,
+    PlantedProblem,
+    Segment,
+    build_plan,
+)
+from repro.fuzz.validate import (
+    CampaignResult,
+    SeedResult,
+    Tolerance,
+    run_campaign,
+    validate_seed,
+)
+
+__all__ = [
+    "FuzzedApp",
+    "FuzzPlan",
+    "PlantedProblem",
+    "Segment",
+    "build_plan",
+    "CampaignResult",
+    "SeedResult",
+    "Tolerance",
+    "run_campaign",
+    "validate_seed",
+]

@@ -1,0 +1,231 @@
+"""Estimated-vs-actual validation of fuzz-generated workloads.
+
+For one seed, :func:`validate_seed`:
+
+1. runs the generated app through the full five-stage pipeline;
+2. checks **recall** (every planted problem detected at its planted
+   site, with the planted dynamic count) and **precision** (no
+   detection outside planted sites);
+3. re-runs the expected-benefit estimator on exactly the problem nodes
+   the planted fixes remove (:func:`expected_benefit_subset` — for a
+   hoisted duplicate upload, occurrence 0 survives the fix and is
+   excluded), and compares against the *measured* saving of the fixed
+   variant — the paper's Table 1 estimated-vs-actual loop.
+
+:func:`run_campaign` sweeps a seed range and produces a deterministic,
+byte-stable JSON manifest (no timestamps, sorted keys): rerunning the
+same campaign yields identical bytes, which CI exploits.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.autofix import measure_actual_benefit
+from repro.core.diogenes import Diogenes, DiogenesConfig
+from repro.core.graph import ProblemKind
+from repro.fuzz.generator import FuzzedApp
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Agreement bound for |estimate - actual|.
+
+    The allowance is ``abs_per_op * fixed_ops + rel * max(est, actual)``:
+    every removed/moved call keeps its own API overhead (a few
+    microseconds the estimator deliberately does not claim), plus a
+    relative band for interaction effects (DMA latency folded into a
+    misplaced sync's wait, carry residue).  The defaults are pinned by
+    the tier-1 fuzz shard over a few hundred seeds.
+    """
+
+    rel: float = 0.1
+    abs_per_op: float = 15e-6
+
+    def allowance(self, est: float, actual: float, ops: int) -> float:
+        return self.abs_per_op * ops + self.rel * max(est, actual)
+
+    def to_json(self) -> dict:
+        return {"rel": self.rel, "abs_per_op": self.abs_per_op}
+
+
+@dataclass
+class SeedResult:
+    """Verdict for one generated workload."""
+
+    seed: int
+    segments: list[str]
+    planted_problems: int
+    detected_problems: int
+    est_benefit: float
+    actual_benefit: float
+    fixed_ops: int
+    recall_ok: bool
+    precision_ok: bool
+    benefit_ok: bool
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.recall_ok and self.precision_ok and self.benefit_ok
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "segments": list(self.segments),
+            "planted_problems": self.planted_problems,
+            "detected_problems": self.detected_problems,
+            "est_benefit": round(self.est_benefit, 9),
+            "actual_benefit": round(self.actual_benefit, 9),
+            "fixed_ops": self.fixed_ops,
+            "recall_ok": self.recall_ok,
+            "precision_ok": self.precision_ok,
+            "benefit_ok": self.benefit_ok,
+            "ok": self.ok,
+            "errors": list(self.errors),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """One seed sweep's results + summary statistics."""
+
+    start_seed: int
+    count: int
+    tolerance: Tolerance
+    results: list[SeedResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[SeedResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def recall(self) -> float:
+        """Fraction of seeds with every planted problem found in place."""
+        if not self.results:
+            return 1.0
+        return sum(r.recall_ok for r in self.results) / len(self.results)
+
+    def max_deviation(self) -> float:
+        """Worst |est - actual| across the campaign, in seconds."""
+        return max((abs(r.est_benefit - r.actual_benefit)
+                    for r in self.results), default=0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "tool": "diogenes fuzz",
+            "start_seed": self.start_seed,
+            "count": self.count,
+            "tolerance": self.tolerance.to_json(),
+            "recall": self.recall(),
+            "max_deviation_seconds": round(self.max_deviation(), 9),
+            "failing_seeds": [r.seed for r in self.failures],
+            "results": [r.to_json() for r in self.results],
+        }
+
+    def to_json_text(self) -> str:
+        """Byte-stable manifest text (same campaign -> same bytes)."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+
+
+def _fix_subset_indices(report, plan) -> list[int]:
+    """Graph nodes of the problems the planted fixes remove.
+
+    Everything detected at a planted site goes in, except the
+    occurrence-0 implicit sync of a duplicate-upload site: the hoisted
+    first copy survives the fix (at a new line) and keeps its wait.
+    """
+    dup_lines = plan.duplicate_lines()
+    indices = []
+    for p in report.analysis.problems:
+        if p.file != plan.file:
+            continue
+        if (p.line in dup_lines
+                and p.kind is ProblemKind.UNNECESSARY_SYNC
+                and p.site.occurrence == 0):
+            continue
+        indices.append(p.node_index)
+    return indices
+
+
+def validate_seed(seed: int, segments: int | None = None, *,
+                  tolerance: Tolerance | None = None,
+                  config: DiogenesConfig | None = None) -> SeedResult:
+    """Run one generated workload end to end and judge the tool on it."""
+    from repro.core.benefit import expected_benefit_subset
+
+    tol = tolerance if tolerance is not None else Tolerance()
+    cfg = config if config is not None else DiogenesConfig()
+    base = FuzzedApp(seed=seed, segments=segments)
+    plan = base.plan
+    report = Diogenes(base, cfg).run()
+
+    errors: list[str] = []
+    planted = plan.planted_lines()
+    found = Counter(
+        (p.file, p.line, p.kind.value) for p in report.analysis.problems)
+
+    recall_ok = True
+    for key, want in sorted(planted.items()):
+        got = found.get(key, 0)
+        if got != want:
+            recall_ok = False
+            errors.append(
+                f"planted {key[2]} at {key[0]}:{key[1]}: "
+                f"expected {want} detections, got {got}")
+    precision_ok = True
+    for key, got in sorted(found.items()):
+        if key not in planted:
+            precision_ok = False
+            errors.append(
+                f"unexpected {key[2]} at {key[0]}:{key[1]} ({got}x)")
+
+    subset = _fix_subset_indices(report, plan)
+    est = (expected_benefit_subset(report.analysis.graph, subset).total
+           if subset else 0.0)
+    fixed = FuzzedApp(seed=seed, segments=segments, fixed=True)
+    actual = measure_actual_benefit(base, fixed, cfg.machine_config).delta
+
+    benefit_ok = (abs(est - actual)
+                  <= tol.allowance(est, actual, max(1, len(subset))))
+    if not benefit_ok:
+        errors.append(
+            f"estimated benefit {est * 1e6:.1f}us vs actual "
+            f"{actual * 1e6:.1f}us exceeds tolerance "
+            f"{tol.allowance(est, actual, max(1, len(subset))) * 1e6:.1f}us")
+
+    return SeedResult(
+        seed=seed,
+        segments=[s.kind for s in plan.segments],
+        planted_problems=sum(planted.values()),
+        detected_problems=len(report.analysis.problems),
+        est_benefit=est,
+        actual_benefit=actual,
+        fixed_ops=len(subset),
+        recall_ok=recall_ok,
+        precision_ok=precision_ok,
+        benefit_ok=benefit_ok,
+        errors=errors,
+    )
+
+
+def run_campaign(count: int, start_seed: int = 0, *,
+                 segments: int | None = None,
+                 tolerance: Tolerance | None = None,
+                 config: DiogenesConfig | None = None,
+                 progress=None) -> CampaignResult:
+    """Validate ``count`` consecutive seeds starting at ``start_seed``."""
+    tol = tolerance if tolerance is not None else Tolerance()
+    campaign = CampaignResult(start_seed=start_seed, count=count,
+                              tolerance=tol)
+    for seed in range(start_seed, start_seed + count):
+        result = validate_seed(seed, segments, tolerance=tol, config=config)
+        campaign.results.append(result)
+        if progress is not None:
+            progress(result)
+    return campaign

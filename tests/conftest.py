@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.runtime.context import ExecutionContext
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Two pinned profiles so property-test effort is explicit instead
+    # of machine-dependent: `ci` keeps tier-1 fast; `extended` is the
+    # nightly fuzz-smoke setting (more examples, no deadline).  Select
+    # with HYPOTHESIS_PROFILE=extended; default is `ci`.
+    settings.register_profile(
+        "ci", max_examples=25, deadline=None, derandomize=True)
+    settings.register_profile(
+        "extended", max_examples=300, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture

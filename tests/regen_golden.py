@@ -2,12 +2,15 @@
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python tests/regen_golden.py
+    PYTHONPATH=src python tests/regen_golden.py           # rewrite
+    PYTHONPATH=src python tests/regen_golden.py --check   # verify only
 
 The script also works without PYTHONPATH set — it locates ``src``
 relative to itself.  Commit the resulting JSON diffs together with the
 behaviour change that motivated them; an unexplained diff is a
-regression, not a fixture update.
+regression, not a fixture update.  ``--check`` rewrites nothing and
+exits 1 if any committed golden differs from what the current code
+generates — CI runs it so goldens can never silently drift.
 """
 
 from __future__ import annotations
@@ -22,14 +25,27 @@ sys.path.insert(0, str(_HERE.parent))
 from tests.goldens import GOLDEN_APPS, GOLDEN_DIR, generate_report_json  # noqa: E402
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    check = "--check" in args
     GOLDEN_DIR.mkdir(exist_ok=True)
+    stale = []
     for stem in sorted(GOLDEN_APPS):
         path = GOLDEN_DIR / f"{stem}.json"
         text = generate_report_json(stem)
         changed = not path.exists() or path.read_text() != text
-        path.write_text(text)
-        print(f"{'updated' if changed else 'unchanged'}  {path}")
+        if check:
+            if changed:
+                stale.append(path)
+            print(f"{'STALE' if changed else 'ok'}      {path}")
+        else:
+            path.write_text(text)
+            print(f"{'updated' if changed else 'unchanged'}  {path}")
+    if stale:
+        print(f"\n{len(stale)} golden(s) out of date; regenerate with "
+              "`PYTHONPATH=src python tests/regen_golden.py` and commit "
+              "the diff alongside the change that caused it.")
+        return 1
     return 0
 
 

@@ -173,3 +173,47 @@ class TestMergedRecommendations:
         assert ProblemKind.UNNECESSARY_TRANSFER in rec.kinds
         assert rec.est_benefit == pytest.approx(report.total_benefit,
                                                 rel=0.01)
+
+
+class TestNegativePaths:
+    """The engine must stay honest when there is nothing (good) to fix."""
+
+    def test_problem_free_app_yields_no_recommendations(self):
+        report, recs = fixes_for(QuietApp(iterations=6))
+        assert report.analysis.problems == []
+        assert recs == []
+        assert render_fixes(report, recs) == "No fixable problems found."
+
+    def test_measured_benefit_of_a_noop_fix_is_zero(self):
+        from repro.core.autofix import measure_actual_benefit
+
+        # "Fixing" a problem-free app changes nothing: base and "fixed"
+        # variants are the same program, so the measured delta is zero.
+        measured = measure_actual_benefit(QuietApp(iterations=6),
+                                          QuietApp(iterations=6))
+        assert measured.delta == 0.0
+        assert measured.percent == 0.0
+
+    def test_worsening_fix_reports_negative_delta(self):
+        from repro.core.autofix import measure_actual_benefit
+
+        # A "fix" that syncs *more* (the unfixed app vs the truly fixed
+        # one, roles swapped) must come back negative, not clamped.
+        fast = UnnecessarySyncApp(iterations=8, fixed=True)
+        slow = UnnecessarySyncApp(iterations=8, fixed=False)
+        measured = measure_actual_benefit(fast, slow)
+        assert measured.delta < 0.0
+        assert measured.percent < 0.0
+        assert measured.to_json()["delta"] == pytest.approx(measured.delta)
+
+    def test_actual_benefit_agrees_with_direct_timing(self):
+        from repro.core.autofix import measure_actual_benefit
+
+        base = DuplicateTransferApp(iterations=6)
+        fixed = DuplicateTransferApp(iterations=6, fixed=True)
+        measured = measure_actual_benefit(base, fixed)
+        assert measured.delta > 0.0
+        direct = (DuplicateTransferApp(iterations=6).uninstrumented_time()
+                  - DuplicateTransferApp(iterations=6,
+                                         fixed=True).uninstrumented_time())
+        assert measured.delta == pytest.approx(direct)

@@ -1,0 +1,187 @@
+"""The estimated-vs-actual property suite over fuzzed workloads.
+
+Every planted problem must be detected at its planted site, nothing
+may be flagged elsewhere, and the benefit estimator must agree with
+the measured saving of the fixed variant — checked over a fixed-seed
+tier-1 shard plus a hypothesis-driven seed sweep.  A failing seed is
+reported in copy-pasteable ``diogenes fuzz --seed N`` form.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.apps.base import registry
+from repro.core import cli
+from repro.exec.jobs import WorkloadSpec
+from repro.fuzz import (
+    FuzzedApp,
+    Tolerance,
+    build_plan,
+    run_campaign,
+    validate_seed,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+
+def _repro_command(seed: int) -> str:
+    return f"reproduce with: diogenes fuzz --seed {seed}"
+
+
+# ----------------------------------------------------------------------
+# Plan generation
+# ----------------------------------------------------------------------
+def test_plan_is_deterministic():
+    a, b = build_plan(123), build_plan(123)
+    assert a == b
+    assert a.to_json() == b.to_json()
+
+
+def test_plan_varies_with_seed():
+    plans = {build_plan(seed).to_json()["segments"][0]["kernel_time"]
+             for seed in range(20)}
+    assert len(plans) > 1
+
+
+def test_every_plan_has_a_planted_problem():
+    for seed in range(50):
+        assert build_plan(seed).planted_lines(), _repro_command(seed)
+
+
+def test_plan_manifest_records_sites_and_counts():
+    plan = build_plan(5)
+    for (file, line, kind), count in plan.planted_lines().items():
+        assert file == plan.file
+        assert line > 0
+        assert count >= 1
+        assert kind in ("unnecessary_synchronization",
+                        "misplaced_synchronization",
+                        "unnecessary_transfer")
+
+
+# ----------------------------------------------------------------------
+# Execution-layer integration: specs, registry, pickling
+# ----------------------------------------------------------------------
+def test_fuzzed_app_is_registry_rebuildable():
+    app = registry.create("fuzzed", seed=11)
+    spec = WorkloadSpec.for_workload(app)
+    assert spec is not None
+    rebuilt = registry.create(spec.name, **spec.params_dict())
+    assert rebuilt.plan == app.plan
+
+
+def test_fuzzed_spec_pickles_and_fingerprints_stably():
+    spec = WorkloadSpec.from_params("fuzzed", {"seed": 3, "segments": 4})
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.fingerprint() == spec.fingerprint()
+    other = WorkloadSpec.from_params("fuzzed", {"seed": 4, "segments": 4})
+    assert other.fingerprint() != spec.fingerprint()
+
+
+def test_fuzzed_app_runs_identically_twice():
+    one = FuzzedApp(seed=21).uninstrumented_time()
+    two = FuzzedApp(seed=21).uninstrumented_time()
+    assert one == two
+
+
+# ----------------------------------------------------------------------
+# The property: recall, precision, and estimator honesty
+# ----------------------------------------------------------------------
+def test_fixed_seed_shard():
+    """Tier-1 shard: a block of consecutive seeds must be fully clean."""
+    campaign = run_campaign(12, start_seed=7)
+    for result in campaign.results:
+        assert result.ok, (
+            f"{result.errors}; {_repro_command(result.seed)}")
+    assert campaign.recall() == 1.0
+
+
+# No explicit @settings: max_examples/deadline come from the active
+# profile (`ci` in tier-1, `extended` under HYPOTHESIS_PROFILE).
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_property_planted_problems_round_trip(seed):
+    result = validate_seed(seed)
+    assert result.ok, f"{result.errors}; {_repro_command(seed)}"
+
+
+def test_fixed_variant_is_clean_except_hoisted_copies():
+    """``fixed=True`` removes every planted problem.
+
+    The only allowed residue is the implicit synchronization of a
+    hoisted duplicate upload: the fix moves the first copy out of the
+    loop but keeps it (the data is still needed), and a pageable
+    ``cudaMemcpy``'s implicit sync is honestly still flagged.  This is
+    exactly why the estimator subset excludes occurrence 0 at dup
+    sites.
+    """
+    from repro.core.diogenes import Diogenes
+    from repro.core.graph import ProblemKind
+    from repro.fuzz.generator import _LN_COPY, _LN_HOIST
+
+    app = FuzzedApp(seed=9, fixed=True)
+    hoist_lines = {line - _LN_COPY + _LN_HOIST
+                   for line in app.plan.duplicate_lines()}
+    assert hoist_lines, "seed 9 should plant a duplicate transfer"
+    for p in Diogenes(app).run().analysis.problems:
+        assert p.kind is ProblemKind.UNNECESSARY_SYNC
+        assert p.line in hoist_lines
+
+
+def test_validate_counts_planted_duplicates_exactly():
+    result = validate_seed(2)
+    assert result.planted_problems >= 1
+    assert result.detected_problems == result.planted_problems
+
+
+def test_tolerance_allowance_scales_with_ops():
+    tol = Tolerance(rel=0.1, abs_per_op=10e-6)
+    assert tol.allowance(0.0, 0.0, 3) == pytest.approx(30e-6)
+    assert tol.allowance(1e-3, 0.5e-3, 1) == pytest.approx(10e-6 + 1e-4)
+
+
+def test_campaign_manifest_is_byte_stable():
+    text_a = run_campaign(3, start_seed=31).to_json_text()
+    text_b = run_campaign(3, start_seed=31).to_json_text()
+    assert text_a == text_b
+    assert text_a.endswith("\n")
+
+
+def test_campaign_records_failing_seeds():
+    # An absurd tolerance forces benefit failures without touching
+    # recall, exercising the failure bookkeeping path.
+    tight = Tolerance(rel=0.0, abs_per_op=1e-12)
+    campaign = run_campaign(2, start_seed=0, tolerance=tight)
+    assert not campaign.ok
+    manifest = campaign.to_json()
+    assert manifest["failing_seeds"] == [r.seed for r in campaign.failures]
+    assert manifest["tool"] == "diogenes fuzz"
+
+
+# ----------------------------------------------------------------------
+# CLI subcommand
+# ----------------------------------------------------------------------
+def test_cli_fuzz_passes_and_writes_manifest(tmp_path, capsys):
+    out = tmp_path / "manifest.json"
+    rc = cli.main(["fuzz", "--count", "2", "--seed", "7", "--quiet",
+                   "--out", str(out)])
+    assert rc == 0
+    assert out.exists()
+    text = capsys.readouterr().out
+    assert "recall 100.0%" in text
+    second = tmp_path / "manifest2.json"
+    assert cli.main(["fuzz", "--count", "2", "--seed", "7", "--quiet",
+                     "--out", str(second)]) == 0
+    assert out.read_bytes() == second.read_bytes()
+
+
+def test_cli_fuzz_failure_prints_repro_command(tmp_path, capsys):
+    rc = cli.main(["fuzz", "--count", "1", "--seed", "3", "--quiet",
+                   "--tol-rel", "0", "--tol-abs-per-op", "0"])
+    assert rc == 1
+    text = capsys.readouterr().out
+    assert "diogenes fuzz --seed 3" in text

@@ -1,0 +1,162 @@
+"""Trace-replay ingestion: converters, bundled traces, round-trips."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.base import registry
+from repro.apps.replay import (
+    ReplayApp,
+    app_timeline_events,
+    bundled_traces,
+    report_chrome_trace,
+    timeline_from_any,
+    timeline_from_chrome,
+    timeline_from_cupti,
+)
+from repro.core.diogenes import Diogenes
+from repro.fuzz import FuzzedApp
+
+
+def _problem_counter(report) -> Counter:
+    return Counter((p.file, p.line, p.kind.value)
+                   for p in report.analysis.problems)
+
+
+# ----------------------------------------------------------------------
+# Bundled real-shaped traces
+# ----------------------------------------------------------------------
+def test_bundled_traces_present():
+    assert "dl-training" in bundled_traces()
+    assert "multi-stream" in bundled_traces()
+
+
+def test_dl_training_trace_finds_planted_patterns():
+    report = Diogenes(ReplayApp(trace="dl-training")).run()
+    found = _problem_counter(report)
+    # Duplicate weight re-upload: five of six iterations are dups.
+    assert found[("train.cpp", 45, "unnecessary_transfer")] == 5
+    # Wasteful post-backward device sync, every iteration.
+    assert found[("train.cpp", 65, "unnecessary_synchronization")] == 6
+    # Loss readback whose first use trails by ~210us.
+    assert found[("train.cpp", 60, "misplaced_synchronization")] == 6
+
+
+def test_multi_stream_trace_finds_only_the_round_sync():
+    report = Diogenes(ReplayApp(trace="multi-stream")).run()
+    found = _problem_counter(report)
+    assert found[("pipeline.cpp", 99, "unnecessary_synchronization")] == 4
+    # The per-stream quiet pattern (pinned + async + stream sync +
+    # prompt read) must not be flagged.
+    assert sum(found.values()) == 4
+
+
+def test_replay_is_deterministic():
+    a = _problem_counter(Diogenes(ReplayApp(trace="dl-training")).run())
+    b = _problem_counter(Diogenes(ReplayApp(trace="dl-training")).run())
+    assert a == b
+
+
+def test_replay_app_is_registry_rebuildable():
+    app = registry.create("replay", trace="multi-stream")
+    assert app._registry_params == {"trace": "multi-stream"}
+    assert app.timeline == ReplayApp(trace="multi-stream").timeline
+
+
+def test_unknown_trace_name_raises():
+    with pytest.raises(ValueError, match="bundled"):
+        ReplayApp(trace="no-such-trace")
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export round-trip
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 7, 13])
+def test_chrome_round_trip_reproduces_problems(seed):
+    """Export a report's app timeline, re-ingest it, re-analyze: the
+    same problems must re-appear at the same sites with the same
+    dynamic counts."""
+    base_report = Diogenes(FuzzedApp(seed=seed)).run()
+    doc = report_chrome_trace(base_report)
+    replay = ReplayApp.from_document(doc, label=f"seed{seed}")
+    replay_report = Diogenes(replay).run()
+    assert _problem_counter(replay_report) == _problem_counter(base_report)
+
+
+def test_app_timeline_events_shape():
+    report = Diogenes(FuzzedApp(seed=1)).run()
+    events = app_timeline_events(report, pid=5)
+    meta, rest = events[0], events[1:]
+    assert meta["ph"] == "M" and meta["pid"] == 5
+    assert rest, "stage 2 traced operations should be exported"
+    for e in rest:
+        assert e["ph"] == "X" and e["cat"] == "cuda" and e["pid"] == 5
+        assert {"file", "line", "sync_wait", "is_sync",
+                "is_transfer"} <= set(e["args"])
+
+
+def test_chrome_converter_rejects_traces_without_app_lane():
+    with pytest.raises(ValueError, match="diogenes run"):
+        timeline_from_chrome({"traceEvents": [
+            {"ph": "X", "name": "stage1", "ts": 0, "dur": 5}]})
+
+
+# ----------------------------------------------------------------------
+# CUPTI-activity converter
+# ----------------------------------------------------------------------
+def _activity(records):
+    return {"schema": "diogenes-cupti-activity/1", "records": records}
+
+
+def test_cupti_converter_rejects_unknown_schema():
+    with pytest.raises(ValueError, match="schema"):
+        timeline_from_cupti({"schema": "nvidia-cupti/99", "records": []})
+
+
+def test_cupti_converter_rejects_empty_and_unknown_records():
+    with pytest.raises(ValueError, match="no records"):
+        timeline_from_cupti(_activity([]))
+    with pytest.raises(ValueError, match="unknown activity record"):
+        timeline_from_cupti(_activity([{"kind": "nvlink", "start": 0.0}]))
+
+
+def test_cupti_converter_emits_gaps_as_cpu_work():
+    ops = timeline_from_cupti(_activity([
+        {"kind": "kernel", "name": "k", "duration": 1e-4, "start": 0.0,
+         "file": "a.cpp", "line": 1},
+        {"kind": "sync", "api": "cudaDeviceSynchronize", "start": 300e-6,
+         "duration": 50e-6, "file": "a.cpp", "line": 2},
+    ]))
+    kinds = [op["op"] for op in ops]
+    assert kinds == ["kernel", "work", "sync"]
+    work = ops[1]["seconds"]
+    assert work == pytest.approx(300e-6 - 10e-6)
+
+
+def test_timeline_from_any_dispatches_on_shape():
+    doc = _activity([{"kind": "kernel", "name": "k", "duration": 1e-4,
+                      "start": 0.0}])
+    assert timeline_from_any(doc)[0]["op"] == "kernel"
+    with pytest.raises(ValueError, match="unrecognized"):
+        timeline_from_any({"spans": []})
+
+
+def test_cupti_duplicate_payloads_detected_as_duplicates():
+    """Identical payload tags on h2d records become identical bytes."""
+    records = []
+    for i in range(3):
+        records.append({"kind": "memcpy", "copy": "h2d",
+                        "api": "cudaMemcpy", "payload": "model",
+                        "buffer": "dev", "bytes": 16384,
+                        "start": i * 500e-6, "duration": 10e-6,
+                        "file": "dup.cpp", "line": 7})
+        records.append({"kind": "kernel", "name": "use", "duration": 2e-4,
+                        "start": i * 500e-6 + 50e-6,
+                        "file": "dup.cpp", "line": 9,
+                        "writes": [{"buffer": "out", "payload": f"o{i}",
+                                    "bytes": 2048}]})
+    app = ReplayApp.from_document(_activity(records), label="dup")
+    found = _problem_counter(Diogenes(app).run())
+    assert found[("dup.cpp", 7, "unnecessary_transfer")] == 2
