@@ -137,6 +137,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "<data-dir>/stage-cache)")
     serve.add_argument("--no-cache", action="store_true",
                        help="run without a stage-result cache")
+    serve.add_argument("--backend", default="file",
+                       choices=["file", "sqlite"],
+                       help="queue/store persistence backend "
+                            "(default: file)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="reject /submit with 429 + Retry-After once N "
+                            "jobs wait (default: unbounded)")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       metavar="S",
+                       help="fleet worker lease duration; an expired lease "
+                            "returns the job for redelivery (default: 30)")
+    serve.add_argument("--worker-ttl", type=float, default=None, metavar="S",
+                       help="a worker silent this long stops owning ring "
+                            "shards (default: 60)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a fleet worker node pulling jobs from a coordinator "
+             "(docs/service.md, Fleet mode)")
+    worker.add_argument("--coordinator", default="http://127.0.0.1:8123",
+                        metavar="URL",
+                        help="the `diogenes serve` endpoint to pull from "
+                             "(default: http://127.0.0.1:8123)")
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        metavar="NAME",
+                        help="worker id (default: <hostname>-<pid>)")
+    worker.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="process fan-out per analysis (default: 1)")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="stage-result cache directory")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="run without a stage-result cache")
+    worker.add_argument("--poll-interval", type=float, default=0.2,
+                        metavar="S",
+                        help="idle wait between empty pulls (default: 0.2)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after executing N jobs (default: run "
+                             "until SIGTERM)")
 
     submit = sub.add_parser(
         "submit", help="submit a workload to a running analysis service")
@@ -486,11 +524,43 @@ def _cmd_serve(args) -> int:
 
     daemon = ServiceDaemon(args.data_dir, workers=args.workers,
                            jobs=args.jobs, cache_dir=args.cache_dir,
-                           use_cache=not args.no_cache)
+                           use_cache=not args.no_cache,
+                           backend=args.backend, max_queue=args.max_queue,
+                           lease_seconds=args.lease_seconds,
+                           worker_ttl=args.worker_ttl)
     print(f"diogenes analysis service on http://{args.host}:{args.port} "
-          f"(data: {args.data_dir}; POST /shutdown to stop)",
+          f"(data: {args.data_dir}, backend: {args.backend}; "
+          f"POST /shutdown to stop)",
           file=sys.stderr)
     daemon.run(args.host, args.port)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import signal
+
+    from repro.fleet.worker import WorkerNode
+
+    node = WorkerNode(args.coordinator, worker_id=args.worker_id,
+                      jobs=args.jobs, cache_dir=args.cache_dir,
+                      use_cache=not args.no_cache,
+                      poll_interval=args.poll_interval,
+                      on_event=lambda name, **fields: print(
+                          f"[{name}] " + " ".join(
+                              f"{k}={v}" for k, v in fields.items()),
+                          file=sys.stderr, flush=True))
+    # SIGTERM/SIGINT drain gracefully: the in-flight job finishes and
+    # pushes home, then the loop exits 0.
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: node.stop())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    print(f"diogenes fleet worker {node.worker_id} pulling from "
+          f"{args.coordinator} (SIGTERM to drain)", file=sys.stderr)
+    executed = node.run(max_jobs=args.max_jobs)
+    print(f"worker {node.worker_id} drained after {executed} jobs",
+          file=sys.stderr)
     return 0
 
 
@@ -727,6 +797,7 @@ _SERVICE_COMMANDS = {
     "overhead": _cmd_overhead,
     "diff": _cmd_diff,
     "cache": _cmd_cache,
+    "worker": _cmd_worker,
 }
 
 

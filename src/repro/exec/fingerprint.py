@@ -59,9 +59,27 @@ def digest_json(obj) -> str:
 # ----------------------------------------------------------------------
 # Configuration round-trip
 # ----------------------------------------------------------------------
+def _plain(obj):
+    """Recursively encode dataclasses as dicts without deepcopying.
+
+    ``dataclasses.asdict`` deepcopies every leaf; this walk copies
+    containers only, which is all JSON encoding needs.  Measurably
+    faster on the service submit hot path, where the config is
+    re-encoded per request.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _plain(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [_plain(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _plain(v) for k, v in obj.items()}
+    return obj
+
+
 def config_to_json(config: DiogenesConfig) -> dict:
     """Encode a :class:`DiogenesConfig` as plain JSON types."""
-    return dataclasses.asdict(config)
+    return _plain(config)
 
 
 def config_from_json(d: dict) -> DiogenesConfig:
@@ -98,6 +116,16 @@ def code_fingerprint() -> str:
 # ----------------------------------------------------------------------
 # Workload fingerprint
 # ----------------------------------------------------------------------
+@lru_cache(maxsize=256)
+def _module_source_digest(source_file: str) -> str:
+    """Digest of one module's source, cached for the process lifetime.
+
+    Workload modules don't change under a running service, and the
+    submit path fingerprints the workload per request.
+    """
+    return hashlib.sha256(pathlib.Path(source_file).read_bytes()).hexdigest()
+
+
 def workload_fingerprint(name: str, params: dict) -> str:
     """Identity of one parameterised workload for cache keying.
 
@@ -119,8 +147,7 @@ def workload_fingerprint(name: str, params: dict) -> str:
         except TypeError:  # pragma: no cover - exotic factory objects
             source_file = None
         if source_file is not None:
-            source_digest = hashlib.sha256(
-                pathlib.Path(source_file).read_bytes()).hexdigest()
+            source_digest = _module_source_digest(source_file)
     return digest_json({
         "name": name,
         "params": params,

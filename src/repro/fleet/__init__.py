@@ -1,0 +1,45 @@
+"""Fleet mode: multi-node scale-out of the analysis service.
+
+``diogenes serve`` remains the *coordinator* — the single owner of the
+job queue, the report store, and the HTTP front door — while N
+``diogenes worker --coordinator URL`` processes (on this host or
+others) pull jobs over the same HTTP/JSON protocol, execute them
+through their own :class:`repro.exec.StageExecutor`, and push
+columnar-encoded reports plus trace spans home:
+
+* :mod:`repro.fleet.ring` — consistent-hash ring: report keys map to
+  owning workers, so a given submission always lands on the same node
+  (stage-cache locality + one layer of duplicate suppression);
+* :mod:`repro.fleet.backends` — registry of pluggable queue/store
+  backends (``file`` and ``sqlite``);
+* :mod:`repro.fleet.coordinator` — coordinator-side state: the worker
+  registry, lease accounting, cross-node duplicate suppression, and
+  the trace stitcher that roots every pushed span batch under one
+  ``service.job`` tree;
+* :mod:`repro.fleet.worker` — the worker-node loop: register, pull,
+  heartbeat, execute, push.
+
+Delivery contract: jobs are leased, not handed over.  A worker that
+stops heartbeating (crash, partition, SIGKILL) loses its lease and
+the job returns to ``submitted`` for redelivery — at-least-once
+execution, exactly-once *results*, because reports are
+content-addressed and byte-deterministic so a duplicated execution
+stores the identical bytes under the identical key.
+
+Protocol, backpressure rules, and a runnable two-worker example:
+``docs/service.md`` ("Fleet mode").
+"""
+
+from repro.fleet.backends import make_queue, make_store
+from repro.fleet.coordinator import FleetCoordinator, WorkerInfo
+from repro.fleet.ring import HashRing
+from repro.fleet.worker import WorkerNode
+
+__all__ = [
+    "FleetCoordinator",
+    "HashRing",
+    "WorkerInfo",
+    "WorkerNode",
+    "make_queue",
+    "make_store",
+]

@@ -1,0 +1,345 @@
+"""Coordinator-side fleet state: workers, leases, duplicate
+suppression, and trace stitching.
+
+The daemon owns one :class:`FleetCoordinator`.  Every fleet route
+(``/fleet/register``, ``/fleet/pull``, ``/fleet/heartbeat``,
+``/fleet/complete``, ``/fleet/fail``, ``/fleet/workers``) is a thin
+JSON shim over a method here, so the protocol logic is testable
+without a socket.
+
+Scheduling rules applied by :meth:`FleetCoordinator.pull`, in order,
+per submitted job (oldest first):
+
+1. **store dedup** — the report already exists (another node pushed it
+   since submit time): the job is marked done on the spot, no
+   execution anywhere;
+2. **in-flight dedup** — another running job carries the same report
+   key: skipped, the eventual completion will resolve this one too;
+3. **ring ownership** — the key's consistent-hash owner
+   (:mod:`repro.fleet.ring`) is a *different live* worker: skipped,
+   reserved for its owner.  A dead or unregistered owner falls
+   through, so sharding never strands work.
+
+Completions are validated against the lease (worker id must match the
+claim) and against identity: the worker recomputes the report
+identity from its own code tree, and a key mismatch with the
+coordinator's submit-time key means the fleet is running skewed code
+— the job fails loudly rather than archiving bytes under a wrong key.
+A *stale* completion (lease expired, job already redelivered or
+finished elsewhere) is acknowledged but changes nothing: results are
+content-addressed, so the first completion won and the stale bytes
+are identical anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import repro.obs as obs
+from repro.exec.columnar import decode_tree
+from repro.obs.tracer import Tracer
+from repro.service.queue import DONE, RUNNING, SUBMITTED, Job
+from repro.service.store import ReportIdentity
+from repro.fleet.ring import HashRing
+
+#: Default lease duration handed to workers at register/pull time.
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: A worker silent for this long is no longer "live" for ring routing.
+DEFAULT_WORKER_TTL = 60.0
+
+#: Failed executions are redelivered until a job has been attempted
+#: this many times, then the job fails for good.
+DEFAULT_RETRY_LIMIT = 3
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker node, as the coordinator sees it."""
+
+    id: str
+    registered: float = field(default_factory=time.time)
+    last_seen: float = field(default_factory=time.time)
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    active_job: str | None = None
+
+    def to_json(self, now: float | None = None,
+                ttl: float = DEFAULT_WORKER_TTL) -> dict:
+        now = time.time() if now is None else now
+        return {
+            "id": self.id,
+            "registered": self.registered,
+            "last_seen": self.last_seen,
+            "live": (now - self.last_seen) <= ttl,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "active_job": self.active_job,
+        }
+
+
+class StaleLeaseError(Exception):
+    """A heartbeat or completion arrived for a lease no longer held."""
+
+
+class FleetCoordinator:
+    """Worker registry + pull/complete protocol over the job queue."""
+
+    def __init__(self, queue, store, *,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 worker_ttl: float = DEFAULT_WORKER_TTL,
+                 retry_limit: int = DEFAULT_RETRY_LIMIT,
+                 publish=None) -> None:
+        self.queue = queue
+        self.store = store
+        self.lease_seconds = lease_seconds
+        self.worker_ttl = worker_ttl
+        self.retry_limit = retry_limit
+        #: ``publish(job_id, event_name, **fields)`` — the daemon's
+        #: live event stream; a no-op default keeps this testable bare.
+        self._publish = publish or (lambda job_id, name, **fields: None)
+        self.ring = HashRing()
+        self.workers: dict[str, WorkerInfo] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, worker_id: str) -> dict:
+        """Idempotently register a worker; returns its lease terms."""
+        if not worker_id or not isinstance(worker_id, str):
+            raise ValueError("worker id must be a non-empty string")
+        with self._lock:
+            info = self.workers.get(worker_id)
+            if info is None:
+                info = self.workers[worker_id] = WorkerInfo(id=worker_id)
+            info.last_seen = time.time()
+            self.ring.add(worker_id)
+            obs.count("service.fleet_registrations", worker=worker_id)
+            return {
+                "worker": worker_id,
+                "lease_seconds": self.lease_seconds,
+                "workers": self.ring.nodes(),
+            }
+
+    def touch(self, worker_id: str) -> WorkerInfo:
+        """Refresh liveness; unknown workers are auto-registered (a
+        coordinator restart forgets the registry but not the queue —
+        returning workers must not be turned away)."""
+        with self._lock:
+            info = self.workers.get(worker_id)
+            if info is None:
+                info = self.workers[worker_id] = WorkerInfo(id=worker_id)
+                self.ring.add(worker_id)
+            info.last_seen = time.time()
+            return info
+
+    def live_workers(self, now: float | None = None) -> set[str]:
+        now = time.time() if now is None else now
+        with self._lock:
+            return {wid for wid, info in self.workers.items()
+                    if (now - info.last_seen) <= self.worker_ttl}
+
+    def workers_json(self) -> list[dict]:
+        now = time.time()
+        with self._lock:
+            return [info.to_json(now, self.worker_ttl)
+                    for _, info in sorted(self.workers.items())]
+
+    # ------------------------------------------------------------------
+    # Pull / heartbeat
+    # ------------------------------------------------------------------
+    def pull(self, worker_id: str,
+             lease_seconds: float | None = None) -> Job | None:
+        """Claim the oldest eligible submitted job for this worker."""
+        info = self.touch(worker_id)
+        lease = lease_seconds if lease_seconds is not None \
+            else self.lease_seconds
+        alive = self.live_workers()
+        inflight = {job.report_key
+                    for job in self.queue.jobs_in_state(RUNNING)}
+        for job in self.queue.jobs_in_state(SUBMITTED):
+            if self.store.contains(job.report_key):
+                # Another execution pushed this report since submit
+                # time: resolve without running anything, observably.
+                if self.queue.claim_job(job.id) is not None:
+                    self._publish(job.id, "job.done",
+                                  report_key=job.report_key,
+                                  served_from="store")
+                    self.queue.mark_done(job, job.report_key)
+                    obs.count("service.fleet_dedup_resolved")
+                continue
+            if job.report_key in inflight:
+                obs.count("service.fleet_dedup_suppressed")
+                continue
+            owner = self.ring.node_for(job.report_key, alive=alive)
+            if owner is not None and owner != worker_id:
+                continue  # reserved for its consistent-hash owner
+            claimed = self.queue.claim_job(job.id, worker=worker_id,
+                                           lease_seconds=lease)
+            if claimed is None:
+                continue  # raced by a concurrent pull; keep scanning
+            info.active_job = claimed.id
+            obs.count("service.fleet_pulls", worker=worker_id)
+            self._publish(claimed.id, "job.leased", worker=worker_id,
+                          attempts=claimed.attempts)
+            return claimed
+        return None
+
+    def heartbeat(self, worker_id: str, job_id: str) -> Job:
+        """Extend the worker's lease; raises on a lost lease."""
+        self.touch(worker_id)
+        job = self.queue.heartbeat(job_id, worker_id, self.lease_seconds)
+        if job is None:
+            raise StaleLeaseError(
+                f"lease on {job_id} is no longer held by {worker_id} "
+                "(expired and redelivered, or already finished)")
+        return job
+
+    def expire(self) -> list[Job]:
+        """Requeue expired leases; called periodically by the daemon."""
+        expired = self.queue.expire_leases()
+        with self._lock:
+            for job in expired:
+                for info in self.workers.values():
+                    if info.active_job == job.id:
+                        info.active_job = None
+        for job in expired:
+            obs.count("service.fleet_lease_expiries")
+            self._publish(job.id, "job.lease_expired",
+                          attempts=job.attempts)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(self, worker_id: str, job_id: str, identity: dict,
+                 report_encoded: dict, trace_batch: dict | None) -> dict:
+        """Accept a pushed result: store the report, stitch the trace,
+        resolve the job (and any queued duplicates of its key)."""
+        info = self.touch(worker_id)
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(f"no such job: {job_id}")
+        identity = ReportIdentity(identity)
+        key = identity.key()
+        if key != job.report_key:
+            # The worker's code tree disagrees with the coordinator's:
+            # the same (workload, config) produced a different identity.
+            error = (f"identity mismatch: worker {worker_id} computed "
+                     f"report key {key[:12]}… but the job was submitted "
+                     f"under {job.report_key[:12]}… — fleet nodes are "
+                     "running skewed code")
+            self._publish(job.id, "job.failed", error=error)
+            self.queue.mark_failed(job, error)
+            obs.count("service.fleet_identity_mismatches")
+            raise ValueError(error)
+        stale = not (job.state == RUNNING and job.worker == worker_id)
+        report = decode_tree(report_encoded)
+        if not self.store.contains(key):
+            self.store.put(identity, report, job_id=job_id)
+        if trace_batch and self.store.get_trace(job_id) is None:
+            self.store.put_trace(
+                job_id, stitch_trace(job, worker_id, trace_batch))
+        if stale:
+            # The lease was lost and the job redelivered (or already
+            # resolved).  The pushed bytes are identical to whatever
+            # the winning execution stored, so nothing is lost — but
+            # count it: stale completions mean leases are too short.
+            obs.count("service.fleet_stale_completions")
+            return {"job": job.to_json(), "stale": True}
+        # Publish before mark_done: an /events long-poll that observes
+        # the terminal state must already see the terminal event.
+        self._publish(job.id, "job.done", report_key=key,
+                      worker=worker_id)
+        self.queue.mark_done(job, key)
+        with self._lock:
+            info.jobs_completed += 1
+            if info.active_job == job_id:
+                info.active_job = None
+        obs.count("service.jobs_completed", result="done")
+        obs.count("service.fleet_completions", worker=worker_id)
+        self._resolve_duplicates(key, job.id)
+        return {"job": job.to_json(), "stale": False}
+
+    def _resolve_duplicates(self, key: str, done_job_id: str) -> None:
+        """Mark queued submissions of an already-stored key done."""
+        for other in self.queue.jobs_in_state(SUBMITTED):
+            if other.report_key == key:
+                if self.queue.claim_job(other.id) is not None:
+                    self._publish(other.id, "job.done", report_key=key,
+                                  served_from="store")
+                    self.queue.mark_done(other, key)
+                    obs.count("service.fleet_dedup_resolved")
+
+    def fail(self, worker_id: str, job_id: str, error: str) -> dict:
+        """Record a worker-side failure; redeliver or fail the job."""
+        info = self.touch(worker_id)
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(f"no such job: {job_id}")
+        with self._lock:
+            info.jobs_failed += 1
+            if info.active_job == job_id:
+                info.active_job = None
+        if job.state != RUNNING or job.worker != worker_id:
+            obs.count("service.fleet_stale_completions")
+            return {"job": job.to_json(), "stale": True}
+        if job.attempts < self.retry_limit:
+            job.error = error  # visible while it waits for redelivery
+            self.queue.requeue(job)
+            self._publish(job.id, "job.requeued", worker=worker_id,
+                          error=error, attempts=job.attempts)
+        else:
+            self._publish(job.id, "job.failed", worker=worker_id,
+                          error=error)
+            self.queue.mark_failed(job, error)
+            obs.count("service.jobs_completed", result="failed")
+        return {"job": job.to_json(), "stale": False}
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def refresh_gauges(self) -> None:
+        """Fleet-facing gauges: leases, liveness, per-worker counts."""
+        obs.gauge("service.leases_active", self.queue.active_leases())
+        obs.gauge("service.fleet_workers_live", len(self.live_workers()))
+        with self._lock:
+            for info in self.workers.values():
+                obs.gauge("service.worker_jobs", info.jobs_completed,
+                          worker=info.id)
+
+
+def stitch_trace(job: Job, worker_id: str, batch: dict) -> dict:
+    """Root a worker's span batch under one ``service.job`` tree.
+
+    The worker recorded its spans under its own tracer (root:
+    ``fleet.worker.job``); here the coordinator opens the canonical
+    ``service.job`` request span, adopts the batch beneath it, and
+    widens the root to cover the children — one connected tree per
+    job, same shape local execution produces, with the worker's spans
+    on their own Chrome-trace lane (the batch pid).
+    """
+    rows = batch.get("spans", ())
+    base = max((row.get("span_id", 0) for row in rows), default=0)
+    tracer = Tracer(trace_id=batch.get("trace_id"), id_base=base)
+    with tracer.span("service.job", job=job.id, workload=job.workload,
+                     worker=worker_id):
+        pass
+    root = tracer.spans[0]
+    adopted = tracer.adopt(batch, parent_id=root.span_id, base_depth=1)
+    ends = [sp.wall_end for sp in adopted if sp.wall_end is not None]
+    starts = [sp.wall_start for sp in adopted]
+    if starts:
+        root.wall_start = min(root.wall_start, min(starts))
+    if ends:
+        root.wall_end = max(root.wall_end, max(ends))
+    return {
+        "job_id": job.id,
+        "trace_id": tracer.trace_id,
+        "worker": worker_id,
+        "spans": [sp.to_json() for sp in tracer.spans],
+        "chrome_trace": tracer.to_chrome_trace(),
+    }

@@ -1,0 +1,201 @@
+"""The worker-node loop: register, pull, heartbeat, execute, push.
+
+``diogenes worker --coordinator URL`` runs one :class:`WorkerNode`.
+The worker is a *client* of the coordinator — same HTTP/JSON protocol,
+same :class:`~repro.service.client.ServiceClient` (so it inherits the
+client's backoff-and-retry behaviour for free) — and owns nothing
+durable except its stage cache: all queue and store state lives with
+the coordinator.
+
+Per job:
+
+1. ``POST /fleet/pull`` claims the oldest eligible job under a lease;
+2. a daemon thread heartbeats every ``lease/3`` seconds so the lease
+   outlives any honest execution;
+3. the job runs through this node's own
+   :class:`repro.exec.StageExecutor` under a ``fleet.worker.job`` span;
+4. the report (columnar-encoded) plus the finished span batch go home
+   via ``POST /fleet/complete``; failures go via ``POST /fleet/fail``.
+
+The worker re-derives the report identity from *its own* code tree
+and ships it with the result; the coordinator refuses a mismatch, so
+a fleet running skewed code fails loudly instead of archiving bytes
+under the wrong key.
+
+Crash model: if this process dies mid-job (SIGKILL, OOM, power), the
+heartbeats stop, the lease expires, and the coordinator returns the
+job to ``submitted`` for another node — at-least-once execution.  A
+SIGTERM is gentler: :meth:`WorkerNode.stop` lets the in-flight job
+finish and push home before the loop exits (graceful drain).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import repro.obs as obs
+from repro.core.diogenes import report_from_stage_results
+from repro.exec import StageExecutor
+from repro.exec.columnar import encode_tree
+from repro.exec.fingerprint import config_from_json
+from repro.exec.jobs import WorkloadSpec
+from repro.obs.tracer import Tracer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.store import report_identity
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>`` — unique per process, readable in traces."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkerNode:
+    """One fleet worker process attached to a coordinator URL."""
+
+    def __init__(self, coordinator_url: str, *, worker_id: str | None = None,
+                 jobs: int = 1, cache_dir: str | os.PathLike | None = None,
+                 use_cache: bool = True, poll_interval: float = 0.2,
+                 on_event=None) -> None:
+        self.worker_id = worker_id or default_worker_id()
+        self.client = ServiceClient(coordinator_url)
+        self.executor = StageExecutor(jobs=jobs, cache_dir=cache_dir,
+                                      use_cache=use_cache)
+        self.poll_interval = poll_interval
+        #: Lease duration, learned from the coordinator at register time.
+        self.lease_seconds: float = 30.0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self._stop = threading.Event()
+        self._on_event = on_event or (lambda name, **fields: None)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request a graceful drain: finish the in-flight job, exit."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # ------------------------------------------------------------------
+    def register(self) -> dict:
+        reply = self.client.fleet_register(self.worker_id)
+        self.lease_seconds = float(reply.get("lease_seconds",
+                                             self.lease_seconds))
+        self._on_event("worker.registered", worker=self.worker_id,
+                       lease_seconds=self.lease_seconds)
+        return reply
+
+    def run(self, max_jobs: int | None = None) -> int:
+        """Pull-execute-push until :meth:`stop` (or ``max_jobs`` done).
+
+        Returns the number of jobs executed.  Coordinator outages are
+        survived by waiting and re-pulling — the client already retries
+        transient connection errors; a still-unreachable coordinator
+        just means an idle worker, never a dead one.
+        """
+        self.register()
+        executed = 0
+        try:
+            while not self._stop.is_set():
+                if max_jobs is not None and executed >= max_jobs:
+                    break
+                try:
+                    job = self.client.fleet_pull(self.worker_id)
+                except ServiceError as exc:
+                    self._on_event("worker.pull_error", error=str(exc))
+                    if self._stop.wait(min(2.0, self.poll_interval * 10)):
+                        break
+                    continue
+                if job is None:
+                    if self._stop.wait(self.poll_interval):
+                        break
+                    continue
+                self.process(job)
+                executed += 1
+        finally:
+            self.executor.shutdown()
+            self._on_event("worker.stopped", worker=self.worker_id,
+                           executed=executed)
+        return executed
+
+    # ------------------------------------------------------------------
+    def process(self, job: dict) -> bool:
+        """Execute one pulled job record and push the outcome home.
+
+        Returns ``True`` when the result was completed (even if the
+        coordinator acknowledged it as stale), ``False`` on failure.
+        """
+        job_id = job["id"]
+        stop_heartbeat = threading.Event()
+        beats = threading.Thread(
+            target=self._heartbeat_loop, args=(job_id, stop_heartbeat),
+            name=f"heartbeat-{job_id}", daemon=True)
+        beats.start()
+        tracer = Tracer()
+        self._on_event("worker.job_started", job=job_id,
+                       workload=job["workload"])
+        try:
+            config = config_from_json(job["config"])
+            spec = WorkloadSpec.from_params(job["workload"], job["params"])
+            identity = report_identity(spec, config)
+            with tracer.span("fleet.worker.job", job=job_id,
+                             workload=job["workload"],
+                             worker=self.worker_id):
+                results = self.executor.run_workloads(
+                    [spec], config, tracer=tracer)[spec]
+                report = report_from_stage_results(
+                    getattr(spec.create(), "name", spec.name), results,
+                    config)
+        except Exception as exc:  # noqa: BLE001 - any failure fails the job
+            stop_heartbeat.set()
+            beats.join()
+            self.jobs_failed += 1
+            error = f"{type(exc).__name__}: {exc}"
+            self._on_event("worker.job_failed", job=job_id, error=error)
+            self._push(lambda: self.client.fleet_fail(
+                self.worker_id, job_id, error), job_id)
+            return False
+        stop_heartbeat.set()
+        beats.join()
+        pushed = self._push(lambda: self.client.fleet_complete(
+            self.worker_id, job_id, dict(identity),
+            encode_tree(report.to_json()),
+            tracer.export_batch(pid=os.getpid())), job_id)
+        if pushed:
+            self.jobs_completed += 1
+            self._on_event("worker.job_completed", job=job_id)
+        return pushed
+
+    def _push(self, call, job_id: str) -> bool:
+        """Deliver a completion/failure; a push lost to a dead
+        coordinator is abandoned (the lease will expire and the job be
+        redelivered — correctness never depends on this push landing)."""
+        try:
+            call()
+            return True
+        except ServiceError as exc:
+            self._on_event("worker.push_failed", job=job_id,
+                           error=str(exc))
+            obs.count("fleet.worker_push_failures")
+            return False
+
+    def _heartbeat_loop(self, job_id: str,
+                        stop: threading.Event) -> None:
+        """Extend the lease every ``lease/3`` seconds while executing.
+
+        A failed heartbeat (coordinator briefly down, or the lease
+        already lost) never interrupts the execution: the completion
+        push is idempotent and the coordinator resolves staleness.
+        """
+        interval = max(0.05, self.lease_seconds / 3.0)
+        while not stop.wait(interval):
+            try:
+                self.client.fleet_heartbeat(self.worker_id, job_id)
+            except ServiceError as exc:
+                self._on_event("worker.heartbeat_lost", job=job_id,
+                               error=str(exc))
+                if exc.status == 409:
+                    return  # lease gone for good; stop renewing

@@ -56,6 +56,7 @@ formats.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -122,40 +123,59 @@ class Observability:
 #: The installed bundle, or ``None`` (observability off).
 _ACTIVE: Observability | None = None
 
+#: Per-thread scoped override (see :func:`enabled`).  A scoped bundle
+#: is visible only to the thread that entered the scope: the service
+#: daemon runs each job under a job-local collector in a worker thread
+#: while its HTTP loop keeps recording metrics on the process session,
+#: and neither may clobber the other mid-span.
+_SCOPED = threading.local()
+
 
 def enable(obs: Observability | None = None) -> Observability:
-    """Install ``obs`` (or a fresh bundle) as the active collector."""
+    """Install ``obs`` (or a fresh bundle) as the process-wide collector."""
     global _ACTIVE
     _ACTIVE = obs if obs is not None else Observability()
     return _ACTIVE
 
 
 def disable() -> None:
-    """Turn observability off; hook points revert to no-ops."""
+    """Turn observability off; hook points revert to no-ops.
+
+    Clears the process-wide session *and* this thread's scoped
+    override — a forked pool worker inherits both, and its initializer
+    calls this to guarantee a clean slate.
+    """
     global _ACTIVE
     _ACTIVE = None
+    _SCOPED.obs = None
 
 
 def active() -> Observability | None:
-    """The installed bundle, or ``None`` when off."""
-    return _ACTIVE
+    """The active bundle (thread-scoped first, then process-wide)."""
+    scoped = getattr(_SCOPED, "obs", None)
+    return scoped if scoped is not None else _ACTIVE
 
 
 def is_enabled() -> bool:
-    return _ACTIVE is not None
+    return active() is not None
 
 
 @contextmanager
 def enabled(obs: Observability | None = None):
-    """Scoped :func:`enable`; restores the previous state on exit."""
-    global _ACTIVE
-    previous = _ACTIVE
+    """Scoped :func:`enable`, confined to the calling thread.
+
+    Restores the previous state on exit.  The override is thread-local
+    on purpose: a traced inline job installs its own collector without
+    disconnecting sessions owned by other threads (and without other
+    threads' metric traffic landing in the job's trace).
+    """
+    previous = getattr(_SCOPED, "obs", None)
     bundle = obs if obs is not None else Observability()
-    _ACTIVE = bundle
+    _SCOPED.obs = bundle
     try:
         yield bundle
     finally:
-        _ACTIVE = previous
+        _SCOPED.obs = previous
 
 
 # ----------------------------------------------------------------------
@@ -170,7 +190,7 @@ def span(name: str, clock=None, **attrs):
     ``clock`` is any object with a ``now`` attribute (e.g.
     ``ctx.machine.clock``) used for virtual-time attribution.
     """
-    o = _ACTIVE
+    o = active()
     if o is None:
         return _NOOP_HANDLE
     return o.tracer.span(name, clock=clock, **attrs)
@@ -178,21 +198,21 @@ def span(name: str, clock=None, **attrs):
 
 def count(name: str, n: int | float = 1, **labels) -> None:
     """Increment a counter on the active registry (no-op when off)."""
-    o = _ACTIVE
+    o = active()
     if o is not None:
         o.metrics.counter(name, **labels).inc(n)
 
 
 def gauge(name: str, value: float, **labels) -> None:
     """Set a gauge on the active registry (no-op when off)."""
-    o = _ACTIVE
+    o = active()
     if o is not None:
         o.metrics.gauge(name, **labels).set(value)
 
 
 def observe(name: str, value: float, **labels) -> None:
     """Record a histogram observation (no-op when off)."""
-    o = _ACTIVE
+    o = active()
     if o is not None:
         o.metrics.histogram(name, **labels).observe(value)
 
@@ -205,7 +225,7 @@ def event(name: str, **fields) -> None:
     so a streamed or flight-dumped event can be joined back to the
     trace that produced it.
     """
-    o = _ACTIVE
+    o = active()
     if o is not None:
         ctx = o.tracer.current_context()
         o.log.emit(name, trace_id=ctx.trace_id,
@@ -219,7 +239,7 @@ def active_ledger():
     payload hashing) check this once per region: a ``None`` means skip
     the ``perf_counter`` pair entirely.
     """
-    o = _ACTIVE
+    o = active()
     return o.ledger if o is not None else None
 
 
@@ -235,7 +255,7 @@ def record_probe(probe, stage: str | None = None) -> None:
     perturbation ledger's ``callbacks`` bucket at the calibrated
     per-fire cost.
     """
-    o = _ACTIVE
+    o = active()
     if o is None:
         return
     flushed = getattr(probe, "_obs_hits_flushed", 0)
@@ -255,7 +275,7 @@ def record_run_overhead(stage: str, machine) -> None:
     ledger's ``virtual`` bucket — the simulated seconds the tool cost
     the measured program, per stage.  No-op when off.
     """
-    o = _ACTIVE
+    o = active()
     if o is not None:
         o.ledger.charge_virtual(stage, machine)
 
@@ -273,7 +293,7 @@ def record_device(device) -> None:
     (mirroring :func:`record_probe`), so flushing the same device
     twice never double-counts.
     """
-    o = _ACTIVE
+    o = active()
     if o is None:
         return
     for engine in device.engines.values():

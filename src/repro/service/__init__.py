@@ -4,17 +4,26 @@ The paper positions Diogenes as a tool developers come back to across
 edit-rerun cycles; this package is that workflow as a long-lived
 daemon instead of one-shot CLI invocations:
 
-* :mod:`repro.service.queue` — persistent on-disk job queue
-  (submitted/running/done/failed) with crash-safe resume;
+* :mod:`repro.service.queue` — persistent job queue
+  (submitted/running/done/failed) with crash-safe resume and
+  lease-based remote claims, behind a pluggable persistence seam
+  (:class:`~repro.service.queue.JobQueueBackend`);
 * :mod:`repro.service.store` — content-addressed report store keyed
   by (workload fingerprint, config digest, code fingerprint), with
-  append-only run history;
+  append-only run history, behind the same kind of seam
+  (:class:`~repro.service.store.ReportStoreBase`);
+* :mod:`repro.service.sqlite` — sqlite/WAL implementations of both
+  (``diogenes serve --backend sqlite``);
 * :mod:`repro.service.daemon` — the asyncio HTTP/JSON server
   (``diogenes serve``) running submissions through the
-  :class:`repro.exec.StageExecutor` on a bounded worker pool, plus
+  :class:`repro.exec.StageExecutor` on a bounded worker pool, serving
+  the fleet protocol to ``diogenes worker`` nodes
+  (:mod:`repro.fleet`), applying ``--max-queue`` backpressure, plus
   ``/metrics`` Prometheus exposition;
 * :mod:`repro.service.client` — the stdlib urllib client behind the
-  ``submit`` / ``status`` / ``fetch`` / ``diff`` CLI subcommands.
+  ``submit`` / ``status`` / ``fetch`` / ``diff`` CLI subcommands and
+  the worker loop, with jittered exponential backoff on connection
+  errors and 429 (honouring ``Retry-After``).
 
 Regression diffing itself is a core concern
 (:mod:`repro.core.diffing`) so the explorer and the offline
@@ -25,17 +34,35 @@ API reference and deployment notes: ``docs/service.md``.
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.daemon import ServiceDaemon
-from repro.service.queue import DONE, FAILED, RUNNING, SUBMITTED, Job, JobQueue
-from repro.service.store import ReportStore, report_identity
+from repro.service.queue import (
+    DONE,
+    FAILED,
+    RUNNING,
+    SUBMITTED,
+    FileJobQueue,
+    Job,
+    JobQueue,
+    JobQueueBackend,
+)
+from repro.service.store import (
+    FileReportStore,
+    ReportStore,
+    ReportStoreBase,
+    report_identity,
+)
 
 __all__ = [
     "DONE",
     "FAILED",
     "RUNNING",
     "SUBMITTED",
+    "FileJobQueue",
+    "FileReportStore",
     "Job",
     "JobQueue",
+    "JobQueueBackend",
     "ReportStore",
+    "ReportStoreBase",
     "ServiceClient",
     "ServiceDaemon",
     "ServiceError",

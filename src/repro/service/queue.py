@@ -1,33 +1,55 @@
-"""Persistent on-disk job queue for the analysis daemon.
+"""Persistent job queue for the analysis daemon, behind pluggable
+backends.
 
-One JSON file per job under the queue directory, written atomically,
-so the queue state survives a daemon crash byte-for-byte.  States::
+States::
 
     submitted ──► running ──► done
                      │
                      └──────► failed
 
-Crash-safe resume: a job found in ``running`` at startup was being
-executed when the previous daemon died; :meth:`JobQueue.recover`
-(called from ``__init__``) moves it back to ``submitted`` so the next
-worker re-runs it.  Re-running is always safe — stage execution is
-deterministic, results land in content-addressed stores, and a
-half-finished run left at most some reusable stage-cache entries.
+A job moves to ``running`` when a worker *claims* it.  Two kinds of
+worker exist:
 
-The queue is claim-based and thread-safe: the daemon's event loop
-claims jobs (oldest submitted first) and hands them to worker
-threads; every transition is persisted before it is acted on.
+* **local workers** — the daemon's own in-process worker threads.
+  They claim with ``worker=None``: no lease, because the worker dies
+  with the daemon, and :meth:`JobQueueBackend.recover` (run at
+  startup) moves any such job back to ``submitted`` immediately.
+* **fleet workers** — remote ``diogenes worker`` processes pulling
+  over HTTP (:mod:`repro.fleet.worker`).  They claim with a worker id
+  and a *lease*: the claim carries ``lease_expires``, heartbeats
+  extend it, and an expired lease returns the job to ``submitted``
+  for redelivery (:meth:`JobQueueBackend.expire_leases`).  A
+  coordinator restart leaves live remote leases alone — the worker is
+  still executing and will push its result home.
+
+Re-running is always safe — stage execution is deterministic, results
+land in content-addressed stores, and a half-finished run left at
+most some reusable stage-cache entries.
+
+The queue logic (claiming, leases, counts, recovery) lives in
+:class:`JobQueueBackend`; backends supply only persistence:
+
+* :class:`FileJobQueue` — one atomically-written JSON file per job
+  (the original implementation; the default);
+* :class:`repro.service.sqlite.SqliteJobQueue` — a single sqlite
+  database in WAL mode, one row per job.
+
+Both load the full job set into memory at startup and persist every
+transition before acting on it, so their observable behaviour is
+identical by construction — ``tests/test_queue_backends.py`` runs one
+shared contract suite against both.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import pathlib
 import tempfile
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 
 SUBMITTED = "submitted"
 RUNNING = "running"
@@ -52,73 +74,133 @@ class Job:
     attempts: int = 0
     created: float = field(default_factory=time.time)
     updated: float = field(default_factory=time.time)
+    #: Claiming worker id; ``None`` for the daemon's in-process workers.
+    worker: str | None = None
+    #: Lease deadline (``time.time``) for remote claims; ``None`` when
+    #: unleased.  An expired lease returns the job to ``submitted``.
+    lease_expires: float | None = None
 
     def to_json(self) -> dict:
-        return asdict(self)
+        # Hand-rolled rather than ``dataclasses.asdict``: this runs on
+        # every submit/claim/persist and asdict's deepcopy machinery
+        # dominated the submit hot path under load.
+        data = dict(self.__dict__)
+        data["params"] = dict(self.params)
+        data["config"] = dict(self.config)
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "Job":
         return cls(**data)
 
 
-class JobQueue:
-    """Directory-backed queue of :class:`Job` records."""
+class JobQueueBackend(abc.ABC):
+    """Shared queue logic over an abstract persistence layer.
 
-    def __init__(self, directory: str | os.PathLike) -> None:
-        self.directory = pathlib.Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+    Subclasses implement :meth:`_load_all` (read every persisted job at
+    startup) and :meth:`_write` (persist one job's current state);
+    everything else — claim ordering, leases, per-state counts,
+    crash recovery — is common, so every backend behaves identically.
+    """
+
+    #: Registry name (see :mod:`repro.fleet.backends`).
+    backend_name = "abstract"
+
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._seq = 0
-        self._load()
-        self.recover()
-
-    # ------------------------------------------------------------------
-    # Persistence
-    # ------------------------------------------------------------------
-    def _path(self, job_id: str) -> pathlib.Path:
-        return self.directory / f"{job_id}.json"
-
-    def _load(self) -> None:
-        for path in sorted(self.directory.glob("job-*.json")):
-            try:
-                job = Job.from_json(json.loads(path.read_text()))
-            except (ValueError, TypeError):
-                continue  # unreadable record: skip, never crash the daemon
+        self._counts = dict.fromkeys(STATES, 0)
+        # Incremental indexes so the hot paths never scan the full
+        # job table: ids waiting to be claimed, and ids holding a
+        # remote lease.  Submit-rate under load is bounded by these.
+        self._pending: set[str] = set()
+        self._leased: set[str] = set()
+        for job in self._load_all():
             self._jobs[job.id] = job
+            self._counts[job.state] = self._counts.get(job.state, 0) + 1
+            if job.state == SUBMITTED:
+                self._pending.add(job.id)
+            if job.state == RUNNING and job.worker is not None \
+                    and job.lease_expires is not None:
+                self._leased.add(job.id)
             try:
                 self._seq = max(self._seq, int(job.id.split("-")[1]))
             except (IndexError, ValueError):
                 pass
+        self.recover()
+
+    # ------------------------------------------------------------------
+    # Persistence seam
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _load_all(self) -> list[Job]:
+        """Every persisted job, unreadable records skipped."""
+
+    @abc.abstractmethod
+    def _write(self, job: Job) -> None:
+        """Durably persist one job's current state."""
+
+    def close(self) -> None:
+        """Release backend resources (no-op for file backends)."""
 
     def _persist(self, job: Job) -> None:
+        # Lease membership can change without a state transition
+        # (heartbeats), so the lease index is maintained here — every
+        # mutation funnels through _persist.
+        if job.state == RUNNING and job.worker is not None \
+                and job.lease_expires is not None:
+            self._leased.add(job.id)
+        else:
+            self._leased.discard(job.id)
         job.updated = time.time()
-        path = self._path(job.id)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fp:
-                json.dump(job.to_json(), fp)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self._write(job)
+
+    def _transition(self, job: Job, state: str) -> None:
+        """Move a job between states, keeping counts incremental.
+
+        Counts are maintained here rather than recomputed on demand so
+        ``counts()`` — called on every ``/submit`` for gauges and
+        backpressure — stays O(states) however deep the queue gets.
+        """
+        self._counts[job.state] -= 1
+        job.state = state
+        self._counts[state] = self._counts.get(state, 0) + 1
+        if state == SUBMITTED:
+            self._pending.add(job.id)
+        else:
+            self._pending.discard(job.id)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def recover(self) -> list[Job]:
-        """Crash-safe resume: requeue every job stuck in ``running``."""
+        """Crash-safe resume: requeue orphaned ``running`` jobs.
+
+        A job claimed by a *local* worker (``worker is None``) was in
+        flight inside the previous daemon process and died with it —
+        requeued unconditionally.  A job leased to a *remote* worker
+        survives a coordinator restart (the worker is still executing)
+        and is requeued only once its lease has expired.
+        """
+        now = time.time()
         requeued = []
         with self._lock:
             for job in self._jobs.values():
-                if job.state == RUNNING:
-                    job.state = SUBMITTED
-                    self._persist(job)
-                    requeued.append(job)
+                if job.state != RUNNING:
+                    continue
+                if job.worker is not None and (
+                        job.lease_expires or 0) > now:
+                    continue  # live remote lease: leave it running
+                self._requeue_locked(job)
+                requeued.append(job)
         return requeued
+
+    def _requeue_locked(self, job: Job) -> None:
+        self._transition(job, SUBMITTED)
+        job.worker = None
+        job.lease_expires = None
+        self._persist(job)
 
     def submit(self, workload: str, params: dict, config: dict,
                report_key: str, *, state: str = SUBMITTED,
@@ -131,33 +213,92 @@ class JobQueue:
                       params=dict(params), config=dict(config),
                       report_key=report_key, state=state, error=error)
             self._jobs[job.id] = job
+            self._counts[state] = self._counts.get(state, 0) + 1
+            if state == SUBMITTED:
+                self._pending.add(job.id)
             self._persist(job)
             return job
 
-    def claim_next(self) -> Job | None:
-        """Oldest submitted job, atomically moved to ``running``."""
+    def claim_next(self, *, worker: str | None = None,
+                   lease_seconds: float | None = None) -> Job | None:
+        """Oldest submitted job, atomically moved to ``running``.
+
+        ``worker``/``lease_seconds`` stamp a remote lease on the claim;
+        the default (both ``None``) is a local in-process claim.
+        """
         with self._lock:
-            for job_id in sorted(self._jobs):
+            for job_id in sorted(self._pending):
                 job = self._jobs[job_id]
-                if job.state == SUBMITTED:
-                    job.state = RUNNING
-                    job.attempts += 1
-                    self._persist(job)
-                    return job
+                self._claim_locked(job, worker, lease_seconds)
+                return job
         return None
+
+    def claim_job(self, job_id: str, *, worker: str | None = None,
+                  lease_seconds: float | None = None) -> Job | None:
+        """Claim one *specific* submitted job, or ``None`` if it is no
+        longer claimable (raced by another puller)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != SUBMITTED:
+                return None
+            self._claim_locked(job, worker, lease_seconds)
+            return job
+
+    def _claim_locked(self, job: Job, worker: str | None,
+                      lease_seconds: float | None) -> None:
+        self._transition(job, RUNNING)
+        job.attempts += 1
+        job.worker = worker
+        job.lease_expires = (time.time() + lease_seconds
+                             if lease_seconds is not None else None)
+        self._persist(job)
+
+    def heartbeat(self, job_id: str, worker: str,
+                  lease_seconds: float) -> Job | None:
+        """Extend a remote claim's lease; ``None`` when the lease is
+        lost (job requeued, finished, or claimed by someone else)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != RUNNING or job.worker != worker:
+                return None
+            job.lease_expires = time.time() + lease_seconds
+            self._persist(job)
+            return job
+
+    def expire_leases(self, now: float | None = None) -> list[Job]:
+        """Return every expired-lease job to ``submitted`` for
+        redelivery; returns the requeued jobs."""
+        now = time.time() if now is None else now
+        expired = []
+        with self._lock:
+            for job_id in sorted(self._leased):
+                job = self._jobs[job_id]
+                if (job.lease_expires or 0) <= now:
+                    self._requeue_locked(job)
+                    expired.append(job)
+        return expired
+
+    def requeue(self, job: Job) -> None:
+        """Explicitly return one running job to ``submitted``
+        (fleet retry path), preserving its attempt count."""
+        with self._lock:
+            if job.state == RUNNING:
+                self._requeue_locked(job)
 
     def mark_done(self, job: Job, report_key: str | None = None) -> None:
         with self._lock:
             if report_key is not None:
                 job.report_key = report_key
-            job.state = DONE
+            self._transition(job, DONE)
             job.error = None
+            job.lease_expires = None
             self._persist(job)
 
     def mark_failed(self, job: Job, error: str) -> None:
         with self._lock:
-            job.state = FAILED
+            self._transition(job, FAILED)
             job.error = error
+            job.lease_expires = None
             self._persist(job)
 
     # ------------------------------------------------------------------
@@ -172,13 +313,26 @@ class JobQueue:
         with self._lock:
             return [self._jobs[job_id] for job_id in sorted(self._jobs)]
 
+    def jobs_in_state(self, state: str) -> list[Job]:
+        """Jobs currently in ``state``, oldest first."""
+        with self._lock:
+            if state == SUBMITTED:
+                return [self._jobs[job_id]
+                        for job_id in sorted(self._pending)]
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)
+                    if self._jobs[job_id].state == state]
+
+    def active_leases(self, now: float | None = None) -> int:
+        """Running jobs held under a live remote lease."""
+        now = time.time() if now is None else now
+        with self._lock:
+            return sum(1 for job_id in self._leased
+                       if (self._jobs[job_id].lease_expires or 0) > now)
+
     def counts(self) -> dict[str, int]:
         """``{state: job count}`` for all four states (zeros included)."""
-        counts = dict.fromkeys(STATES, 0)
         with self._lock:
-            for job in self._jobs.values():
-                counts[job.state] = counts.get(job.state, 0) + 1
-        return counts
+            return {state: self._counts.get(state, 0) for state in STATES}
 
     def depth(self) -> int:
         """Jobs waiting to run."""
@@ -187,3 +341,45 @@ class JobQueue:
     def __len__(self) -> int:
         with self._lock:
             return len(self._jobs)
+
+
+class FileJobQueue(JobQueueBackend):
+    """Directory-backed queue: one atomic JSON file per job."""
+
+    backend_name = "file"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        super().__init__()
+
+    def _path(self, job_id: str) -> pathlib.Path:
+        return self.directory / f"{job_id}.json"
+
+    def _load_all(self) -> list[Job]:
+        jobs = []
+        for path in sorted(self.directory.glob("job-*.json")):
+            try:
+                jobs.append(Job.from_json(json.loads(path.read_text())))
+            except (ValueError, TypeError):
+                continue  # unreadable record: skip, never crash the daemon
+        return jobs
+
+    def _write(self, job: Job) -> None:
+        path = self._path(job.id)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(job.to_json(), fp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+#: Historical name — the atomic-file queue was the only implementation
+#: before the backend seam existed.
+JobQueue = FileJobQueue

@@ -2,7 +2,15 @@
 
 Where the stage cache (:mod:`repro.exec.cache`) remembers *stage*
 payloads, this store remembers finished *reports* — the unit a client
-asks for.  A report's identity is the tuple the ISSUE names:
+asks for.  The public surface is :class:`ReportStoreBase`; two
+backends implement it (see :mod:`repro.fleet.backends`):
+
+* :class:`ReportStore` — the original atomic-file layout described
+  below (the default);
+* :class:`repro.service.sqlite.SqliteReportStore` — a single sqlite
+  database in WAL mode.
+
+A report's identity is the tuple the ISSUE names:
 
 * **workload fingerprint** — registry name + params + module source
   (:func:`repro.exec.fingerprint.workload_fingerprint`);
@@ -36,6 +44,7 @@ back to the envelope's columnar payload.
 
 from __future__ import annotations
 
+import abc
 import json
 import mmap
 import os
@@ -100,23 +109,109 @@ class ReportIdentity(dict):
         return digest_json(dict(self))
 
 
-def report_identity(spec: WorkloadSpec, config) -> ReportIdentity:
-    """Identity of the report a (workload, config) submission produces."""
+def report_identity(spec: WorkloadSpec, config, *,
+                    config_digest: str | None = None) -> ReportIdentity:
+    """Identity of the report a (workload, config) submission produces.
+
+    ``config_digest`` lets a caller that encodes the same config
+    repeatedly (the daemon's submit path) pass the digest in rather
+    than re-encode per request; it must equal
+    ``digest_json(config_to_json(config))``.
+    """
     return ReportIdentity(
         workload=spec.name,
         workload_fingerprint=spec.fingerprint(),
-        config_digest=digest_json(config_to_json(config)),
+        config_digest=(config_digest
+                       or digest_json(config_to_json(config))),
         code_fingerprint=code_fingerprint(),
         schema_version=SCHEMA_VERSION,
     )
 
 
-class ReportStore:
+class ReportStoreBase(abc.ABC):
+    """The report-store contract every backend implements.
+
+    The daemon, the fleet coordinator, and the CLI speak only this
+    surface, so file and sqlite stores are interchangeable —
+    ``tests/test_store_backends.py`` runs one shared contract suite
+    against both.  ``get_bytes`` may return a zero-copy
+    :class:`MappedBody` or plain ``bytes``; callers must handle both.
+    """
+
+    #: Registry name (see :mod:`repro.fleet.backends`).
+    backend_name = "abstract"
+
+    @abc.abstractmethod
+    def get(self, key: str) -> dict | None:
+        """The stored report JSON, or ``None`` on any kind of miss."""
+
+    @abc.abstractmethod
+    def get_envelope(self, key: str) -> dict | None:
+        """The raw envelope (identity + report), for diagnostics."""
+
+    @abc.abstractmethod
+    def put(self, identity: "ReportIdentity", report_json: dict,
+            *, job_id: str | None = None) -> str:
+        """Store one report atomically; returns its key."""
+
+    @abc.abstractmethod
+    def get_bytes(self, key: str):
+        """Serialized report response bytes (``MappedBody | bytes | None``)."""
+
+    @abc.abstractmethod
+    def put_trace(self, job_id: str, payload: dict) -> None:
+        """Persist one job's distributed-trace payload."""
+
+    @abc.abstractmethod
+    def get_trace(self, job_id: str) -> dict | None:
+        """The stored trace for a job id, or ``None``."""
+
+    @abc.abstractmethod
+    def history(self, workload: str | None = None) -> list[dict]:
+        """Run history, oldest first, optionally for one workload."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """``{"reports": n, "bytes": n}`` storage accounting."""
+
+    @abc.abstractmethod
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-stored reports until under the budget."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored reports."""
+
+    def contains(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def close(self) -> None:
+        """Release backend resources (no-op for file backends)."""
+
+    @staticmethod
+    def check_stamp(report_json: dict) -> None:
+        """Refuse reports without a ``schema_version`` stamp — the
+        store must never archive data the differ would later reject as
+        being of unknown vintage."""
+        if "schema_version" not in report_json:
+            raise ValueError(
+                "refusing to store a report without a schema_version "
+                "stamp (see repro.core.jsonio.report_to_json)")
+
+
+class ReportStore(ReportStoreBase):
     """Keyed report archive shared by the daemon's worker threads."""
+
+    backend_name = "file"
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = pathlib.Path(directory)
         self._lock = threading.Lock()
+        #: Keys this process has stored or verified on disk — the fast
+        #: path for the per-submit duplicate check.  Only ever holds
+        #: keys that passed the full ``get`` validation, so a hit is as
+        #: trustworthy as a disk read; pruning evicts entries.
+        self._verified: set[str] = set()
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.json"
@@ -130,7 +225,12 @@ class ReportStore:
 
     # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:
-        return self.get(key) is not None
+        if key in self._verified:
+            return True
+        if self.get(key) is not None:
+            self._verified.add(key)
+            return True
+        return False
 
     def get(self, key: str) -> dict | None:
         """The stored report JSON, or ``None``.
@@ -168,10 +268,7 @@ class ReportStore:
         must never archive data the differ would later reject as
         being of unknown vintage.
         """
-        if "schema_version" not in report_json:
-            raise ValueError(
-                "refusing to store a report without a schema_version "
-                "stamp (see repro.core.jsonio.report_to_json)")
+        self.check_stamp(report_json)
         key = identity.key()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -190,6 +287,7 @@ class ReportStore:
         }
         self._write_atomic(path, json.dumps(envelope).encode())
         self._append_history(key, identity, job_id)
+        self._verified.add(key)
         return key
 
     @staticmethod
@@ -364,6 +462,7 @@ class ReportStore:
                     total += nbytes
                     kept_keys.add(key)
                     continue
+                self._verified.discard(key)
                 for path in (self._path(key), self._body_path(key)):
                     try:
                         freed += path.stat().st_size
@@ -399,3 +498,7 @@ class ReportStore:
         return sum(1 for path in self.directory.glob("*/*.json")
                    if path.parent.name != "traces"
                    and not path.name.endswith(".body.json"))
+
+
+#: Explicit backend-flavoured name for the atomic-file store.
+FileReportStore = ReportStore

@@ -1,0 +1,655 @@
+"""Fleet mode tests (`repro.fleet`): coordinator + worker scale-out.
+
+The contracts that keep the fleet honest:
+
+* a report produced by a remote worker is **byte-identical** to the
+  serial CLI report — scale-out changes throughput, never bytes;
+* jobs are leased, not handed over: a worker that stops heartbeating
+  loses its lease and the job is redelivered, exactly once resolved;
+* duplicate submissions across nodes are suppressed through the
+  content-addressed store and the consistent-hash ring;
+* a saturated queue answers 429 + Retry-After and the client honours
+  it (jittered exponential backoff on connection errors too);
+* SIGTERM drains gracefully: in-flight work finishes, exit code 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+import repro.obs as obs
+from repro.apps.base import registry
+from repro.core.cli import _load_workloads
+from repro.core.diogenes import Diogenes, DiogenesConfig
+from repro.core.jsonio import dumps_report
+from repro.exec.columnar import encode_tree
+from repro.exec.fingerprint import config_to_json
+from repro.exec.jobs import WorkloadSpec
+from repro.fleet import FleetCoordinator, HashRing, WorkerNode
+from repro.fleet.coordinator import stitch_trace
+from repro.service import (
+    DONE,
+    FAILED,
+    RUNNING,
+    SUBMITTED,
+    JobQueue,
+    ReportStore,
+    ServiceClient,
+    ServiceDaemon,
+    ServiceError,
+    report_identity,
+)
+
+_load_workloads()
+
+APP = "synthetic-unnecessary-sync"
+PARAMS = {"iterations": 4}
+APP_B = "synthetic-misplaced-sync"
+PARAMS_B = {"iterations": 3}
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+_serial_cache: dict[tuple, str] = {}
+
+
+def _serial_json(name: str, params: dict) -> str:
+    cache_key = (name, tuple(sorted(params.items())))
+    if cache_key not in _serial_cache:
+        report = Diogenes(registry.create(name, **params)).run()
+        _serial_cache[cache_key] = dumps_report(report)
+    return _serial_cache[cache_key]
+
+
+def _metric_value(text: str, name: str, **labels) -> float | None:
+    for line in text.splitlines():
+        match = re.match(rf"{re.escape(name)}(?:{{(.*)}})? (.+)$", line)
+        if not match:
+            continue
+        found = dict(re.findall(r'(\w+)="([^"]*)"', match.group(1) or ""))
+        if all(found.get(k) == str(v) for k, v in labels.items()):
+            return float(match.group(2))
+    return None
+
+
+@pytest.fixture(autouse=True)
+def _observability_reset():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@contextmanager
+def running_daemon(data_dir, **kwargs):
+    daemon = ServiceDaemon(data_dir, **kwargs)
+    thread = threading.Thread(target=daemon.run, kwargs={"port": 0},
+                              daemon=True)
+    thread.start()
+    assert daemon.started.wait(10), "daemon failed to start"
+    client = ServiceClient(f"http://127.0.0.1:{daemon.bound_port}")
+    try:
+        yield client, daemon
+    finally:
+        try:
+            client.shutdown()
+        except ServiceError:
+            pass
+        thread.join(15)
+        assert not thread.is_alive(), "daemon did not shut down cleanly"
+
+
+def _run_worker(url, worker_id, max_jobs, **kwargs):
+    """Run one WorkerNode to completion in a thread; returns (node, thread)."""
+    node = WorkerNode(url, worker_id=worker_id, use_cache=False, **kwargs)
+    thread = threading.Thread(target=node.run, kwargs={"max_jobs": max_jobs},
+                              daemon=True)
+    thread.start()
+    return node, thread
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(), HashRing()
+        for node in ("w1", "w2", "w3"):
+            a.add(node)
+        for node in ("w3", "w1", "w2"):  # insertion order must not matter
+            b.add(node)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.node_for(k) for k in keys] == [b.node_for(k) for k in keys]
+
+    def test_spread_is_roughly_uniform(self):
+        ring = HashRing()
+        for node in ("w1", "w2", "w3"):
+            ring.add(node)
+        owners = [ring.node_for(f"key-{i}") for i in range(3000)]
+        for node in ("w1", "w2", "w3"):
+            share = owners.count(node) / len(owners)
+            assert 0.15 < share < 0.55, f"{node} owns {share:.0%}"
+
+    def test_adding_a_node_remaps_a_minority(self):
+        ring = HashRing()
+        for node in ("w1", "w2", "w3"):
+            ring.add(node)
+        keys = [f"key-{i}" for i in range(2000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("w4")
+        moved = sum(1 for k in keys if ring.node_for(k) != before[k])
+        # Theory says ~1/4 of the key space moves; allow slack, but a
+        # naive modulo hash would move ~3/4.
+        assert moved / len(keys) < 0.45
+        # Every moved key landed on the new node, nowhere else.
+        assert all(ring.node_for(k) == "w4" for k in keys
+                   if ring.node_for(k) != before[k])
+
+    def test_removing_a_node_only_reassigns_its_keys(self):
+        ring = HashRing()
+        for node in ("w1", "w2", "w3"):
+            ring.add(node)
+        keys = [f"key-{i}" for i in range(1000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove("w2")
+        for k in keys:
+            if before[k] != "w2":
+                assert ring.node_for(k) == before[k]
+            else:
+                assert ring.node_for(k) in ("w1", "w3")
+
+    def test_liveness_fallback_walks_past_dead_nodes(self):
+        ring = HashRing()
+        for node in ("w1", "w2"):
+            ring.add(node)
+        key = "some-report-key"
+        owner = ring.node_for(key)
+        other = "w2" if owner == "w1" else "w1"
+        assert ring.node_for(key, alive={owner, other}) == owner
+        assert ring.node_for(key, alive={other}) == other
+        assert ring.node_for(key, alive=set()) is None
+
+    def test_empty_ring_and_membership(self):
+        ring = HashRing()
+        assert ring.node_for("k") is None
+        ring.add("w1")
+        ring.add("w1")  # idempotent
+        assert "w1" in ring and len(ring) == 1
+        ring.remove("w1")
+        ring.remove("w1")  # idempotent
+        assert ring.node_for("k") is None and ring.nodes() == []
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+
+# ----------------------------------------------------------------------
+# Client retry behaviour against a flaky stub server
+# ----------------------------------------------------------------------
+class _FlakyStub:
+    """Raw-socket stub: misbehaves for the first N connections, then
+    answers 200 JSON.  ``mode`` selects the misbehaviour: ``close``
+    (connection reset — a crashed/restarting daemon) or ``429``
+    (backpressure with a Retry-After header)."""
+
+    def __init__(self, failures: int, mode: str = "close",
+                 retry_after: str = "0") -> None:
+        self.failures = failures
+        self.mode = mode
+        self.retry_after = retry_after
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self.url = f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                if self.connections <= self.failures:
+                    if self.mode == "close":
+                        conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                        b"\x01\x00\x00\x00\x00\x00\x00\x00")
+                        continue  # reset on close, nothing read
+                    conn.recv(65536)
+                    conn.sendall(
+                        b"HTTP/1.1 429 Too Many Requests\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Retry-After: " + self.retry_after.encode() +
+                        b"\r\nContent-Length: 26\r\nConnection: close\r\n"
+                        b"\r\n{\"error\": \"queue is full\"}")
+                    continue
+                conn.recv(65536)
+                conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                             b"Content-Type: application/json\r\n"
+                             b"Content-Length: 14\r\n"
+                             b"Connection: close\r\n\r\n{\"status\": 1}\n")
+
+    def close(self) -> None:
+        self._sock.close()
+        self._thread.join(5)
+
+
+class TestClientRetries:
+    def test_retries_connection_errors_until_success(self):
+        stub = _FlakyStub(failures=2, mode="close")
+        try:
+            client = ServiceClient(stub.url, retries=4)
+            assert client.health() == {"status": 1}
+            assert stub.connections == 3
+        finally:
+            stub.close()
+
+    def test_retries_429_honouring_retry_after(self):
+        stub = _FlakyStub(failures=2, mode="429", retry_after="0.2")
+        try:
+            client = ServiceClient(stub.url, retries=4)
+            t0 = time.monotonic()
+            assert client.health() == {"status": 1}
+            # Two 429s, each instructing a >= 0.2s wait.
+            assert time.monotonic() - t0 >= 0.4
+            assert stub.connections == 3
+        finally:
+            stub.close()
+
+    def test_retry_budget_exhausts_and_surfaces_the_429(self):
+        stub = _FlakyStub(failures=99, mode="429", retry_after="0")
+        try:
+            client = ServiceClient(stub.url, retries=2)
+            with pytest.raises(ServiceError) as err:
+                client.health()
+            assert err.value.status == 429
+            assert err.value.retry_after == 0.0
+            assert stub.connections == 3  # initial try + 2 retries
+        finally:
+            stub.close()
+
+    def test_non_transient_errors_are_not_retried(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, _):
+            with pytest.raises(ServiceError) as err:
+                client.job("job-nope")
+            assert err.value.status == 404
+
+    def test_retries_zero_disables_retrying(self):
+        stub = _FlakyStub(failures=1, mode="close")
+        try:
+            client = ServiceClient(stub.url, retries=0)
+            with pytest.raises(ServiceError):
+                client.health()
+            assert stub.connections == 1
+        finally:
+            stub.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator protocol over HTTP: pull, execute, push, stitch
+# ----------------------------------------------------------------------
+class TestFleetEndToEnd:
+    @pytest.mark.parametrize("backend", ["file", "sqlite"])
+    def test_worker_report_is_byte_identical_to_serial(self, tmp_path,
+                                                       backend):
+        serial = _serial_json(APP, PARAMS)
+        with running_daemon(tmp_path / "svc", workers=0,
+                            backend=backend) as (client, _):
+            job = client.submit(APP, PARAMS)["job"]
+            node, thread = _run_worker(client.base_url, "w1", max_jobs=1)
+            thread.join(60)
+            final = client.wait(job["id"], timeout=30)
+            assert final["state"] == DONE and final["worker"] == "w1"
+            fetched = client.report(final["report_key"])
+            assert json.dumps(fetched, indent=2) == serial
+            assert node.jobs_completed == 1
+
+    def test_trace_is_one_tree_rooted_at_service_job(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, _):
+            job = client.submit(APP, PARAMS)["job"]
+            _, thread = _run_worker(client.base_url, "w1", max_jobs=1)
+            thread.join(60)
+            client.wait(job["id"], timeout=30)
+            trace = client.trace(job["id"])
+            spans = trace["spans"]
+            roots = [s for s in spans if s["parent_id"] is None]
+            assert [r["name"] for r in roots] == ["service.job"]
+            by_id = {s["span_id"]: s for s in spans}
+            assert len(by_id) == len(spans), "span ids must be unique"
+            worker_spans = [s for s in spans
+                            if s["name"] == "fleet.worker.job"]
+            assert len(worker_spans) == 1
+            assert worker_spans[0]["parent_id"] == roots[0]["span_id"]
+            assert worker_spans[0]["pid"] is not None  # its own trace lane
+            # Every span reaches the root by parent links.
+            for span in spans:
+                hops, cursor = 0, span
+                while cursor["parent_id"] is not None and hops < 100:
+                    cursor = by_id[cursor["parent_id"]]
+                    hops += 1
+                assert cursor is roots[0]
+            # The root covers its adopted children.
+            assert all(roots[0]["wall_end"] >= s["wall_end"]
+                       for s in spans if s["wall_end"] is not None)
+            assert trace["worker"] == "w1"
+
+    def test_duplicate_submission_not_executed_twice(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, _):
+            first = client.submit(APP, PARAMS)["job"]
+            dup = client.submit(APP, PARAMS, force=True)["job"]
+            assert dup["id"] != first["id"]
+            assert dup["report_key"] == first["report_key"]
+            node, thread = _run_worker(client.base_url, "w1", max_jobs=1)
+            thread.join(60)
+            assert client.wait(first["id"], timeout=30)["state"] == DONE
+            # The duplicate resolved from the store without running.
+            assert client.wait(dup["id"], timeout=30)["state"] == DONE
+            assert node.jobs_completed == 1
+
+    def test_ring_reserves_jobs_for_their_owner(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, daemon):
+            client.fleet_register("w1")
+            client.fleet_register("w2")
+            job = client.submit(APP, PARAMS)["job"]
+            owner = daemon.fleet.ring.node_for(job["report_key"],
+                                               alive={"w1", "w2"})
+            loser = "w2" if owner == "w1" else "w1"
+            assert client.fleet_pull(loser) is None
+            pulled = client.fleet_pull(owner)
+            assert pulled is not None and pulled["id"] == job["id"]
+
+    def test_lease_expiry_redelivers_to_a_live_worker(self, tmp_path):
+        serial = _serial_json(APP, PARAMS)
+        with running_daemon(tmp_path / "svc", workers=0,
+                            lease_seconds=0.3) as (client, _):
+            job = client.submit(APP, PARAMS)["job"]
+            # A worker claims the job, then dies: no heartbeat, no push.
+            client.fleet_register("ghost")
+            claimed = client.fleet_pull("ghost")
+            assert claimed is not None and claimed["id"] == job["id"]
+            assert _metric_value(client.metrics(),
+                                 "repro_service_leases_active") == 1
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if client.job(job["id"])["state"] == SUBMITTED:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("expired lease was never redelivered")
+            _, thread = _run_worker(client.base_url, "rescuer", max_jobs=1)
+            thread.join(60)
+            final = client.wait(job["id"], timeout=30)
+            assert final["state"] == DONE
+            assert final["worker"] == "rescuer"
+            assert final["attempts"] == 2  # ghost's claim + the redelivery
+            fetched = client.report(final["report_key"])
+            assert json.dumps(fetched, indent=2) == serial
+
+    def test_heartbeat_keeps_a_lease_alive_and_409s_when_lost(
+            self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0,
+                            lease_seconds=0.4) as (client, daemon):
+            client.submit(APP, PARAMS)
+            client.fleet_register("w1")
+            job = client.fleet_pull("w1")
+            for _ in range(4):  # outlive several lease windows
+                time.sleep(0.15)
+                client.fleet_heartbeat("w1", job["id"])
+            assert client.job(job["id"])["state"] == RUNNING
+            daemon.queue.expire_leases(now=time.time() + 60)
+            with pytest.raises(ServiceError) as err:
+                client.fleet_heartbeat("w1", job["id"])
+            assert err.value.status == 409
+
+    def test_worker_failure_requeues_then_fails_for_good(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, daemon):
+            daemon.fleet.retry_limit = 2
+            client.submit(APP, PARAMS)
+            client.fleet_register("w1")
+            job = client.fleet_pull("w1")
+            client.fleet_fail("w1", job["id"], "RuntimeError: kaboom")
+            record = client.job(job["id"])
+            assert record["state"] == SUBMITTED  # redelivered, not dead
+            assert record["error"] == "RuntimeError: kaboom"
+            job = client.fleet_pull("w1")
+            client.fleet_fail("w1", job["id"], "RuntimeError: kaboom again")
+            record = client.job(job["id"])
+            assert record["state"] == FAILED
+            assert record["attempts"] == 2
+
+    def test_fleet_workers_listing_and_gauges(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, _):
+            job = client.submit(APP, PARAMS)["job"]
+            node, thread = _run_worker(client.base_url, "metrics-w",
+                                       max_jobs=1)
+            thread.join(60)
+            client.wait(job["id"], timeout=30)
+            listing = client.fleet_workers()
+            assert "metrics-w" in listing["live"]
+            (record,) = [w for w in listing["workers"]
+                         if w["id"] == "metrics-w"]
+            assert record["jobs_completed"] == 1 and record["live"]
+            text = client.metrics()
+            assert _metric_value(text, "repro_service_worker_jobs",
+                                 worker="metrics-w") == 1
+            assert _metric_value(text,
+                                 "repro_service_fleet_workers_live") >= 1
+            assert _metric_value(text, "repro_service_leases_active") == 0
+            assert _metric_value(text, "repro_service_fleet_completions",
+                                 worker="metrics-w") == 1
+
+
+# ----------------------------------------------------------------------
+# Backpressure: 429 + Retry-After, honoured end to end
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_saturated_queue_answers_429_with_retry_after(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0,
+                            max_queue=1) as (client, _):
+            client.submit(APP, PARAMS)
+            blunt = ServiceClient(client.base_url, retries=0)
+            with pytest.raises(ServiceError) as err:
+                blunt.submit(APP_B, PARAMS_B)
+            assert err.value.status == 429
+            assert err.value.retry_after is not None
+            assert err.value.retry_after >= 1
+            assert _metric_value(
+                blunt.metrics(),
+                "repro_service_backpressure_rejections") == 1
+
+    def test_client_backs_off_and_lands_the_submit(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0,
+                            max_queue=1) as (client, _):
+            first = client.submit(APP, PARAMS)["job"]
+            # A worker drains the queue while the client is backing off.
+            _, thread = _run_worker(client.base_url, "drainer", max_jobs=2)
+            patient = ServiceClient(client.base_url, retries=6)
+            second = patient.submit(APP_B, PARAMS_B)["job"]
+            thread.join(90)
+            assert patient.wait(first["id"], timeout=60)["state"] == DONE
+            assert patient.wait(second["id"], timeout=60)["state"] == DONE
+
+
+# ----------------------------------------------------------------------
+# Coordinator unit behaviour (no HTTP)
+# ----------------------------------------------------------------------
+class TestCoordinatorUnits:
+    def _fixture(self, tmp_path, **kwargs):
+        queue = JobQueue(tmp_path / "queue")
+        store = ReportStore(tmp_path / "store")
+        return queue, store, FleetCoordinator(queue, store, **kwargs)
+
+    def _submit_real(self, queue):
+        spec = WorkloadSpec.from_params(APP, PARAMS)
+        config = DiogenesConfig()
+        identity = report_identity(spec, config)
+        job = queue.submit(APP, PARAMS, config_to_json(config),
+                           identity.key())
+        return job, identity
+
+    def test_identity_mismatch_fails_the_job_loudly(self, tmp_path):
+        queue, _, fleet = self._fixture(tmp_path)
+        job, identity = self._submit_real(queue)
+        fleet.register("w1")
+        pulled = fleet.pull("w1")
+        assert pulled.id == job.id
+        skewed = dict(identity)
+        skewed["code_fingerprint"] = "deadbeef" * 5
+        with pytest.raises(ValueError, match="skewed code"):
+            fleet.complete("w1", job.id, skewed,
+                           encode_tree({"schema_version": 1}), None)
+        assert queue.get(job.id).state == FAILED
+        assert "skewed" in queue.get(job.id).error
+
+    def test_stale_completion_is_acknowledged_not_applied(self, tmp_path):
+        queue, store, fleet = self._fixture(tmp_path, lease_seconds=0.01)
+        job, identity = self._submit_real(queue)
+        fleet.register("w1")
+        fleet.pull("w1")
+        time.sleep(0.03)
+        assert [j.id for j in fleet.expire()] == [job.id]
+        # w1 finishes anyway and pushes after losing its lease.
+        reply = fleet.complete("w1", job.id, dict(identity),
+                               encode_tree({"schema_version": 1}), None)
+        assert reply["stale"] is True
+        assert queue.get(job.id).state == SUBMITTED
+        # The bytes are banked: the next pull resolves without running.
+        assert store.contains(identity.key())
+        fleet.register("w2")
+        assert fleet.pull("w2") is None  # dedup-resolved, nothing to run
+        assert queue.get(job.id).state == DONE
+
+    def test_stitch_trace_rebases_and_roots_worker_spans(self, tmp_path):
+        queue, _, _ = self._fixture(tmp_path)
+        job, _ = self._submit_real(queue)
+        from repro.obs.tracer import Tracer
+
+        worker_tracer = Tracer()
+        with worker_tracer.span("fleet.worker.job", job=job.id):
+            with worker_tracer.span("stage.stage1_baseline"):
+                pass
+        payload = stitch_trace(job, "w9",
+                               worker_tracer.export_batch(pid=4242))
+        spans = payload["spans"]
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["service.job"]
+        assert payload["worker"] == "w9"
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids)) == 3
+        adopted = [s for s in spans if s["name"] == "fleet.worker.job"]
+        assert adopted[0]["parent_id"] == roots[0]["span_id"]
+        assert adopted[0]["pid"] == 4242
+        assert roots[0]["wall_end"] >= max(s["wall_end"] for s in spans)
+
+    def test_unknown_job_raises_key_error(self, tmp_path):
+        _, _, fleet = self._fixture(tmp_path)
+        fleet.register("w1")
+        with pytest.raises(KeyError):
+            fleet.complete("w1", "job-404404", {}, {}, None)
+        with pytest.raises(KeyError):
+            fleet.fail("w1", "job-404404", "boom")
+
+    def test_register_validates_worker_id(self, tmp_path):
+        _, _, fleet = self._fixture(tmp_path)
+        with pytest.raises(ValueError):
+            fleet.register("")
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: SIGTERM on serve and worker subprocesses
+# ----------------------------------------------------------------------
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + [p for p in env.get("PYTHONPATH", "").split(
+            os.pathsep) if p])
+    return env
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_for_line(stream, needle: str, timeout: float = 30.0) -> str:
+    found: list[str] = []
+
+    def reader():
+        for line in stream:
+            if needle in line:
+                found.append(line)
+                return
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    assert found, f"never saw {needle!r} in subprocess output"
+    return found[0]
+
+
+class TestGracefulDrain:
+    def test_serve_finishes_inflight_job_on_sigterm(self, tmp_path):
+        port = _free_port()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.core.cli", "serve",
+             "--port", str(port), "--data-dir", str(tmp_path / "svc"),
+             "--workers", "1"],
+            env=_cli_env(), cwd=REPO_ROOT, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            _wait_for_line(proc.stderr, "analysis service on")
+            client = ServiceClient(f"http://127.0.0.1:{port}", retries=8)
+            job = client.submit(APP, PARAMS)["job"]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+        # Queue state persisted: the job either finished or is cleanly
+        # waiting — never stuck "running" in a dead process.
+        queue = JobQueue(tmp_path / "svc" / "queue")
+        record = queue.get(job["id"])
+        assert record.state in (DONE, SUBMITTED)
+        if record.state == DONE:
+            store = ReportStore(tmp_path / "svc" / "store")
+            assert store.contains(record.report_key)
+
+    def test_worker_drains_and_exits_zero_on_sigterm(self, tmp_path):
+        with running_daemon(tmp_path / "svc", workers=0) as (client, _):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.core.cli", "worker",
+                 "--coordinator", client.base_url, "--id", "drain-w",
+                 "--no-cache"],
+                env=_cli_env(), cwd=REPO_ROOT, stderr=subprocess.PIPE,
+                text=True)
+            try:
+                _wait_for_line(proc.stderr, "pulling from")
+                job = client.submit(APP, PARAMS)["job"]
+                final = client.wait(job["id"], timeout=60)
+                assert final["state"] == DONE and final["worker"] == "drain-w"
+                proc.send_signal(signal.SIGTERM)
+                assert proc.wait(timeout=30) == 0
+                remains = proc.stderr.read()
+                assert "drained" in remains
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(10)

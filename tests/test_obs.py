@@ -429,6 +429,43 @@ class TestPrometheusFormat:
                 if name.endswith(("_bucket", "_sum", "_count")) else name
             assert family in types, name
 
+    def test_fleet_gauges_round_trip_with_hostile_worker_labels(self):
+        """The fleet's per-worker gauges survive a scrape-parse round
+        trip even when worker ids carry every character the exposition
+        format must escape (quotes, backslashes, newlines).
+
+        Worker ids default to ``<hostname>-<pid>`` but are
+        user-settable via ``diogenes worker --id``, so the ``worker=``
+        label is the one label an operator can make hostile.
+        """
+        reg = MetricsRegistry()
+        hostile = 'node"7\\rack\nshelf'
+        reg.gauge("service.worker_jobs", worker=hostile).set(4)
+        reg.gauge("service.worker_jobs", worker="plain-w2").set(9)
+        reg.gauge("service.leases_active").set(2)
+        reg.gauge("service.fleet_workers_live").set(3)
+        reg.counter("service.fleet_completions", worker=hostile).inc(4)
+        types, samples = _parse_prometheus(reg.to_prometheus())
+
+        assert types["repro_service_worker_jobs"] == "gauge"
+        assert types["repro_service_fleet_completions"] == "counter"
+        assert samples["repro_service_leases_active", ()] == 2
+        assert samples["repro_service_fleet_workers_live", ()] == 3
+
+        def unescape(value: str) -> str:
+            return (value.replace(r"\n", "\n").replace(r"\"", '"')
+                    .replace(r"\\", "\\"))
+
+        workers = {
+            unescape(dict(labels)["worker"]): value
+            for (name, labels), value in samples.items()
+            if name == "repro_service_worker_jobs"}
+        assert workers == {hostile: 4, "plain-w2": 9}
+        ((labels, value),) = [
+            (labels, value) for (name, labels), value in samples.items()
+            if name == "repro_service_fleet_completions"]
+        assert unescape(dict(labels)["worker"]) == hostile and value == 4
+
 
 # ----------------------------------------------------------------------
 # No-op mode

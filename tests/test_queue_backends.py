@@ -1,0 +1,211 @@
+"""Shared contract suite for job-queue backends (`repro.service.queue`,
+`repro.service.sqlite`).
+
+Every test in :class:`TestQueueContract` runs against *both* registered
+backends — the atomic-file default and the sqlite/WAL implementation —
+so behavioural parity is enforced, not assumed.  The contract covers
+what the daemon and the fleet coordinator actually rely on:
+
+* crash/restart recovery — local (``worker=None``) claims requeue
+  immediately on reopen, remote leases survive until they expire;
+* lease mechanics — heartbeats extend, expiry redelivers, a lost lease
+  answers ``None``;
+* exactly-once claiming — concurrent pulls over one queue hand each
+  job to exactly one claimant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.fleet.backends import backend_names, make_queue
+from repro.service.queue import DONE, FAILED, RUNNING, SUBMITTED
+
+BACKENDS = backend_names()
+
+
+@pytest.fixture(params=BACKENDS)
+def queue_factory(request, tmp_path):
+    """Reopenable factory for one backend over one directory."""
+    backend = request.param
+    opened = []
+
+    def factory():
+        queue = make_queue(backend, tmp_path / "queue")
+        opened.append(queue)
+        return queue
+
+    factory.backend = backend
+    yield factory
+    for queue in opened:
+        queue.close()
+
+
+def _submit(queue, n=1, key=None):
+    return [queue.submit("app", {"i": i}, {"cfg": True},
+                         key if key is not None else f"key{i}")
+            for i in range(n)]
+
+
+class TestQueueContract:
+    def test_registry_names_both_backends(self):
+        assert {"file", "sqlite"} <= set(BACKENDS)
+
+    def test_lifecycle_persists_across_reopen(self, queue_factory):
+        queue = queue_factory()
+        (job,) = _submit(queue)
+        assert job.state == SUBMITTED
+        claimed = queue.claim_next()
+        assert claimed.id == job.id and claimed.state == RUNNING
+        queue.mark_done(claimed, "finalkey")
+        reloaded = queue_factory()
+        assert reloaded.get(job.id).state == DONE
+        assert reloaded.get(job.id).report_key == "finalkey"
+        assert reloaded.counts()[DONE] == 1
+
+    def test_claims_are_oldest_first(self, queue_factory):
+        queue = queue_factory()
+        jobs = _submit(queue, n=3)
+        assert [queue.claim_next().id for _ in range(3)] == \
+            [j.id for j in jobs]
+        assert queue.claim_next() is None
+
+    def test_local_running_jobs_requeue_on_restart(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue, n=2)
+        queue.claim_next()  # local claim; the "daemon" dies here
+        survivor = queue_factory()
+        assert survivor.get("job-000001").state == SUBMITTED
+        assert survivor.counts() == {SUBMITTED: 2, RUNNING: 0,
+                                     DONE: 0, FAILED: 0}
+        reclaimed = survivor.claim_next()
+        assert reclaimed.id == "job-000001" and reclaimed.attempts == 2
+
+    def test_live_remote_lease_survives_restart(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue)
+        job = queue.claim_next(worker="w1", lease_seconds=60.0)
+        assert job.worker == "w1" and job.lease_expires is not None
+        survivor = queue_factory()
+        # The remote worker is still executing: leave its claim alone.
+        reloaded = survivor.get(job.id)
+        assert reloaded.state == RUNNING and reloaded.worker == "w1"
+
+    def test_expired_remote_lease_requeues_on_restart(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue)
+        queue.claim_next(worker="w1", lease_seconds=0.01)
+        time.sleep(0.03)
+        survivor = queue_factory()
+        job = survivor.get("job-000001")
+        assert job.state == SUBMITTED
+        assert job.worker is None and job.lease_expires is None
+
+    def test_expire_leases_requeues_for_redelivery(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue, n=2)
+        held = queue.claim_next(worker="w1", lease_seconds=0.01)
+        kept = queue.claim_next(worker="w2", lease_seconds=60.0)
+        time.sleep(0.03)
+        expired = queue.expire_leases()
+        assert [j.id for j in expired] == [held.id]
+        assert queue.get(held.id).state == SUBMITTED
+        assert queue.get(kept.id).state == RUNNING
+        # Redelivery increments attempts on the next claim.
+        redelivered = queue.claim_job(held.id, worker="w3",
+                                      lease_seconds=60.0)
+        assert redelivered.attempts == 2 and redelivered.worker == "w3"
+
+    def test_heartbeat_extends_live_lease_only(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue)
+        job = queue.claim_next(worker="w1", lease_seconds=5.0)
+        before = job.lease_expires
+        time.sleep(0.01)
+        extended = queue.heartbeat(job.id, "w1", 5.0)
+        assert extended.lease_expires > before
+        # Wrong worker, or a lease already lost, answers None.
+        assert queue.heartbeat(job.id, "w2", 5.0) is None
+        queue.expire_leases(now=time.time() + 10.0)
+        assert queue.heartbeat(job.id, "w1", 5.0) is None
+
+    def test_claim_job_races_safely(self, queue_factory):
+        queue = queue_factory()
+        (job,) = _submit(queue)
+        assert queue.claim_job(job.id, worker="w1").worker == "w1"
+        assert queue.claim_job(job.id, worker="w2") is None
+        assert queue.claim_job("job-does-not-exist") is None
+
+    def test_concurrent_pulls_yield_each_job_exactly_once(
+            self, queue_factory):
+        queue = queue_factory()
+        jobs = _submit(queue, n=24)
+        claimed: list[str] = []
+        lock = threading.Lock()
+
+        def puller(worker_id):
+            while True:
+                job = queue.claim_next(worker=worker_id, lease_seconds=60.0)
+                if job is None:
+                    return
+                with lock:
+                    claimed.append(job.id)
+
+        threads = [threading.Thread(target=puller, args=(f"w{i}",))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert sorted(claimed) == sorted(j.id for j in jobs)
+        assert len(claimed) == len(set(claimed)) == 24
+
+    def test_requeue_preserves_attempts(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue)
+        job = queue.claim_next(worker="w1", lease_seconds=60.0)
+        queue.requeue(job)
+        assert job.state == SUBMITTED and job.attempts == 1
+        again = queue.claim_next(worker="w2", lease_seconds=60.0)
+        assert again.id == job.id and again.attempts == 2
+
+    def test_failed_state_and_error_survive_restart(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue)
+        job = queue.claim_next()
+        queue.mark_failed(job, "KeyError: boom")
+        reloaded = queue_factory()
+        assert reloaded.get(job.id).state == FAILED
+        assert reloaded.get(job.id).error == "KeyError: boom"
+
+    def test_sequence_continues_after_restart(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue, n=2)
+        reloaded = queue_factory()
+        job = reloaded.submit("app", {}, {}, "k")
+        assert job.id == "job-000003"
+
+    def test_born_done_submission(self, queue_factory):
+        queue = queue_factory()
+        job = queue.submit("app", {}, {}, "cachedkey", state=DONE)
+        assert job.state == DONE
+        assert queue.claim_next() is None
+        assert queue.counts()[DONE] == 1
+
+    def test_active_leases_counts_live_remote_claims(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue, n=3)
+        queue.claim_next()  # local: not a lease
+        queue.claim_next(worker="w1", lease_seconds=60.0)
+        queue.claim_next(worker="w2", lease_seconds=0.01)
+        assert queue.active_leases() == 2
+        assert queue.active_leases(now=time.time() + 1.0) == 1
+
+    def test_depth_counts_only_waiting_jobs(self, queue_factory):
+        queue = queue_factory()
+        _submit(queue, n=2)
+        queue.claim_next()
+        assert queue.depth() == 1

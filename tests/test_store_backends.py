@@ -1,0 +1,158 @@
+"""Shared contract suite for report-store backends
+(`repro.service.store`, `repro.service.sqlite`).
+
+Runs against both registered backends.  The load-bearing clause is
+byte identity: ``get_bytes`` must return exactly
+``json.dumps(report, indent=2).encode()`` as written at put time, on
+every backend — that is what makes a report fetched from a sqlite
+coordinator byte-identical to one fetched from a file coordinator,
+and both identical to the serial CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.diogenes import DiogenesConfig
+from repro.exec.jobs import WorkloadSpec
+from repro.fleet.backends import backend_names, make_store
+from repro.service.store import report_identity
+
+BACKENDS = backend_names()
+
+APP = "synthetic-unnecessary-sync"
+
+
+def _identity(name=APP, params=None):
+    import repro.core.cli as cli
+
+    cli._load_workloads()
+    spec = WorkloadSpec.from_params(name, params or {"iterations": 4})
+    return report_identity(spec, DiogenesConfig())
+
+
+@pytest.fixture(params=BACKENDS)
+def store_factory(request, tmp_path):
+    backend = request.param
+    opened = []
+
+    def factory():
+        store = make_store(backend, tmp_path / "store")
+        opened.append(store)
+        return store
+
+    factory.backend = backend
+    yield factory
+    for store in opened:
+        store.close()
+
+
+def _raw_bytes(raw):
+    """Materialise a ``get_bytes`` result (mmap-backed or plain)."""
+    if hasattr(raw, "view"):
+        data = bytes(raw.view)
+        raw.close()
+        return data
+    return bytes(raw)
+
+
+REPORT = {"schema_version": 1, "workload": APP,
+          "problems": [{"kind": "unnecessary_sync", "count": 3}],
+          "execution_time": {"wall": 1.25}}
+
+
+class TestStoreContract:
+    def test_put_get_roundtrip_and_contains(self, store_factory):
+        store = store_factory()
+        identity = _identity()
+        key = store.put(identity, REPORT, job_id="job-000001")
+        assert key == identity.key()
+        assert store.get(key) == REPORT
+        assert store.contains(key)
+        assert not store.contains("nope")
+        assert len(store) == 1
+
+    def test_get_bytes_is_exact_put_time_encoding(self, store_factory):
+        store = store_factory()
+        key = store.put(_identity(), REPORT)
+        raw = store.get_bytes(key)
+        expected = json.dumps(REPORT, indent=2).encode()
+        assert _raw_bytes(raw) == expected
+        assert store.get_bytes("missing") is None
+
+    def test_refuses_unstamped_report(self, store_factory):
+        store = store_factory()
+        with pytest.raises(ValueError, match="schema_version"):
+            store.put(_identity(), {"workload": APP})
+        assert len(store) == 0
+
+    def test_envelope_carries_identity_and_size(self, store_factory):
+        store = store_factory()
+        identity = _identity()
+        key = store.put(identity, REPORT, job_id="job-000007")
+        envelope = store.get_envelope(key)
+        assert envelope["key"] == key
+        assert envelope["identity"] == dict(identity)
+        assert envelope["job_id"] == "job-000007"
+        assert envelope["body_bytes"] == \
+            len(json.dumps(REPORT, indent=2).encode())
+
+    def test_persists_across_reopen(self, store_factory):
+        store = store_factory()
+        key = store.put(_identity(), REPORT, job_id="job-000001")
+        store.put_trace("job-000001", {"trace_id": "t1", "spans": []})
+        reloaded = store_factory()
+        assert reloaded.get(key) == REPORT
+        assert reloaded.contains(key)
+        assert reloaded.get_trace("job-000001")["trace_id"] == "t1"
+        (entry,) = reloaded.history()
+        assert entry["key"] == key
+
+    def test_history_records_and_filters(self, store_factory):
+        store = store_factory()
+        store.put(_identity(), REPORT, job_id="job-000001")
+        other = _identity("synthetic-quiet", {})
+        store.put(other, {"schema_version": 1})
+        assert [e["seq"] for e in store.history()] == [0, 1]
+        assert [e["workload"] for e in store.history("synthetic-quiet")] == \
+            ["synthetic-quiet"]
+        entry = store.history(APP)[0]
+        assert entry["job_id"] == "job-000001"
+        assert entry["schema_version"] == 1
+
+    def test_put_is_idempotent_per_key(self, store_factory):
+        store = store_factory()
+        identity = _identity()
+        key1 = store.put(identity, REPORT)
+        key2 = store.put(identity, REPORT)
+        assert key1 == key2
+        assert len(store) == 1
+        assert len(store.history()) == 2  # history is append-only
+
+    def test_trace_roundtrip(self, store_factory):
+        store = store_factory()
+        payload = {"trace_id": "abc", "spans": [{"name": "service.job"}]}
+        store.put_trace("job-000009", payload)
+        assert store.get_trace("job-000009") == payload
+        assert store.get_trace("job-missing") is None
+
+    def test_stats_and_prune_keep_newest(self, store_factory):
+        store = store_factory()
+        keys = []
+        for i in range(4):
+            identity = _identity(params={"iterations": 4 + i})
+            keys.append(store.put(identity,
+                                  {"schema_version": 1, "i": i,
+                                   "pad": "x" * 2000}))
+        stats = store.stats()
+        assert stats["reports"] == 4 and stats["bytes"] > 0
+        per_report = stats["bytes"] // 4
+        result = store.prune(max_bytes=per_report * 2 + per_report // 2)
+        assert result["reports"] == 2 and result["removed"] > 0
+        # Newest survive; evicted keys read as misses again.
+        assert store.contains(keys[-1]) and store.contains(keys[-2])
+        assert not store.contains(keys[0]) and not store.contains(keys[1])
+        assert len(store) == 2
+        assert len(store.history()) == 4  # history untouched
