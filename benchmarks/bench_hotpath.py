@@ -7,6 +7,11 @@ against:
 
 * **stages** — a full FFM run on a bench-scale workload: wall seconds
   and traced-events-per-second throughput for each stage;
+* **collection** — the columnar-at-birth recording fast path: a
+  1M-event synthetic traced-call firehose through stages 1–4, gated
+  against per-stage events/sec floors set at 10x the row-at-a-time
+  recorders' committed rates, plus a byte-identity replay of a
+  smaller run through both record engines;
 * **hashing** — stage-3 style repeated-payload hashing: the
   dirty-region digest cache (``HostBuffer.content_digest``) vs
   rehashing the payload every transfer.  Asserts the >= 2x floor the
@@ -65,6 +70,24 @@ HASH_SPEEDUP_FLOOR = 2.0
 #: row-by-row reference engine on the 1M-event workload.
 ANALYSIS_SPEEDUP_FLOOR = 10.0
 
+#: Traced events in the synthetic collection workload (the stage 1–4
+#: recording fast-path bench).
+COLLECTION_EVENTS = 1_000_000
+
+#: Collection-throughput floors (traced events/sec) per stage — 10x
+#: the committed bench-scale baseline rates the row-at-a-time
+#: recorders measured (BENCH_hotpath.json ``stages`` as of the
+#: columnar-at-birth change: 2430 / 2402 / 2041 / 1843 / 2397 ev/s).
+#: The ISSUE's acceptance criterion: the columnar builders must clear
+#: every one of these on the 1M-event run.
+COLLECTION_FLOORS = {
+    "stage1_baseline": 24_300.0,
+    "stage2_tracing": 24_022.0,
+    "stage3_memtrace": 20_414.0,
+    "stage3_hashing": 18_431.0,
+    "stage4_syncuse": 23_973.0,
+}
+
 
 # ----------------------------------------------------------------------
 # Stage throughput: one full bench-scale run, timed per stage
@@ -114,6 +137,139 @@ def bench_stages(workload_name: str = "cumf-als") -> dict:
             }
             for name, wall in walls.items()
         },
+    }
+
+
+# ----------------------------------------------------------------------
+# Collection fast path: columnar-at-birth recording through stages 1–4
+# ----------------------------------------------------------------------
+class _CollectionApp:
+    """A traced-call firehose: ``events`` root events, 64 call sites.
+
+    Mirrors the paper's workload shape at collection scale — bursts of
+    asynchronous pinned-source H2D uploads issued straight at the
+    driver API (a tight ``cuMemcpyHtoDAsync`` loop under one call
+    site, the way a transfer-heavy solver iterates), then a pageable
+    D2H readback whose result the CPU consumes (so stage 3 marks its
+    sync *required* and stage 4 times the first use), then a
+    ``cudaDeviceSynchronize`` drain.  Payloads are tiny: the bench
+    measures the recorders, not the simulated copies.
+    """
+
+    name = "bench-collection"
+
+    #: Traced root events per block: 62 uploads + readback + drain.
+    BLOCK = 64
+
+    def __init__(self, events: int, sites: int = 64) -> None:
+        self.events = events
+        self.sites = sites
+
+    def run(self, ctx) -> None:
+        rt = ctx.cudart
+        elements = 8
+        with ctx.frame("main", "collect.cpp", 10):
+            pinned = rt.cudaMallocHost(elements, label="staging")
+            pinned.write(np.arange(elements, dtype=np.float64))
+            dev = rt.cudaMalloc(elements * 8, label="dev")
+            out = ctx.host_array(elements, label="out")
+        frame = ctx.frame
+        upload = ctx.driver.cuMemcpyHtoDAsync
+        sites = self.sites
+        blocks, tail = divmod(self.events, self.BLOCK)
+        for block in range(blocks):
+            with frame("upload", "collect.cpp", 100 + block % sites):
+                for _ in range(self.BLOCK - 2):
+                    upload(dev, pinned)
+            with frame("readback", "collect.cpp", 2000 + block % sites):
+                rt.cudaMemcpy(out, dev)
+            with frame("consume", "collect.cpp", 3000):
+                out.read()
+            with frame("drain", "collect.cpp", 1000 + block % sites):
+                rt.cudaDeviceSynchronize()
+        if tail:
+            with frame("upload", "collect.cpp", 100 + blocks % sites):
+                for _ in range(tail):
+                    upload(dev, pinned)
+
+
+def _run_collection(n: int, cfg) -> tuple[dict, object]:
+    """Time stages 1–4 on the firehose; returns (walls, report_args)."""
+    from repro.core.diogenes import assemble_report
+    from repro.core.records import Stage3Data
+    from repro.core.stage1_baseline import run_stage1
+    from repro.core.stage2_tracing import run_stage2
+    from repro.core.stage3_memtrace import run_stage3
+    from repro.core.stage4_syncuse import run_stage4
+
+    walls: dict[str, float] = {}
+
+    def timed(name, fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        walls[name] = time.perf_counter() - t0
+        return result
+
+    stage1 = timed("stage1_baseline", run_stage1, _CollectionApp(n), cfg)
+    stage2 = timed("stage2_tracing", run_stage2,
+                   _CollectionApp(n), stage1, cfg)
+    memtrace = timed("stage3_memtrace", run_stage3,
+                     _CollectionApp(n), stage1, cfg, mode="memtrace")
+    hashing = timed("stage3_hashing", run_stage3,
+                    _CollectionApp(n), stage1, cfg, mode="hashing")
+    stage3 = Stage3Data(execution_time=memtrace.execution_time,
+                        sync_uses=memtrace.sync_uses,
+                        transfer_hashes=hashing.transfer_hashes)
+    stage4 = timed("stage4_syncuse", run_stage4,
+                   _CollectionApp(n), stage1, stage3, cfg)
+    report = assemble_report(
+        "bench-collection", stage1, stage2, stage3, stage4,
+        {"stage3_memtrace": memtrace.execution_time,
+         "stage3_hashing": hashing.execution_time}, cfg)
+    return walls, report
+
+
+def bench_collection(n: int = COLLECTION_EVENTS,
+                     identity_n: int = 10_000) -> dict:
+    """The 1M-event collection run, gated against the 10x floors.
+
+    Also replays a smaller run through *both* record engines and
+    asserts the rendered reports are byte-identical — the honesty
+    contract the fast path lives under.
+    """
+    from repro.core.jsonio import dumps_report
+
+    walls, _ = _run_collection(n, DiogenesConfig())
+
+    _, columnar_report = _run_collection(
+        identity_n, DiogenesConfig(record_engine="columnar"))
+    _, rows_report = _run_collection(
+        identity_n, DiogenesConfig(record_engine="rows"))
+    byte_identical = dumps_report(columnar_report) == \
+        dumps_report(rows_report)
+    assert byte_identical, (
+        "columnar and rows record engines rendered different reports "
+        f"on the {identity_n}-event collection workload")
+
+    stages = {}
+    for name, wall in walls.items():
+        rate = n / wall if wall else 0.0
+        floor = COLLECTION_FLOORS[name]
+        assert rate >= floor, (
+            f"collection throughput {rate:,.0f} events/s in {name} is "
+            f"below the {floor:,.0f}/s floor (10x the row-at-a-time "
+            f"baseline)")
+        stages[name] = {
+            "wall_seconds": round(wall, 4),
+            "events_per_second": round(rate, 0),
+            "floor_events_per_second": floor,
+        }
+    return {
+        "events": n,
+        "sites": 64,
+        "identity_events": identity_n,
+        "byte_identical_reports": byte_identical,
+        "stages": stages,
     }
 
 
@@ -400,6 +556,7 @@ def generate() -> dict:
     results = {
         "schema": SCHEMA,
         **bench_stages(),
+        "collection": bench_collection(),
         "hashing": bench_hashing(),
         "interning": bench_interning(),
         "columnar": bench_columnar(),
@@ -420,6 +577,16 @@ def render(results: dict) -> str:
     for name, row in results["stages"].items():
         lines.append(f"  {name:<18} {fmt_s(row['wall_seconds']):>10}  "
                      f"{row['events_per_second']:>12,.0f} events/s")
+    coll = results.get("collection")
+    if coll:
+        lines.append(f"  collection ({coll['events']:,} events, "
+                     f"byte-identical engines: "
+                     f"{coll['byte_identical_reports']}):")
+        for name, row in coll["stages"].items():
+            lines.append(
+                f"    {name:<18} {fmt_s(row['wall_seconds']):>10}  "
+                f"{row['events_per_second']:>12,.0f} events/s "
+                f"(floor {row['floor_events_per_second']:,.0f})")
     h = results["hashing"]
     lines.append(f"  hashing (repeated {h['payload_bytes'] >> 20}MiB x "
                  f"{h['repeats']}): cached {h['cached_mb_per_second']:,.0f} "
@@ -458,6 +625,19 @@ def _regressions(baseline: dict, current: dict,
             problems.append(
                 f"{name}: {after:.4f}s vs baseline {before:.4f}s "
                 f"(+{(after / before - 1) * 100:.0f}%)")
+    for name, row in baseline.get("collection", {}).get("stages",
+                                                        {}).items():
+        now = current.get("collection", {}).get("stages", {}).get(name)
+        if now is None:
+            problems.append(f"collection stage {name} missing from "
+                            f"current run")
+            continue
+        before = row["events_per_second"]
+        after = now["events_per_second"]
+        if before and after < before * (1 - threshold):
+            problems.append(
+                f"collection.{name}: {after:,.0f} events/s vs baseline "
+                f"{before:,.0f} (-{(1 - after / before) * 100:.0f}%)")
     rate_keys = [
         ("hashing", "cached_mb_per_second"),
         ("interning", "interned_keys_per_second"),
@@ -474,6 +654,30 @@ def _regressions(baseline: dict, current: dict,
     return problems
 
 
+def _profile_collection(out_path: str,
+                        n: int = COLLECTION_EVENTS) -> None:
+    """cProfile the columnar 1M-event collection run.
+
+    Writes the top cumulative-time entries as text — the artifact CI
+    attaches to the perf-smoke job so a throughput regression arrives
+    with the profile that explains it.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_collection(n, DiogenesConfig())
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(60)
+    stats.sort_stats("tottime").print_stats(40)
+    pathlib.Path(out_path).write_text(buf.getvalue())
+    print(f"collection profile written to {out_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", default=None, metavar="BASELINE",
@@ -484,7 +688,19 @@ def main(argv: list[str] | None = None) -> int:
                              f"(default: {THRESHOLD})")
     parser.add_argument("--out", default=str(BASELINE_PATH), metavar="PATH",
                         help="baseline path to write (default: repo root)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="cProfile the 1M-event collection run and "
+                             "write pstats text to PATH (CI uploads it "
+                             "as an artifact)")
+    parser.add_argument("--profile-only", action="store_true",
+                        help="with --profile: stop after writing the "
+                             "profile (skip the bench/baseline pass)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        _profile_collection(args.profile)
+        if args.profile_only:
+            return 0
 
     results = generate()
     archive("hotpath", render(results))
@@ -514,6 +730,10 @@ def test_hotpath_floors():
     assert results["hashing"]["speedup"] >= HASH_SPEEDUP_FLOOR
     assert results["columnar"]["size_ratio"] < 1.0
     assert results["analysis"]["speedup"] >= ANALYSIS_SPEEDUP_FLOOR
+    coll = results["collection"]
+    assert coll["byte_identical_reports"]
+    for name, row in coll["stages"].items():
+        assert row["events_per_second"] >= COLLECTION_FLOORS[name], name
     archive("hotpath", render(results))
 
 

@@ -179,6 +179,7 @@ def bench_fleet() -> dict:
 
             byte_identical = 0
             workers_used = set()
+            job_latency = []
             for (name, params, _), final in zip(submitted, finals):
                 assert final["state"] == DONE, final
                 workers_used.add(final["worker"])
@@ -186,6 +187,19 @@ def bench_fleet() -> dict:
                 key = (name, json.dumps(params, sort_keys=True))
                 if json.dumps(fetched, indent=2) == serial[key]:
                     byte_identical += 1
+                # Queue-latency breakdown from the persisted claim
+                # stamp: wait (created -> claimed) is what the adaptive
+                # worker pull controls; run (claimed -> done) is pure
+                # execution + push.
+                if final.get("claimed"):
+                    job_latency.append({
+                        "job": final["id"],
+                        "workload": name,
+                        "queue_wait_seconds":
+                            round(final["claimed"] - final["created"], 4),
+                        "run_seconds":
+                            round(final["updated"] - final["claimed"], 4),
+                    })
 
             # -- throughput phase: duplicate (store-served) storm --
             procs = [
@@ -221,6 +235,10 @@ def bench_fleet() -> dict:
             "byte_identical": byte_identical,
             "serial_wall_seconds": round(serial_wall, 3),
             "fleet_wall_seconds": round(fleet_wall, 3),
+            "job_latency": job_latency,
+            "max_queue_wait_seconds": round(
+                max((j["queue_wait_seconds"] for j in job_latency),
+                    default=0.0), 4),
         },
         "throughput": {
             "backend": "sqlite",
@@ -262,6 +280,9 @@ def render(results: dict) -> str:
         f"{fmt_s(fleet['fleet_wall_seconds'])} "
         f"(serial: {fmt_s(fleet['serial_wall_seconds'])}); "
         f"{fleet['byte_identical']}/{fleet['jobs']} byte-identical",
+        f"  latency: max queue wait "
+        f"{fmt_s(fleet.get('max_queue_wait_seconds', 0.0))} across "
+        f"{len(fleet.get('job_latency', []))} jobs (adaptive pull)",
         f"  storm: {storm['submissions']:,} submissions from "
         f"{storm['submitters']} processes in "
         f"{fmt_s(storm['storm_window_seconds'])} = "

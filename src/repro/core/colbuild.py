@@ -1,0 +1,389 @@
+"""Columnar-at-birth builders for the FFM collection stages.
+
+The four collection stages (:mod:`repro.core.stage1_baseline` …
+``stage4_syncuse``) historically recorded each traced operation as a
+dataclass — a :class:`~repro.core.records.TraceEvent`, a
+:class:`~repro.core.records.SyncUseRecord` — built inside the probe
+callback, on the hot path, once per dynamic event.  At production event
+counts the object churn dominates collection time.
+
+The builders here are the append-only replacements: a traced call
+appends plain ints/floats into preallocated ``array`` columns and
+interned values into small pools, and *nothing else happens per event*.
+Rows are materialized once, at :meth:`finish`, producing the exact
+dataclasses (and therefore the exact report bytes) the row engine
+produces — the builder ↔ dataclass mapping is a bijection, checked
+property-style by ``tests/test_collection_columnar.py``.
+
+Stage 2 is the high-volume case: its builder finishes into an
+:class:`repro.exec.table.EventTable` zero-copy (``np.frombuffer`` over
+the builder's own arrays), so stage 5's columnar analysis core starts
+from the collected columns with no conversion, and the row view only
+exists if someone asks for it (:class:`repro.core.records.LazyRows`).
+
+Pools are keyed by object identity where the values are process-interned
+(stack snapshots — the interner guarantees one object per distinct
+stack) and by value for small string sets (API names, directions).
+
+A builder is frozen by :meth:`finish`/:meth:`table`: the numpy views
+export the arrays' buffers, so a late ``append`` raises ``BufferError``
+instead of silently corrupting the finished table.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+
+def _np(arr: array, dtype) -> np.ndarray:
+    """Zero-copy numpy view of a builder column."""
+    return np.frombuffer(arr, dtype=dtype)
+
+
+def record_engine_of(config) -> str:
+    """The validated collection engine a config selects.
+
+    Configs without the knob (hand-rolled test doubles) default to
+    columnar, same as :class:`repro.core.diogenes.DiogenesConfig`.
+    """
+    engine = getattr(config, "record_engine", "columnar")
+    if engine not in ("columnar", "rows"):
+        raise ValueError(f"unknown record_engine {engine!r}; "
+                         "expected 'columnar' or 'rows'")
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Stage 1 — per-site wait aggregation
+# ----------------------------------------------------------------------
+class Stage1Builder:
+    """Aggregates wait exits per (api name, interned stack) site.
+
+    The row path keys its site dict by ``(api_name, address_key)`` — a
+    string plus an O(depth) tuple.  This builder keys by
+    ``(api_name, stack.address_id())`` — the interner issues exactly one
+    ID per distinct address key, so the partition (and the first-seen
+    insertion order) is identical while each event hashes one int.
+    """
+
+    __slots__ = ("_sites", "sync_functions", "wait_count")
+
+    def __init__(self) -> None:
+        # key -> [api_name, stack, count, total_wait]
+        self._sites: dict[tuple[str, int], list] = {}
+        self.sync_functions: set[str] = set()
+        self.wait_count = 0
+
+    def record_wait(self, api_name: str, stack, wait: float) -> None:
+        self.wait_count += 1
+        self.sync_functions.add(api_name)
+        key = (api_name, stack.address_id())
+        cell = self._sites.get(key)
+        if cell is None:
+            cell = self._sites[key] = [api_name, stack, 0, 0.0]
+        cell[2] += 1
+        cell[3] += wait
+
+    @property
+    def site_count(self) -> int:
+        return len(self._sites)
+
+    def finish_sites(self) -> list:
+        """Materialize :class:`~repro.core.records.SyncSite` rows."""
+        from repro.core.records import SyncSite
+
+        return [
+            SyncSite(api_name=api, stack=stack, count=count, total_wait=wait)
+            for api, stack, count, wait in self._sites.values()
+        ]
+
+
+# ----------------------------------------------------------------------
+# Stage 2 — trace events
+# ----------------------------------------------------------------------
+class Stage2Builder:
+    """Append-only columns for stage-2 trace events.
+
+    :meth:`append` is the per-event hot path: two pool lookups (interned
+    stack by identity, API name by value) plus seven array appends.  The
+    event's ``seq`` is implicit — roots enter and exit strictly in
+    sequence (only one traced root is ever in flight), so append order
+    *is* root-sequence order and ``seq == row index``.
+    """
+
+    __slots__ = ("t_entry", "t_exit", "sync_wait", "nbytes", "occurrence",
+                 "is_sync", "is_transfer", "api_codes", "api_pool",
+                 "_api_index", "stack_codes", "stack_pool", "_stack_index",
+                 "direction_codes", "direction_pool", "_dir_index",
+                 "sync_count", "transfer_count")
+
+    def __init__(self) -> None:
+        self.t_entry = array("d")
+        self.t_exit = array("d")
+        self.sync_wait = array("d")
+        self.nbytes = array("q")
+        self.occurrence = array("q")
+        self.is_sync = array("b")
+        self.is_transfer = array("b")
+        self.api_codes = array("i")
+        self.api_pool: list[str] = []
+        self._api_index: dict[str, int] = {}
+        self.stack_codes = array("i")
+        self.stack_pool: list = []
+        # Keyed by id(): stacks are process-interned, so one object per
+        # distinct stack — and the pool list keeps each alive, so an id
+        # can never be recycled while the builder exists.
+        self._stack_index: dict[int, int] = {}
+        self.direction_codes = array("i")
+        self.direction_pool: list[str] = []
+        self._dir_index: dict[str, int] = {}
+        self.sync_count = 0
+        self.transfer_count = 0
+
+    def __len__(self) -> int:
+        return len(self.t_entry)
+
+    def append(self, stack, occurrence: int, api_name: str,
+               t_entry: float, t_exit: float, meta: dict | None = None) -> None:
+        self.t_entry.append(t_entry)
+        self.t_exit.append(t_exit)
+        self.occurrence.append(occurrence)
+        code = self._stack_index.get(id(stack))
+        if code is None:
+            code = self._stack_index[id(stack)] = len(self.stack_pool)
+            self.stack_pool.append(stack)
+        self.stack_codes.append(code)
+        code = self._api_index.get(api_name)
+        if code is None:
+            code = self._api_index[api_name] = len(self.api_pool)
+            self.api_pool.append(api_name)
+        self.api_codes.append(code)
+        if meta:
+            self.sync_wait.append(meta.get("sync_wait_total", 0.0))
+            is_sync = meta.get("sync_wait_count", 0.0) > 0.0
+            is_transfer = "transfer_nbytes" in meta
+            self.is_sync.append(is_sync)
+            self.is_transfer.append(is_transfer)
+            self.nbytes.append(int(meta.get("transfer_nbytes", 0)))
+            direction = meta.get("transfer_direction", "")
+            if is_sync:
+                self.sync_count += 1
+            if is_transfer:
+                self.transfer_count += 1
+        else:
+            self.sync_wait.append(0.0)
+            self.is_sync.append(False)
+            self.is_transfer.append(False)
+            self.nbytes.append(0)
+            direction = ""
+        code = self._dir_index.get(direction)
+        if code is None:
+            code = self._dir_index[direction] = len(self.direction_pool)
+            self.direction_pool.append(direction)
+        self.direction_codes.append(code)
+
+    def table(self):
+        """The collected events as a zero-copy :class:`EventTable`."""
+        from repro.exec.table import EventTable
+
+        return EventTable.from_columns(
+            t_entry=_np(self.t_entry, np.float64),
+            t_exit=_np(self.t_exit, np.float64),
+            sync_wait=_np(self.sync_wait, np.float64),
+            is_sync=_np(self.is_sync, np.int8),
+            is_transfer=_np(self.is_transfer, np.int8),
+            nbytes=_np(self.nbytes, np.int64),
+            api_codes=_np(self.api_codes, np.int32),
+            api_pool=self.api_pool,
+            stack_codes=_np(self.stack_codes, np.int32),
+            stack_pool=self.stack_pool,
+            occurrence=_np(self.occurrence, np.int64),
+            direction_codes=_np(self.direction_codes, np.int32),
+            direction_pool=self.direction_pool,
+        )
+
+    def finish(self, execution_time: float, instrumentation_intervals=None):
+        """Wrap the columns as :class:`Stage2Data` without building rows.
+
+        The returned data's ``events`` is a :class:`LazyRows` view over
+        the table — byte-identical rows, materialized only on access.
+        """
+        from repro.core.records import LazyRows, Stage2Data
+
+        table = self.table()
+        data = Stage2Data(
+            execution_time=execution_time,
+            events=LazyRows(table.to_events),
+            instrumentation_intervals=list(instrumentation_intervals or []),
+        )
+        object.__setattr__(data, "_table", (data.events, table))
+        return data
+
+
+# ----------------------------------------------------------------------
+# Stage 3 — sync uses + transfer hashes
+# ----------------------------------------------------------------------
+class Stage3Builder:
+    """Columns for stage-3 sync-use and transfer-hash records.
+
+    Sync uses are written in two touches: :meth:`open_sync` appends a
+    not-required row when a synchronization completes, and
+    :meth:`record_access` flips the *open* row's columns in place when a
+    protected access arrives — the same one-open-record-at-a-time
+    protocol the row path keeps in its ``open_sync`` local, so the final
+    row order (open order, trailing open included) is identical.
+
+    Site identity travels as ``(stack, occurrence)`` pairs; the
+    :class:`SiteKey` objects — including the dedup store's first-site
+    back references — are minted once, at :meth:`finish`.
+    """
+
+    __slots__ = ("_su_stacks", "_su_occ", "_su_api", "_su_required",
+                 "_su_file", "_su_line", "_su_addr", "_su_access_stacks",
+                 "_open", "_th_stacks", "_th_occ", "_th_api", "_th_nbytes",
+                 "_th_dir", "_th_digest", "_th_first", "duplicate_count")
+
+    def __init__(self) -> None:
+        self._su_stacks: list = []
+        self._su_occ = array("q")
+        self._su_api: list[str] = []
+        self._su_required = array("b")
+        self._su_file: list[str] = []
+        self._su_line = array("q")
+        self._su_addr = array("q")
+        self._su_access_stacks: list = []
+        self._open: int | None = None
+        self._th_stacks: list = []
+        self._th_occ = array("q")
+        self._th_api: list[str] = []
+        self._th_nbytes = array("q")
+        self._th_dir: list[str] = []
+        self._th_digest: list[str] = []
+        self._th_first: list = []
+        self.duplicate_count = 0
+
+    # --- sync uses -----------------------------------------------------
+    @property
+    def sync_count(self) -> int:
+        return len(self._su_occ)
+
+    def open_sync(self, stack, occurrence: int, api_name: str) -> None:
+        self._open = len(self._su_occ)
+        self._su_stacks.append(stack)
+        self._su_occ.append(occurrence)
+        self._su_api.append(api_name)
+        self._su_required.append(False)
+        self._su_file.append("")
+        self._su_line.append(0)
+        self._su_addr.append(0)
+        self._su_access_stacks.append(None)
+
+    def record_access(self, stack) -> None:
+        i = self._open
+        if i is None or self._su_required[i]:
+            return
+        self._su_required[i] = True
+        leaf = stack.leaf
+        if leaf is not None:
+            self._su_file[i] = leaf.file
+            self._su_line[i] = leaf.line
+            self._su_addr[i] = leaf.address
+        self._su_access_stacks[i] = stack
+
+    # --- transfer hashes -----------------------------------------------
+    @property
+    def hash_count(self) -> int:
+        return len(self._th_occ)
+
+    def add_hash(self, stack, occurrence: int, api_name: str, nbytes: int,
+                 direction: str, digest: str, first) -> None:
+        """``first`` is ``None`` or the original transfer's
+        ``(stack, occurrence)`` pair from the dedup store."""
+        self._th_stacks.append(stack)
+        self._th_occ.append(occurrence)
+        self._th_api.append(api_name)
+        self._th_nbytes.append(nbytes)
+        self._th_dir.append(direction)
+        self._th_digest.append(digest)
+        self._th_first.append(first)
+        if first is not None:
+            self.duplicate_count += 1
+
+    # --- materialization ------------------------------------------------
+    def finish(self, execution_time: float):
+        from repro.core.records import (
+            SiteKey,
+            Stage3Data,
+            SyncUseRecord,
+            TransferHashRecord,
+        )
+
+        sync_uses = [
+            SyncUseRecord(
+                site=SiteKey(stack.address_key(), occ),
+                api_name=api,
+                required=bool(req),
+                access_file=file,
+                access_line=int(line),
+                access_address=int(addr),
+                access_stack=access_stack,
+            )
+            for stack, occ, api, req, file, line, addr, access_stack in zip(
+                self._su_stacks, self._su_occ, self._su_api,
+                self._su_required, self._su_file, self._su_line,
+                self._su_addr, self._su_access_stacks)
+        ]
+        transfer_hashes = [
+            TransferHashRecord(
+                site=SiteKey(stack.address_key(), occ),
+                api_name=api,
+                nbytes=int(nbytes),
+                direction=direction,
+                digest=digest,
+                duplicate=first is not None,
+                first_site=SiteKey(first[0].address_key(), first[1])
+                if first is not None else None,
+            )
+            for stack, occ, api, nbytes, direction, digest, first in zip(
+                self._th_stacks, self._th_occ, self._th_api,
+                self._th_nbytes, self._th_dir, self._th_digest,
+                self._th_first)
+        ]
+        return Stage3Data(execution_time=execution_time,
+                          sync_uses=sync_uses,
+                          transfer_hashes=transfer_hashes)
+
+
+# ----------------------------------------------------------------------
+# Stage 4 — first-use delays
+# ----------------------------------------------------------------------
+class Stage4Builder:
+    """Columns for stage-4 first-use records."""
+
+    __slots__ = ("_stacks", "_occ", "_delay")
+
+    def __init__(self) -> None:
+        self._stacks: list = []
+        self._occ = array("q")
+        self._delay = array("d")
+
+    def __len__(self) -> int:
+        return len(self._occ)
+
+    def add_first_use(self, stack, occurrence: int, delay: float) -> None:
+        self._stacks.append(stack)
+        self._occ.append(occurrence)
+        self._delay.append(delay)
+
+    def finish(self, execution_time: float):
+        from repro.core.records import FirstUseRecord, SiteKey, Stage4Data
+
+        first_uses = [
+            FirstUseRecord(site=SiteKey(stack.address_key(), occ),
+                           first_use_delay=delay)
+            for stack, occ, delay in zip(self._stacks, self._occ, self._delay)
+        ]
+        return Stage4Data(execution_time=execution_time,
+                          first_uses=first_uses)

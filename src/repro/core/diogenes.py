@@ -56,6 +56,13 @@ class DiogenesConfig:
     #: Transfer dedup matching policy ("content" or "content+dst").
     dedup_policy: str = "content"
 
+    #: How the collection stages store traced events: ``"columnar"``
+    #: (append-only column builders, :mod:`repro.core.colbuild`) or
+    #: ``"rows"`` (the legacy per-event dataclass path).  Both engines
+    #: produce byte-identical stage data and reports; columnar is an
+    #: order of magnitude cheaper per event.
+    record_engine: str = "columnar"
+
     #: Required syncs with a first-use delay at least this long are
     #: flagged misplaced.
     misplaced_min_delay: float = 50e-6

@@ -128,6 +128,67 @@ class Stage1Data:
         )
 
 
+class LazyRows(list):
+    """A list whose contents materialize from a thunk on first access.
+
+    The columnar collection engine finishes a run holding columns, not
+    rows; wrapping the row view in ``LazyRows`` keeps every row-path
+    consumer working (``to_json``, filters, tests indexing ``events``)
+    while a purely columnar consumer — stage 5 through
+    :meth:`Stage2Data.table` — never pays for row objects at all.
+
+    Every reading *and* mutating list operation triggers
+    materialization, so the view is indistinguishable from an eager
+    list; :attr:`materialized` lets byte-identity fast paths (e.g.
+    :meth:`Stage2Data.to_wire`) ask whether rows ever existed without
+    creating them.
+    """
+
+    __slots__ = ("_thunk",)
+
+    def __init__(self, thunk) -> None:
+        super().__init__()
+        self._thunk = thunk
+
+    @property
+    def materialized(self) -> bool:
+        return self._thunk is None
+
+    def _materialize(self) -> "LazyRows":
+        thunk = self._thunk
+        if thunk is not None:
+            self._thunk = None
+            super().extend(thunk())
+        return self
+
+    def __repr__(self) -> str:
+        return super(LazyRows, self._materialize()).__repr__()
+
+
+def _lazy_reading(name):
+    def method(self, *args, **kwargs):
+        self._materialize()
+        # A LazyRows operand (e.g. ``lazy_a == lazy_b``) must also
+        # materialize: list's C-level comparisons read the other side's
+        # storage directly, bypassing its lazy hooks.
+        args = tuple(a._materialize() if isinstance(a, LazyRows) else a
+                     for a in args)
+        return getattr(super(LazyRows, self), name)(*args, **kwargs)
+    method.__name__ = name
+    return method
+
+
+for _name in ("__len__", "__iter__", "__getitem__", "__contains__",
+              "__reversed__", "__eq__", "__ne__", "__lt__", "__le__",
+              "__gt__", "__ge__", "__add__", "__mul__", "__rmul__",
+              "count", "index", "copy",
+              "append", "extend", "insert", "remove", "pop", "clear",
+              "sort", "reverse", "__setitem__", "__delitem__",
+              "__iadd__", "__imul__"):
+    setattr(LazyRows, _name, _lazy_reading(_name))
+del _name
+
+
 # ----------------------------------------------------------------------
 # Stage 2
 # ----------------------------------------------------------------------
@@ -243,6 +304,31 @@ class Stage2Data:
         return {
             "execution_time": self.execution_time,
             "events": [e.to_json() for e in self.events],
+            "instrumentation_intervals": [
+                list(iv) for iv in self.instrumentation_intervals
+            ],
+        }
+
+    def to_wire(self) -> dict:
+        """Wire payload, byte-equal to ``encode_tree(self.to_json())``.
+
+        When the events are an unmaterialized :class:`LazyRows` view
+        over a columnar run, the batch is produced natively from the
+        table's columns (:meth:`repro.exec.table.EventTable.to_batch`)
+        — no row dicts, no :class:`TraceEvent` objects.  Materialized
+        or hand-built rows take the exact row encode, so a mutated
+        ``events`` list is always authoritative.
+        """
+        events = self.events
+        if isinstance(events, LazyRows) and not events.materialized:
+            batch = self.table().to_batch()
+        else:
+            from repro.exec.columnar import encode_records
+
+            batch = encode_records([e.to_json() for e in events])
+        return {
+            "execution_time": self.execution_time,
+            "events": batch if batch is not None else [],
             "instrumentation_intervals": [
                 list(iv) for iv in self.instrumentation_intervals
             ],

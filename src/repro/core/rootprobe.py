@@ -13,7 +13,6 @@ every stage that uses it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.records import SiteKey
@@ -30,13 +29,36 @@ DEFAULT_TRANSFER_FUNCTIONS = frozenset({
 })
 
 
-@dataclass
 class RootCall:
-    """One in-flight (or completed) root call with its site identity."""
+    """One in-flight (or completed) root call with its site identity.
 
-    record: CallRecord
-    site: SiteKey
-    seq: int
+    ``site`` materializes its :class:`SiteKey` lazily: the columnar
+    record path identifies the site by ``(record.stack, occurrence)``
+    ints and never builds the key object, while row-path consumers see
+    the same eagerly-usable attribute as before.
+    """
+
+    __slots__ = ("record", "occurrence", "seq", "_site")
+
+    def __init__(self, record: CallRecord, occurrence: int, seq: int,
+                 site: SiteKey | None = None) -> None:
+        self.record = record
+        self.occurrence = occurrence
+        self.seq = seq
+        self._site = site
+
+    @property
+    def site(self) -> SiteKey:
+        site = self._site
+        if site is None:
+            site = self._site = SiteKey(
+                address_key=self.record.stack.address_key(),
+                occurrence=self.occurrence)
+        return site
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RootCall(record={self.record!r}, "
+                f"occurrence={self.occurrence!r}, seq={self.seq!r})")
 
 
 class RootTracker:
@@ -57,7 +79,10 @@ class RootTracker:
         self._depth = 0
         self._root: RootCall | None = None
         self._seq = 0
-        self._occurrences: dict[tuple[int, ...], int] = {}
+        # Occurrences count per interned stack-address id — the same
+        # partition as the address-key tuple (the interner is bijective
+        # per process), but an int dict key instead of an O(depth) hash.
+        self._occurrences: dict[int, int] = {}
         self.on_root_entry: list[Callable[[RootCall], None]] = []
         self.on_root_exit: list[Callable[[RootCall], None]] = []
         self.probe = Probe(
@@ -76,14 +101,11 @@ class RootTracker:
         self._depth += 1
         if self._depth != 1:
             return
-        key = record.stack.address_key()
-        occurrence = self._occurrences.get(key, 0)
-        self._occurrences[key] = occurrence + 1
-        root = RootCall(
-            record=record,
-            site=SiteKey(address_key=key, occurrence=occurrence),
-            seq=self._seq,
-        )
+        occurrences = self._occurrences
+        aid = record.stack.address_id()
+        occurrence = occurrences.get(aid, 0)
+        occurrences[aid] = occurrence + 1
+        root = RootCall(record, occurrence, self._seq)
         self._seq += 1
         self._root = root
         for cb in self.on_root_entry:

@@ -15,6 +15,7 @@ Responsibilities, per the paper:
 from __future__ import annotations
 
 import repro.obs as obs
+from repro.core.colbuild import Stage1Builder, record_engine_of
 from repro.core.records import Stage1Data, SyncSite
 from repro.instr.discovery import DiscoveryEvidence, discover_sync_function
 from repro.instr.probes import CallRecord, Probe
@@ -35,23 +36,39 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
 
     ctx = ExecutionContext.create(config.machine_config)
     dispatch = ctx.driver.dispatch
+    engine = record_engine_of(config)
 
-    sites: dict[tuple[str, tuple[int, ...]], SyncSite] = {}
-    sync_functions: set[str] = set()
+    if engine == "columnar":
+        builder = Stage1Builder()
 
-    def on_wait_exit(record: CallRecord) -> None:
-        root = dispatch.root_record
-        # The funnel can only be reached through some driver entry
-        # point, so a root always exists; its name is the function the
-        # *application* called (runtime, driver, or private symbol).
-        api_name = root.name if root is not None else record.name
-        sync_functions.add(api_name)
-        key = (api_name, record.stack.address_key())
-        site = sites.get(key)
-        if site is None:
-            site = sites[key] = SyncSite(api_name=api_name, stack=record.stack)
-        site.count += 1
-        site.total_wait += record.meta.get("wait_duration", 0.0)
+        def on_wait_exit(record: CallRecord) -> None:
+            root = dispatch.root_record
+            # The funnel can only be reached through some driver entry
+            # point, so a root always exists; its name is the function
+            # the *application* called.
+            api_name = root.name if root is not None else record.name
+            meta = record._meta
+            builder.record_wait(
+                api_name, record.stack,
+                meta.get("wait_duration", 0.0) if meta else 0.0)
+    else:
+        sites: dict[tuple[str, tuple[int, ...]], SyncSite] = {}
+        sync_functions: set[str] = set()
+
+        def on_wait_exit(record: CallRecord) -> None:
+            root = dispatch.root_record
+            # The funnel can only be reached through some driver entry
+            # point, so a root always exists; its name is the function the
+            # *application* called (runtime, driver, or private symbol).
+            api_name = root.name if root is not None else record.name
+            sync_functions.add(api_name)
+            key = (api_name, record.stack.address_key())
+            site = sites.get(key)
+            if site is None:
+                site = sites[key] = SyncSite(api_name=api_name,
+                                             stack=record.stack)
+            site.count += 1
+            site.total_wait += record.meta.get("wait_duration", 0.0)
 
     probe = Probe(
         {wait_symbol},
@@ -74,14 +91,24 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
                 obs.record_probe(probe, stage="stage1_baseline")
                 obs.record_device(ctx.machine.gpu)
                 obs.record_run_overhead("stage1_baseline", ctx.machine)
-        sp.set(sync_sites=len(sites), sync_functions=len(sync_functions))
+        if engine == "columnar":
+            sync_sites = builder.finish_sites()
+            sync_function_names = builder.sync_functions
+            waits = builder.wait_count
+        else:
+            sync_sites = list(sites.values())
+            sync_function_names = sync_functions
+            waits = sum(s.count for s in sync_sites)
+        obs.record_collection("stage1_baseline", waits, engine)
+        sp.set(sync_sites=len(sync_sites),
+               sync_functions=len(sync_function_names))
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage="stage1_baseline")
 
     return Stage1Data(
         execution_time=ctx.elapsed,
         wait_symbol=wait_symbol,
-        sync_sites=list(sites.values()),
-        synchronizing_functions=sorted(sync_functions),
+        sync_sites=sync_sites,
+        synchronizing_functions=sorted(sync_function_names),
         discovery_candidates=list(evidence.candidates),
     )

@@ -10,6 +10,7 @@ the funnel), and the total time in the call.
 from __future__ import annotations
 
 import repro.obs as obs
+from repro.core.colbuild import Stage2Builder, record_engine_of
 from repro.core.records import Stage1Data, Stage2Data, TraceEvent
 from repro.core.rootprobe import DEFAULT_TRANSFER_FUNCTIONS, RootCall, RootTracker
 from repro.instr.probes import Probe
@@ -25,29 +26,42 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
     """Run the detailed tracing stage on a fresh context."""
     ctx = ExecutionContext.create(config.machine_config)
     dispatch = ctx.driver.dispatch
+    engine = record_engine_of(config)
 
-    events: list[TraceEvent] = []
     tracker = RootTracker(
         traced_function_set(stage1),
         probe_overhead=config.tracing_probe_overhead,
     )
 
-    def on_root_exit(root: RootCall) -> None:
-        record = root.record
-        meta = record.meta
-        events.append(TraceEvent(
-            seq=root.seq,
-            api_name=record.name,
-            stack=record.stack,
-            site=root.site,
-            t_entry=record.t_entry,
-            t_exit=record.t_exit,
-            sync_wait=meta.get("sync_wait_total", 0.0),
-            is_sync=meta.get("sync_wait_count", 0.0) > 0.0,
-            is_transfer="transfer_nbytes" in meta,
-            nbytes=int(meta.get("transfer_nbytes", 0)),
-            direction=meta.get("transfer_direction", ""),
-        ))
+    if engine == "columnar":
+        builder = Stage2Builder()
+        append = builder.append
+
+        def on_root_exit(root: RootCall) -> None:
+            # The per-event hot path: ints/floats into columns, no
+            # TraceEvent, no SiteKey, no meta dict forced into being.
+            record = root.record
+            append(record.stack, root.occurrence, record.name,
+                   record.t_entry, record.t_exit, record._meta)
+    else:
+        events: list[TraceEvent] = []
+
+        def on_root_exit(root: RootCall) -> None:
+            record = root.record
+            meta = record.meta
+            events.append(TraceEvent(
+                seq=root.seq,
+                api_name=record.name,
+                stack=record.stack,
+                site=root.site,
+                t_entry=record.t_entry,
+                t_exit=record.t_exit,
+                sync_wait=meta.get("sync_wait_total", 0.0),
+                is_sync=meta.get("sync_wait_count", 0.0) > 0.0,
+                is_transfer="transfer_nbytes" in meta,
+                nbytes=int(meta.get("transfer_nbytes", 0)),
+                direction=meta.get("transfer_direction", ""),
+            ))
 
     tracker.on_root_exit.append(on_root_exit)
     dispatch.attach(tracker.probe)
@@ -91,11 +105,19 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
                 obs.record_probe(funnel_probe, stage="stage2_tracing")
                 obs.record_device(ctx.machine.gpu)
                 obs.record_run_overhead("stage2_tracing", ctx.machine)
-        syncs = sum(1 for e in events if e.is_sync)
-        sp.set(events=len(events), syncs=syncs,
-               transfers=sum(1 for e in events if e.is_transfer))
+        # Counters come from the builder in columnar mode — totalling
+        # through ``events`` would materialize the whole row view.
+        if engine == "columnar":
+            n_events, syncs, transfers = (len(builder), builder.sync_count,
+                                          builder.transfer_count)
+        else:
+            n_events = len(events)
+            syncs = sum(1 for e in events if e.is_sync)
+            transfers = sum(1 for e in events if e.is_transfer)
+        obs.record_collection("stage2_tracing", n_events, engine)
+        sp.set(events=n_events, syncs=syncs, transfers=transfers)
     obs.count("core.syncs_traced", syncs)
-    obs.count("core.events_traced", len(events))
+    obs.count("core.events_traced", n_events)
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage="stage2_tracing")
 
@@ -107,10 +129,10 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
             "functions; stage 1 sync-function list is incomplete"
         )
 
-    instr_intervals = [
-        (iv.start, iv.end)
-        for iv in ctx.machine.timeline.intervals("api")
-        if iv.label in ("instrumentation", "loadstore-instr")
-    ]
+    instr_intervals = ctx.machine.timeline.spans(
+        "api", ("instrumentation", "loadstore-instr"))
+    if engine == "columnar":
+        return builder.finish(execution_time=ctx.elapsed,
+                              instrumentation_intervals=instr_intervals)
     return Stage2Data(execution_time=ctx.elapsed, events=events,
                       instrumentation_intervals=instr_intervals)

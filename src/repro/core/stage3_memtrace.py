@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 
 import repro.obs as obs
+from repro.core.colbuild import Stage3Builder, record_engine_of
 from repro.core.records import (
     SiteKey,
     Stage1Data,
@@ -147,86 +148,131 @@ def run_stage3(workload, stage1: Stage1Data, config,
         overhead_per_access=config.loadstore_overhead,
     )
     dedup = DedupStore(policy=config.dedup_policy)
+    engine = record_engine_of(config)
 
-    sync_uses: list[SyncUseRecord] = []
-    transfer_hashes: list[TransferHashRecord] = []
-    open_sync: SyncUseRecord | None = None
+    def _digest_charged(meta, payload, nbytes: int) -> str:
+        ledger = obs.active_ledger()
+        if ledger is not None:
+            # The one bucket measured directly, not estimated: digest
+            # cost varies with payload size and cache state, so
+            # hits × unit would misstate it.
+            h0 = time.perf_counter()
+            digest = _transfer_digest(meta, payload, nbytes)
+            ledger.charge(stage_name, "hashing",
+                          time.perf_counter() - h0)
+            return digest
+        return _transfer_digest(meta, payload, nbytes)
 
-    # --- transfer hashing + protected-region registration -------------
-    def on_root_exit(root: RootCall) -> None:
-        meta = root.record.meta
-        payload = meta.get("transfer_payload")
-        if payload is not None:
-            nbytes = int(meta["transfer_nbytes"])
-            if do_hashing:
-                machine.cpu_api(nbytes / config.hash_bandwidth,
-                                "instrumentation")
-                ledger = obs.active_ledger()
-                if ledger is not None:
-                    # The one bucket measured directly, not estimated:
-                    # digest cost varies with payload size and cache
-                    # state, so hits × unit would misstate it.
-                    h0 = time.perf_counter()
-                    digest = _transfer_digest(meta, payload, nbytes)
-                    ledger.charge(stage_name, "hashing",
-                                  time.perf_counter() - h0)
-                else:
-                    digest = _transfer_digest(meta, payload, nbytes)
-                first = dedup.check(digest, int(meta["transfer_dst"]),
-                                    root.site)
-                transfer_hashes.append(TransferHashRecord(
-                    site=root.site,
-                    api_name=root.record.name,
-                    nbytes=nbytes,
-                    direction=meta.get("transfer_direction", ""),
-                    digest=digest,
-                    duplicate=first is not None,
-                    first_site=first,
-                ))
-            if do_memtrace and meta.get("transfer_direction") == "d2h":
-                loadstore.regions.add(
-                    int(meta["transfer_dst"]), nbytes,
-                    origin="d2h", site=root.site,
-                )
+    if engine == "columnar":
+        builder = Stage3Builder()
 
-    # --- sync-use bookkeeping ------------------------------------------
-    def on_root_exit_sync(root: RootCall) -> None:
-        nonlocal open_sync
-        if not do_memtrace:
-            return
-        if root.record.meta.get("sync_wait_count", 0.0) > 0.0:
-            if open_sync is not None:
-                sync_uses.append(open_sync)
-            open_sync = SyncUseRecord(site=root.site, api_name=root.record.name)
+        # --- transfer hashing + protected-region registration ---------
+        def on_root_exit(root: RootCall) -> None:
+            record = root.record
+            meta = record._meta
+            if not meta:
+                return
+            payload = meta.get("transfer_payload")
+            if payload is not None:
+                nbytes = int(meta["transfer_nbytes"])
+                if do_hashing:
+                    machine.cpu_api(nbytes / config.hash_bandwidth,
+                                    "instrumentation")
+                    digest = _digest_charged(meta, payload, nbytes)
+                    # Site identity travels as (stack, occurrence);
+                    # SiteKeys mint once, at finish().
+                    first = dedup.check(digest, int(meta["transfer_dst"]),
+                                        (record.stack, root.occurrence))
+                    builder.add_hash(record.stack, root.occurrence,
+                                     record.name, nbytes,
+                                     meta.get("transfer_direction", ""),
+                                     digest, first)
+                if do_memtrace and meta.get("transfer_direction") == "d2h":
+                    loadstore.regions.ensure(
+                        int(meta["transfer_dst"]), nbytes, origin="d2h",
+                    )
+
+        # --- sync-use bookkeeping --------------------------------------
+        def on_root_exit_sync(root: RootCall) -> None:
+            if not do_memtrace:
+                return
+            meta = root.record._meta
+            if meta and meta.get("sync_wait_count", 0.0) > 0.0:
+                builder.open_sync(root.record.stack, root.occurrence,
+                                  root.record.name)
+
+        def on_access(event: AccessEvent, stack: StackTrace,
+                      regions: list[WatchedRegion]) -> None:
+            builder.record_access(stack)
+    else:
+        sync_uses: list[SyncUseRecord] = []
+        transfer_hashes: list[TransferHashRecord] = []
+        open_sync: SyncUseRecord | None = None
+
+        # --- transfer hashing + protected-region registration ---------
+        def on_root_exit(root: RootCall) -> None:
+            meta = root.record.meta
+            payload = meta.get("transfer_payload")
+            if payload is not None:
+                nbytes = int(meta["transfer_nbytes"])
+                if do_hashing:
+                    machine.cpu_api(nbytes / config.hash_bandwidth,
+                                    "instrumentation")
+                    digest = _digest_charged(meta, payload, nbytes)
+                    first = dedup.check(digest, int(meta["transfer_dst"]),
+                                        root.site)
+                    transfer_hashes.append(TransferHashRecord(
+                        site=root.site,
+                        api_name=root.record.name,
+                        nbytes=nbytes,
+                        direction=meta.get("transfer_direction", ""),
+                        digest=digest,
+                        duplicate=first is not None,
+                        first_site=first,
+                    ))
+                if do_memtrace and meta.get("transfer_direction") == "d2h":
+                    loadstore.regions.ensure(
+                        int(meta["transfer_dst"]), nbytes, origin="d2h",
+                    )
+
+        # --- sync-use bookkeeping --------------------------------------
+        def on_root_exit_sync(root: RootCall) -> None:
+            nonlocal open_sync
+            if not do_memtrace:
+                return
+            if root.record.meta.get("sync_wait_count", 0.0) > 0.0:
+                if open_sync is not None:
+                    sync_uses.append(open_sync)
+                open_sync = SyncUseRecord(site=root.site,
+                                          api_name=root.record.name)
+
+        def on_access(event: AccessEvent, stack: StackTrace,
+                      regions: list[WatchedRegion]) -> None:
+            nonlocal open_sync
+            if open_sync is None or open_sync.required:
+                return
+            leaf = stack.leaf
+            open_sync.required = True
+            if leaf is not None:
+                open_sync.access_file = leaf.file
+                open_sync.access_line = leaf.line
+                open_sync.access_address = leaf.address
+            open_sync.access_stack = stack
 
     tracker.on_root_exit.append(on_root_exit)
     tracker.on_root_exit.append(on_root_exit_sync)
-
-    def on_access(event: AccessEvent, stack: StackTrace,
-                  regions: list[WatchedRegion]) -> None:
-        nonlocal open_sync
-        if open_sync is None or open_sync.required:
-            return
-        leaf = stack.leaf
-        open_sync.required = True
-        if leaf is not None:
-            open_sync.access_file = leaf.file
-            open_sync.access_line = leaf.line
-            open_sync.access_address = leaf.address
-        open_sync.access_stack = stack
-
     loadstore.on_access(on_access)
 
     # --- managed allocations create protected regions ------------------
     def on_managed_alloc(record) -> None:
         addr = record.meta.get("managed_host_address")
         if addr is not None:
-            loadstore.regions.add(
+            loadstore.regions.ensure(
                 int(addr), int(record.meta["managed_nbytes"]), origin="managed",
             )
         pinned = record.meta.get("pinned_host_address")
         if pinned is not None:
-            loadstore.regions.add(
+            loadstore.regions.ensure(
                 int(pinned), int(record.meta["pinned_nbytes"]), origin="pinned",
             )
 
@@ -259,12 +305,23 @@ def run_stage3(workload, stage1: Stage1Data, config,
                 obs.record_probe(tracker.probe, stage=stage_name)
                 obs.record_device(machine.gpu)
                 obs.record_run_overhead(stage_name, machine)
-        sp.set(sync_uses=len(sync_uses) + (open_sync is not None),
-               hashes=len(transfer_hashes),
-               duplicates=sum(1 for t in transfer_hashes if t.duplicate))
-    obs.count("core.hashes_computed", len(transfer_hashes))
+        if engine == "columnar":
+            n_sync_uses = builder.sync_count
+            n_hashes = builder.hash_count
+            n_duplicates = builder.duplicate_count
+        else:
+            n_sync_uses = len(sync_uses) + (open_sync is not None)
+            n_hashes = len(transfer_hashes)
+            n_duplicates = sum(1 for t in transfer_hashes if t.duplicate)
+        obs.record_collection(stage_name, n_sync_uses + n_hashes, engine)
+        sp.set(sync_uses=n_sync_uses, hashes=n_hashes,
+               duplicates=n_duplicates)
+    obs.count("core.hashes_computed", n_hashes)
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage=f"stage3_{mode}")
+
+    if engine == "columnar":
+        return builder.finish(execution_time=ctx.elapsed)
 
     if open_sync is not None:
         sync_uses.append(open_sync)

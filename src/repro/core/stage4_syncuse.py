@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import repro.obs as obs
+from repro.core.colbuild import Stage4Builder, record_engine_of
 from repro.core.records import (
     FirstUseRecord,
     SiteKey,
@@ -66,14 +67,18 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
         overhead_per_access=config.loadstore_overhead,
     )
 
-    first_uses: list[FirstUseRecord] = []
+    engine = record_engine_of(config)
+    if engine == "columnar":
+        builder = Stage4Builder()
+    else:
+        first_uses: list[FirstUseRecord] = []
     pending: _PendingSync | None = None
 
     # Protected regions re-registered the same way stage 3 did.
     def on_root_exit(root) -> None:
         meta = root.record.meta
         if meta.get("transfer_direction") == "d2h":
-            loadstore.regions.add(
+            loadstore.regions.ensure(
                 int(meta["transfer_dst"]), int(meta["transfer_nbytes"]),
                 origin="d2h",
             )
@@ -83,12 +88,12 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
     def on_managed_alloc(record) -> None:
         addr = record.meta.get("managed_host_address")
         if addr is not None:
-            loadstore.regions.add(
+            loadstore.regions.ensure(
                 int(addr), int(record.meta["managed_nbytes"]), origin="managed",
             )
         pinned = record.meta.get("pinned_host_address")
         if pinned is not None:
-            loadstore.regions.add(
+            loadstore.regions.ensure(
                 int(pinned), int(record.meta["pinned_nbytes"]), origin="pinned",
             )
 
@@ -100,33 +105,56 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
 
     # The funnel probe timestamps each synchronization's *end* and
     # attributes it to the in-flight traced root.
-    def on_wait_exit(record) -> None:
-        nonlocal pending
-        root = tracker.current_root
-        if root is None:  # pragma: no cover - stage 2 would have failed
-            return
-        pending = _PendingSync(site=root.site,
-                               end_time=ctx.machine.clock.now)
+    if engine == "columnar":
+        # Pending sync as [stack, occurrence, end_time, resolved]: site
+        # identity stays two ints + an interned object until finish().
+        def on_wait_exit(record) -> None:
+            nonlocal pending
+            root = tracker.current_root
+            if root is None:  # pragma: no cover - stage 2 would have failed
+                return
+            pending = [root.record.stack, root.occurrence,
+                       ctx.machine.clock.now, False]
+
+        def on_access(event: AccessEvent, stack: StackTrace,
+                      regions: list[WatchedRegion]) -> None:
+            if pending is None or pending[3]:
+                return
+            leaf = stack.leaf
+            if leaf is None or leaf.address not in target_instructions:
+                return
+            pending[3] = True
+            builder.add_first_use(
+                pending[0], pending[1],
+                max(0.0, event.time - pending[2]))
+    else:
+        def on_wait_exit(record) -> None:
+            nonlocal pending
+            root = tracker.current_root
+            if root is None:  # pragma: no cover - stage 2 would have failed
+                return
+            pending = _PendingSync(site=root.site,
+                                   end_time=ctx.machine.clock.now)
+
+        def on_access(event: AccessEvent, stack: StackTrace,
+                      regions: list[WatchedRegion]) -> None:
+            nonlocal pending
+            if pending is None or pending.resolved:
+                return
+            leaf = stack.leaf
+            if leaf is None or leaf.address not in target_instructions:
+                return
+            pending.resolved = True
+            first_uses.append(FirstUseRecord(
+                site=pending.site,
+                first_use_delay=max(0.0, event.time - pending.end_time),
+            ))
 
     funnel_probe = Probe(
         {stage1.wait_symbol}, exit=on_wait_exit,
         label="stage4-funnel",
         overhead_per_hit=config.syncuse_probe_overhead,
     )
-
-    def on_access(event: AccessEvent, stack: StackTrace,
-                  regions: list[WatchedRegion]) -> None:
-        nonlocal pending
-        if pending is None or pending.resolved:
-            return
-        leaf = stack.leaf
-        if leaf is None or leaf.address not in target_instructions:
-            return
-        pending.resolved = True
-        first_uses.append(FirstUseRecord(
-            site=pending.site,
-            first_use_delay=max(0.0, event.time - pending.end_time),
-        ))
 
     loadstore.on_access(on_access)
 
@@ -151,9 +179,13 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
                     obs.record_probe(probe, stage="stage4_syncuse")
                 obs.record_device(ctx.machine.gpu)
                 obs.record_run_overhead("stage4_syncuse", ctx.machine)
-        sp.set(first_uses=len(first_uses),
+        n_first_uses = len(builder) if engine == "columnar" else len(first_uses)
+        obs.record_collection("stage4_syncuse", n_first_uses, engine)
+        sp.set(first_uses=n_first_uses,
                target_instructions=len(target_instructions))
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage="stage4_syncuse")
 
+    if engine == "columnar":
+        return builder.finish(execution_time=ctx.elapsed)
     return Stage4Data(execution_time=ctx.elapsed, first_uses=first_uses)

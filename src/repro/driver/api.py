@@ -51,6 +51,11 @@ INTERNAL_WAIT_SYMBOL = "__int_wait_on_cc"
 INTERNAL_ENQUEUE_SYMBOL = "__int_queue_submit"
 INTERNAL_TRACK_SYMBOL = "__int_vm_track"
 
+#: Copy-op kind → wire direction string (hot: one lookup per transfer).
+_COPY_DIRECTION = {
+    OpKind.COPY_H2D: "h2d", OpKind.COPY_D2H: "d2h", OpKind.COPY_D2D: "d2d",
+}
+
 
 class CudaEvent:
     """A CUDA event: a marker in a stream's timeline.
@@ -316,9 +321,7 @@ class CudaDriver:
     # Memory transfers
     # ------------------------------------------------------------------
     def _copy_op(self, kind: OpKind, nbytes: int, stream: int, api: str) -> DeviceOp:
-        direction = {
-            OpKind.COPY_H2D: "h2d", OpKind.COPY_D2H: "d2h", OpKind.COPY_D2D: "d2d",
-        }[kind]
+        direction = _COPY_DIRECTION[kind]
         return DeviceOp(
             kind=kind,
             duration=self.costs.copy_duration(nbytes, direction),

@@ -34,6 +34,27 @@ class Dispatcher:
         #: its layer.  Discovery enumerates this like a binary's symtab.
         self.symbols: dict[str, str] = {}
         self.dispatch_count = 0
+        # Probe index, rebuilt on attach/detach (rare) so call() (hot)
+        # resolves matches with one dict lookup.  Wildcard or
+        # layer-restricted probes force the exact full scan — the index
+        # is a fast path, never a behaviour change.
+        self._by_name: dict[str, list[Probe]] = {}
+        self._scan_all = False
+
+    def _reindex(self) -> None:
+        by_name: dict[str, list[Probe]] = {}
+        scan_all = False
+        for probe in self._probes:
+            if probe.names is None or probe.layers is not None:
+                # Attach-order interleaving with named probes cannot be
+                # reproduced from a per-name index alone; fall back to
+                # the scan whenever any such probe is attached.
+                scan_all = True
+                continue
+            for name in probe.names:
+                by_name.setdefault(name, []).append(probe)
+        self._by_name = by_name
+        self._scan_all = scan_all
 
     # ------------------------------------------------------------------
     # Symbol registry
@@ -54,6 +75,7 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def attach(self, probe: Probe) -> Probe:
         self._probes.append(probe)
+        self._reindex()
         return probe
 
     def detach(self, probe: Probe) -> None:
@@ -61,9 +83,11 @@ class Dispatcher:
             self._probes.remove(probe)
         except ValueError:
             raise KeyError(f"{probe!r} is not attached") from None
+        self._reindex()
 
     def detach_all(self) -> None:
         self._probes.clear()
+        self._reindex()
 
     @property
     def probe_count(self) -> int:
@@ -115,33 +139,47 @@ class Dispatcher:
         if name not in self.symbols:
             raise KeyError(f"call to unregistered symbol {name!r}")
         self.dispatch_count += 1
-        matched = [p for p in self._probes if p.matches(name, layer)]
+        if self._scan_all:
+            matched = [p for p in self._probes if p.matches(name, layer)]
+        else:
+            # Per-name lists are built in attach order, so the result
+            # (and thus charge/callback order) equals the full scan's.
+            matched = self._by_name.get(name, ())
 
-        parent = self._frames[-1].name if self._frames else None
+        frames = self._frames
         record = CallRecord(
-            name=name,
-            layer=layer,
-            t_entry=0.0,  # set below, after entry-probe overhead
-            depth=len(self._frames),
-            stack=self.stacks.current(),
-            parent=parent,
+            name,
+            layer,
+            0.0,  # t_entry set below, after entry-probe overhead
+            len(frames),
+            self.stacks.current(),
+            frames[-1].name if frames else None,
         )
-        self._frames.append(record)
+        frames.append(record)
+        clock = self.machine.clock
         try:
+            if not matched:
+                # No-hook fast path: nothing to fire, nothing to charge.
+                record.t_entry = clock.now
+                result = impl()
+                record.t_exit = clock.now
+                return result
             for probe in matched:
                 self._charge(probe.overhead_per_hit)
-            record.t_entry = self.machine.clock.now
+            record.t_entry = clock.now
             for probe in matched:
                 extra = probe.fire_entry(record)
-                self._charge(extra)
+                if extra is not None:
+                    self._charge(extra)
             result = impl()
-            record.t_exit = self.machine.clock.now
+            record.t_exit = clock.now
             for probe in matched:
                 extra = probe.fire_exit(record)
-                self._charge(extra)
+                if extra is not None:
+                    self._charge(extra)
             return result
         finally:
-            popped = self._frames.pop()
+            popped = frames.pop()
             if popped is not record:  # pragma: no cover - defensive
                 raise RuntimeError("dispatch frame stack corrupted")
 

@@ -156,6 +156,20 @@ def _run_stage(job: StageJob, workload, config):
     return run_stage4(workload, stage1, stage3, config)
 
 
+def stage_wire(data) -> dict:
+    """The wire/cache payload of a stage-data object.
+
+    Equals ``encode_tree(data.to_json())`` byte for byte, but lets
+    stage data that was born columnar (:meth:`Stage2Data.to_wire`)
+    emit the batch straight from its columns — the high-volume stage-2
+    payload never materializes row dicts just to re-encode them.
+    """
+    to_wire = getattr(data, "to_wire", None)
+    if to_wire is not None:
+        return to_wire()
+    return encode_tree(data.to_json())
+
+
 def execute_job(job: StageJob) -> JobResult:
     """Run one stage job and return its JSON result.
 
@@ -174,7 +188,7 @@ def execute_job(job: StageJob) -> JobResult:
     t0 = time.perf_counter()
     workload = job.workload.create()
     config = config_from_json(job.config)
-    data = encode_tree(_run_stage(job, workload, config).to_json())
+    data = stage_wire(_run_stage(job, workload, config))
     return JobResult(
         stage=job.stage,
         workload=job.workload.name,
@@ -210,7 +224,7 @@ def _execute_traced(job: StageJob) -> JobResult:
                          workload=job.workload.name, pid=os.getpid()):
             workload = job.workload.create()
             config = config_from_json(job.config)
-            data = encode_tree(_run_stage(job, workload, config).to_json())
+            data = stage_wire(_run_stage(job, workload, config))
     bundle.ledger.charge_tracing(job.stage, len(tracer.spans))
     return JobResult(
         stage=job.stage,

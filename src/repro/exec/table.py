@@ -363,13 +363,87 @@ class EventTable:
             for i in range(len(self))
         ]
 
+    def _pool_column(self, rows_for, codes: np.ndarray,
+                     pool_size: int) -> dict:
+        """Dictionary-encode a pooled column exactly like the row codec.
+
+        ``encode_records`` pools by first-seen order of the rows'
+        canonical JSON; here the distinct values already live in a pool,
+        so only the (few) *used* pool entries are serialized — in first
+        appearance order — and the per-event codes are remapped with
+        one vectorized gather.  Canonical-text dedupe still runs over
+        the used entries, so a pool that happens to hold equal values
+        under different codes collapses exactly as the row path would.
+        """
+        from repro.exec.columnar import _canonical
+
+        uniq, first = np.unique(codes, return_index=True)
+        order = np.argsort(first, kind="stable")
+        pool_rows: list = []
+        index: dict[str, int] = {}
+        remap = np.empty(pool_size, dtype=np.int64)
+        for old_code in uniq[order]:
+            row = rows_for(int(old_code))
+            key = _canonical(row)
+            new_code = index.get(key)
+            if new_code is None:
+                new_code = index[key] = len(pool_rows)
+                pool_rows.append(row)
+            remap[old_code] = new_code
+        return {"dict": pool_rows, "codes": remap[codes].tolist()}
+
+    def _site_column(self) -> dict:
+        """Dictionary-encoded site column keyed on packed site identity.
+
+        Packed identity ``(address_id << 32) | occurrence`` is bijective
+        with the site's JSON (the interner maps address keys to IDs
+        1:1), so pooling on the int column equals pooling on canonical
+        text — with the pool representative taken from each identity's
+        first event.
+        """
+        packed = self.packed_sites()
+        uniq, first = np.unique(packed, return_index=True)
+        order = np.argsort(first, kind="stable")
+        pool_rows = [self.site_at(int(first[o])).to_json() for o in order]
+        position = np.empty(len(uniq), dtype=np.int64)
+        position[order] = np.arange(len(uniq))
+        codes = position[np.searchsorted(uniq, packed)]
+        return {"dict": pool_rows, "codes": codes.tolist()}
+
     def to_batch(self) -> dict | None:
         """The wire-format columnar batch of this table's events.
 
-        Defined as ``encode_records`` over the row view, so the bytes
-        are identical to what the executor would have produced — the
-        wire format stays a pure function of the rows.
+        Produced natively from the columns — no row dicts, no
+        :class:`TraceEvent` objects — but byte-identical to
+        ``encode_records([e.to_json() for e in self.to_events()])``:
+        scalar columns ship their plain-Python ``tolist()`` values, and
+        the composite stack/site columns dictionary-encode through the
+        pools (the wire format stays a pure function of the rows).
         """
-        from repro.exec.columnar import encode_records
+        from repro.core.records import frames_to_json
+        from repro.exec.columnar import FORMAT_VERSION, MARKER
 
-        return encode_records([e.to_json() for e in self.to_events()])
+        if not len(self):
+            return None
+        api_codes = self.api_codes.tolist()
+        dir_codes = self.direction_codes.tolist()
+        columns = [
+            {"values": self.seq.tolist()},
+            {"values": [self.api_pool[c] for c in api_codes]},
+            self._pool_column(
+                lambda c: frames_to_json(self.stack_pool[c]),
+                self.stack_codes, len(self.stack_pool)),
+            self._site_column(),
+            {"values": self.t_entry.tolist()},
+            {"values": self.t_exit.tolist()},
+            {"values": self.sync_wait.tolist()},
+            {"values": self.is_sync.tolist()},
+            {"values": self.is_transfer.tolist()},
+            {"values": self.nbytes.tolist()},
+            {"values": [self.direction_pool[c] for c in dir_codes]},
+        ]
+        return {MARKER: FORMAT_VERSION,
+                "keys": ["seq", "api_name", "stack", "site", "t_entry",
+                         "t_exit", "sync_wait", "is_sync", "is_transfer",
+                         "nbytes", "direction"],
+                "count": len(self), "columns": columns}

@@ -54,15 +54,20 @@ def default_worker_id() -> str:
 class WorkerNode:
     """One fleet worker process attached to a coordinator URL."""
 
+    #: First empty-pull backoff (seconds); doubles per consecutive
+    #: empty pull up to ``poll_interval``.
+    MIN_POLL_INTERVAL = 0.01
+
     def __init__(self, coordinator_url: str, *, worker_id: str | None = None,
                  jobs: int = 1, cache_dir: str | os.PathLike | None = None,
                  use_cache: bool = True, poll_interval: float = 0.2,
-                 on_event=None) -> None:
+                 reset_intern_tables: bool = True, on_event=None) -> None:
         self.worker_id = worker_id or default_worker_id()
         self.client = ServiceClient(coordinator_url)
         self.executor = StageExecutor(jobs=jobs, cache_dir=cache_dir,
                                       use_cache=use_cache)
         self.poll_interval = poll_interval
+        self.reset_intern_tables = reset_intern_tables
         #: Lease duration, learned from the coordinator at register time.
         self.lease_seconds: float = 30.0
         self.jobs_completed = 0
@@ -98,6 +103,11 @@ class WorkerNode:
         """
         self.register()
         executed = 0
+        # Adaptive pull pacing: while the queue keeps yielding jobs the
+        # worker re-pulls immediately (job latency stops including a
+        # fixed sleep); only an *empty* pull starts a backoff, from
+        # MIN_POLL_INTERVAL doubling to the configured poll_interval.
+        idle_wait = self.MIN_POLL_INTERVAL
         try:
             while not self._stop.is_set():
                 if max_jobs is not None and executed >= max_jobs:
@@ -110,16 +120,40 @@ class WorkerNode:
                         break
                     continue
                 if job is None:
-                    if self._stop.wait(self.poll_interval):
+                    if self._stop.wait(min(idle_wait, self.poll_interval)):
                         break
+                    idle_wait = min(idle_wait * 2, self.poll_interval)
                     continue
+                idle_wait = self.MIN_POLL_INTERVAL
                 self.process(job)
                 executed += 1
+                if self.reset_intern_tables:
+                    self._reset_intern_tables()
         finally:
             self.executor.shutdown()
             self._on_event("worker.stopped", worker=self.worker_id,
                            executed=executed)
         return executed
+
+    def _reset_intern_tables(self) -> None:
+        """Drop the process-wide intern tables between jobs.
+
+        The stack interner, frame cache, and symbol caches grow with
+        every distinct key ever seen; a long-lived worker crossing many
+        workloads would otherwise grow them without bound.  Between
+        jobs is the one quiescent point where the reset is safe: the
+        finished job's report has been serialized and pushed, so no
+        live consumer still holds interned objects whose identity
+        matters.  Table sizes are published as gauges before and after
+        so ``/metrics`` can show both growth and reclamation.
+        """
+        from repro.instr.stacks import reset_intern_tables
+
+        obs.record_intern_tables()
+        sizes = reset_intern_tables()
+        obs.record_intern_tables()
+        self._on_event("worker.intern_tables_reset", worker=self.worker_id,
+                       **sizes)
 
     # ------------------------------------------------------------------
     def process(self, job: dict) -> bool:

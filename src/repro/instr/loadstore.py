@@ -13,6 +13,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.hostmem.accesshooks import AccessEvent
 from repro.instr.stacks import CallStackTracker, StackTrace
 
@@ -33,16 +35,34 @@ class WatchedRegion:
         return address < self.end and self.start < address + size
 
 
+#: Below this region count, the plain Python candidate scan beats the
+#: numpy index (array dispatch overhead dominates tiny sets).
+_VECTOR_THRESHOLD = 16
+
+
 class RegionSet:
     """Sorted set of watched regions with overlap queries.
 
     Regions may overlap each other (a whole-buffer region plus a
     sub-range from a partial transfer); queries return every match.
+
+    Queries against large sets go through a vectorized interval index:
+    start- and end-sorted endpoint arrays, rebuilt lazily after
+    mutations, answer "any overlap?" with two ``searchsorted`` probes
+    (overlap count = #(start < access end) − #(end ≤ access start);
+    the two excluded sets are disjoint because every region has
+    ``end > start``).  Only on a hit does a mask materialize the
+    matching regions, in the same start-sorted order as the scan.
     """
 
     def __init__(self) -> None:
         self._starts: list[int] = []
         self._regions: list[WatchedRegion] = []
+        self._index_dirty = True
+        self._starts_arr: np.ndarray | None = None
+        self._ends_arr: np.ndarray | None = None
+        self._ends_sorted: np.ndarray | None = None
+        self._ensured: set = set()
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -54,7 +74,25 @@ class RegionSet:
         idx = bisect.bisect_left(self._starts, start)
         self._starts.insert(idx, start)
         self._regions.insert(idx, region)
+        self._index_dirty = True
         return region
+
+    def ensure(self, start: int, size: int, **meta: Any) -> WatchedRegion | None:
+        """Watch ``[start, start+size)`` unless an identical watch exists.
+
+        Collection drivers re-watch the same transfer destination on
+        every root event; a long trace would otherwise grow (and keep
+        rebuilding) the interval index linearly with trace length.
+        Watching a span twice with the same metadata observes nothing
+        new, so the duplicate is skipped — matching behaviour, O(1)
+        instead of an index rebuild.  Returns the region, or ``None``
+        when the identical watch was already present.
+        """
+        key = (start, size, tuple(sorted(meta.items())))
+        if key in self._ensured:
+            return None
+        self._ensured.add(key)
+        return self.add(start, size, **meta)
 
     def remove(self, region: WatchedRegion) -> None:
         idx = bisect.bisect_left(self._starts, region.start)
@@ -62,9 +100,21 @@ class RegionSet:
             if self._regions[idx] is region:
                 del self._starts[idx]
                 del self._regions[idx]
+                self._index_dirty = True
+                self._forget_ensured(region)
                 return
             idx += 1
         raise KeyError(f"region {region!r} not present")
+
+    def _forget_ensured(self, region: WatchedRegion) -> None:
+        if not self._ensured:
+            return
+        try:
+            key = (region.start, region.size,
+                   tuple(sorted(region.meta.items())))
+        except TypeError:  # unhashable metadata: never ensure()d
+            return
+        self._ensured.discard(key)
 
     def drop_range(self, start: int, size: int) -> int:
         """Remove every region fully contained in ``[start, start+size)``.
@@ -77,15 +127,37 @@ class RegionSet:
             self.remove(victim)
         return len(victims)
 
+    def _rebuild_index(self) -> None:
+        self._starts_arr = np.fromiter(
+            self._starts, dtype=np.int64, count=len(self._starts))
+        self._ends_arr = self._starts_arr + np.fromiter(
+            (r.size for r in self._regions), dtype=np.int64,
+            count=len(self._regions))
+        self._ends_sorted = np.sort(self._ends_arr)
+        self._index_dirty = False
+
     def matches(self, address: int, size: int) -> list[WatchedRegion]:
         """Every region overlapping ``[address, address + size)``."""
-        # Candidates start before the access ends; scan left from there.
-        # Regions are bounded in size, but we do not know the bound, so
-        # scan all regions starting at or before the access end.  In
-        # practice region counts are modest (one per live GPU-writable
-        # buffer) and accesses are hot, so keep the constant small.
-        hi = bisect.bisect_right(self._starts, address + size - 1)
-        return [r for r in self._regions[:hi] if r.overlaps(address, size)]
+        n = len(self._regions)
+        if n < _VECTOR_THRESHOLD:
+            # Candidates start before the access ends; scan them all —
+            # for small sets the scan's constant beats array dispatch.
+            hi = bisect.bisect_right(self._starts, address + size - 1)
+            return [r for r in self._regions[:hi]
+                    if r.overlaps(address, size)]
+        if self._index_dirty:
+            self._rebuild_index()
+        end = address + size
+        hi = int(np.searchsorted(self._starts_arr, end, side="left"))
+        if hi == 0:
+            return []
+        passed = int(np.searchsorted(self._ends_sorted, address,
+                                     side="right"))
+        if hi - passed <= 0:
+            return []
+        candidates = np.flatnonzero(self._ends_arr[:hi] > address)
+        regions = self._regions
+        return [regions[i] for i in candidates]
 
     def regions(self) -> list[WatchedRegion]:
         return list(self._regions)

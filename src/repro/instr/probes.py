@@ -10,17 +10,25 @@ and implementation-published metadata filled in).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.instr.stacks import StackTrace
 
 _record_ids = itertools.count(1)
 
+#: Shared read-only empty mapping returned by :attr:`CallRecord.meta_view`
+#: for records nothing ever published to.  By convention never mutated.
+_NO_META: dict = {}
 
-@dataclass
+
 class CallRecord:
     """One dynamic call through the interceptable dispatch layer.
+
+    A ``__slots__`` class rather than a dataclass: one is built per
+    dispatched call, making construction the single hottest allocation
+    in the collection stages.  The ``meta`` dict and ``record_id`` are
+    materialized lazily — most dispatched calls publish nothing and are
+    never asked for an id.
 
     Attributes
     ----------
@@ -47,21 +55,60 @@ class CallRecord:
         addresses, ``synchronized`` ...
     """
 
-    name: str
-    layer: str
-    t_entry: float
-    depth: int
-    stack: StackTrace
-    parent: str | None = None
-    t_exit: float | None = None
-    meta: dict[str, Any] = field(default_factory=dict)
-    record_id: int = field(default_factory=lambda: next(_record_ids))
+    __slots__ = ("name", "layer", "t_entry", "depth", "stack", "parent",
+                 "t_exit", "_meta", "_record_id")
+
+    def __init__(self, name: str, layer: str, t_entry: float, depth: int,
+                 stack: StackTrace, parent: str | None = None,
+                 t_exit: float | None = None,
+                 meta: dict[str, Any] | None = None,
+                 record_id: int | None = None) -> None:
+        self.name = name
+        self.layer = layer
+        self.t_entry = t_entry
+        self.depth = depth
+        self.stack = stack
+        self.parent = parent
+        self.t_exit = t_exit
+        self._meta = meta
+        self._record_id = record_id
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
+
+    @property
+    def meta_view(self) -> dict[str, Any]:
+        """Read-only view of the published facts.
+
+        Unlike :attr:`meta` this never materializes the dict — the
+        columnar record path reads many records that published nothing,
+        and allocating an empty dict per event would undo the point of
+        the lazy slot.
+        """
+        m = self._meta
+        return m if m is not None else _NO_META
+
+    @property
+    def record_id(self) -> int:
+        rid = self._record_id
+        if rid is None:
+            rid = self._record_id = next(_record_ids)
+        return rid
 
     @property
     def duration(self) -> float:
         if self.t_exit is None:
             raise RuntimeError(f"call {self.name!r} still in flight")
         return self.t_exit - self.t_entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CallRecord(name={self.name!r}, layer={self.layer!r}, "
+                f"t_entry={self.t_entry!r}, t_exit={self.t_exit!r}, "
+                f"depth={self.depth!r}, parent={self.parent!r})")
 
 
 EntryCallback = Callable[[CallRecord], None]

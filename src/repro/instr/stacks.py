@@ -223,6 +223,12 @@ class CallStackTracker:
 
     def __init__(self) -> None:
         self._frames: list[Frame] = []
+        #: Bumped on every push/pop/clear.  :meth:`current` memoizes its
+        #: snapshot against this counter, so the many dispatches nested
+        #: under one application frame share a single interner lookup.
+        self.generation = 0
+        self._snap_generation = -1
+        self._snapshot: StackTrace | None = None
 
     @property
     def depth(self) -> int:
@@ -232,11 +238,13 @@ class CallStackTracker:
     def frame(self, function: str, file: str, line: int):
         f = intern_frame(function, file, line)
         self._frames.append(f)
+        self.generation += 1
         try:
             yield f
         finally:
             if self._frames:
                 popped = self._frames.pop()
+                self.generation += 1
                 if popped is not f:  # pragma: no cover - defensive
                     raise RuntimeError(
                         "call stack tracker corrupted (mismatched pop)")
@@ -249,8 +257,57 @@ class CallStackTracker:
         Snapshots are interned: while the stack is unchanged, repeated
         snapshots return the *same* :class:`StackTrace` object, whose
         derived keys and IDs are computed at most once per process.
+        The interner lookup itself is memoized per frame generation —
+        an unchanged stack costs one integer comparison, not a tuple
+        build + hash.
         """
-        return _INTERNER.stack(tuple(self._frames))
+        if self._snap_generation != self.generation:
+            self._snapshot = _INTERNER.stack(tuple(self._frames))
+            self._snap_generation = self.generation
+        return self._snapshot
 
     def clear(self) -> None:
         self._frames.clear()
+        self.generation += 1
+
+
+# ----------------------------------------------------------------------
+# Intern-table bounding
+# ----------------------------------------------------------------------
+def intern_table_sizes() -> dict[str, int]:
+    """Current entry counts of every process-wide intern/cache table.
+
+    The fleet daemon exposes these as ``instr.intern_table_size``
+    gauges on ``/metrics``; worker nodes read them before each per-job
+    reset so growth between jobs stays observable.
+    """
+    return {
+        "frames": intern_frame.cache_info().currsize,
+        "snapshots": len(_INTERNER._snapshots),
+        "address_keys": len(_INTERNER._address_ids),
+        "function_keys": len(_INTERNER._function_ids),
+        "instruction_addresses": instruction_address.cache_info().currsize,
+        "demangled_names": demangle_base_name.cache_info().currsize,
+    }
+
+
+def reset_intern_tables() -> dict[str, int]:
+    """Drop all process-wide intern state; returns the sizes it freed.
+
+    The intern tables grow monotonically with every distinct call site
+    a process ever sees — fine for one tool run, unbounded for a
+    long-lived worker chewing through unrelated jobs.  The fleet worker
+    loop calls this between jobs.
+
+    Only safe at a quiescent point: live :class:`StackTrace` objects
+    captured *before* the reset keep their cached ``_address_id``,
+    which may collide with ids issued after — so callers must drop
+    every reference to prior stage data first (the worker loop resets
+    only after the job's report has been serialized and pushed).
+    """
+    sizes = intern_table_sizes()
+    _INTERNER.clear()
+    intern_frame.cache_clear()
+    instruction_address.cache_clear()
+    demangle_base_name.cache_clear()
+    return sizes

@@ -77,7 +77,9 @@ __all__ = [
     "gauge",
     "is_enabled",
     "observe",
+    "record_collection",
     "record_device",
+    "record_intern_tables",
     "record_probe",
     "span",
 ]
@@ -265,6 +267,37 @@ def record_probe(probe, stage: str | None = None) -> None:
         o.metrics.counter("instr.probe_hits", probe=probe.label).inc(delta)
         if stage is not None:
             o.ledger.charge_probe_hits(stage, delta)
+
+
+def record_collection(stage: str, events: int,
+                      engine: str = "columnar") -> None:
+    """Charge ``events`` stored records to the ledger's ``record`` bucket.
+
+    Stage drivers call this once at run end with the number of records
+    the run stored and which engine stored them; the ledger prices each
+    event at the engine's calibrated unit cost (a dataclass build for
+    ``"rows"``, a column append for ``"columnar"``).  No-op when off.
+    """
+    o = active()
+    if o is not None:
+        o.ledger.charge_record(stage, events, engine)
+
+
+def record_intern_tables() -> None:
+    """Publish the process-wide intern-table sizes as gauges.
+
+    The interner, frame cache, and symbol caches grow monotonically
+    with distinct keys seen; these gauges (``instr.intern_entries``,
+    labelled by table) let a long-lived worker alert on unbounded
+    growth and verify that per-job resets actually shrink the tables.
+    No-op when off.
+    """
+    o = active()
+    if o is None:
+        return
+    from repro.instr.stacks import intern_table_sizes
+    for table, size in intern_table_sizes().items():
+        o.metrics.gauge("instr.intern_entries", table=table).set(size)
 
 
 def record_run_overhead(stage: str, machine) -> None:

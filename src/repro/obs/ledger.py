@@ -3,12 +3,20 @@
 Diogenes' thesis is honest measurement, and honesty starts at home: a
 tool that cannot say how much it perturbs the program it measures is
 asking to be trusted, not checked.  The ledger keeps per-stage accounts
-of the reproduction's own overhead, split into four buckets:
+of the reproduction's own overhead, split into six buckets:
 
 ``callbacks``
     Wall time spent inside instrumentation entry/exit callbacks —
     estimated as *probe hits × calibrated per-fire cost* (counting hits
     is free; timing every fire would itself perturb).
+``record``
+    Wall time the collection stages spend *storing* each traced event
+    — estimated as *events × calibrated per-event record cost*, with
+    separate calibrated units for the row engine (one dataclass + meta
+    dict per event) and the columnar engine (a handful of appends into
+    preallocated columns).  This is the account the collection fast
+    path shrinks: same events, roughly an order of magnitude less tool
+    time per event.
 ``hashing``
     Wall time spent computing transfer-payload digests in the stage-3
     hashing run, measured directly around the digest calls.
@@ -50,7 +58,8 @@ import time
 from dataclasses import dataclass, field
 
 #: Ledger buckets, in reporting order.
-BUCKETS = ("callbacks", "hashing", "tracing", "analysis", "virtual")
+BUCKETS = ("callbacks", "record", "hashing", "tracing", "analysis",
+           "virtual")
 
 #: Iterations used when calibrating unit costs.
 CALIBRATION_ITERATIONS = 2000
@@ -86,6 +95,39 @@ def _calibrate_probe(iterations: int) -> float:
     return elapsed / iterations
 
 
+def _calibrate_record(iterations: int) -> tuple[float, float]:
+    """Measured per-event record cost of both collection engines.
+
+    Returns ``(row_seconds, columnar_seconds)``: the wall cost of
+    storing one traced event as a :class:`~repro.core.records.TraceEvent`
+    dataclass (the ``record_engine="rows"`` path) versus appending its
+    fields into a :class:`~repro.core.colbuild.Stage2Builder` (the
+    columnar path).  Both loops store the same logical event, so the
+    ratio is the honest per-event speedup the ledger reports.
+    """
+    from repro.core.colbuild import Stage2Builder
+    from repro.core.records import SiteKey, TraceEvent
+    from repro.instr.stacks import StackTrace
+
+    stack = StackTrace(frames=())
+    site = SiteKey(address_key=(), occurrence=0)
+    rows: list = []
+    start = time.perf_counter()
+    for i in range(iterations):
+        rows.append(TraceEvent(
+            seq=i, api_name="noop", stack=stack, site=site,
+            t_entry=0.0, t_exit=0.0, sync_wait=0.0, is_sync=False,
+            is_transfer=False, nbytes=0, direction=""))
+    row_unit = (time.perf_counter() - start) / iterations
+
+    builder = Stage2Builder()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        builder.append(stack, 0, "noop", 0.0, 0.0, None)
+    columnar_unit = (time.perf_counter() - start) / iterations
+    return row_unit, columnar_unit
+
+
 def _calibrate_span(iterations: int) -> float:
     """Measured wall cost of opening + closing one tracer span."""
     from repro.obs.tracer import Tracer
@@ -119,8 +161,11 @@ class PerturbationLedger:
 
     def calibrate(self, iterations: int = CALIBRATION_ITERATIONS) -> dict:
         """(Re-)measure unit costs with the no-op probe; returns them."""
+        record_row, record_columnar = _calibrate_record(iterations)
         self.calibration = {
             "probe_fire_seconds": _calibrate_probe(iterations),
+            "record_row_seconds": record_row,
+            "record_columnar_seconds": record_columnar,
             "span_seconds": _calibrate_span(iterations),
             "iterations": iterations,
         }
@@ -151,6 +196,25 @@ class PerturbationLedger:
         self.ensure_calibrated()
         unit = self.calibration["probe_fire_seconds"]
         self.charge(stage, "callbacks", hits * unit, events=hits)
+
+    def charge_record(self, stage: str, events: int,
+                      engine: str = "columnar") -> None:
+        """Charge ``events`` stored records at the engine's unit cost.
+
+        ``engine`` selects which calibrated unit applies: ``"rows"``
+        charges the dataclass-per-event cost, ``"columnar"`` the
+        column-append cost.  Same event count, different honest price —
+        this is where the collection fast path shows up in
+        ``meta.overhead``.
+        """
+        if events <= 0:
+            return
+        self.ensure_calibrated()
+        key = ("record_columnar_seconds" if engine == "columnar"
+               else "record_row_seconds")
+        unit = self.calibration.get(key, 0.0)
+        if unit > 0.0:
+            self.charge(stage, "record", events * unit, events=events)
 
     def charge_tracing(self, stage: str, spans: int) -> None:
         """Charge ``spans`` span open/closes at the calibrated cost."""

@@ -371,6 +371,10 @@ class ServiceDaemon:
         for state in STATES:
             obs.gauge("service.jobs", counts[state], state=state)
         obs.gauge("service.store_reports", len(self.store))
+        # Intern-table sizes: the one process-wide unbounded structure.
+        # Scraping /metrics shows growth across jobs and the drop after
+        # a worker-loop reset (see WorkerNode._reset_intern_tables).
+        obs.record_intern_tables()
         self.fleet.refresh_gauges()
 
     # ------------------------------------------------------------------

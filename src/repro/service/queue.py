@@ -79,6 +79,10 @@ class Job:
     #: Lease deadline (``time.time``) for remote claims; ``None`` when
     #: unleased.  An expired lease returns the job to ``submitted``.
     lease_expires: float | None = None
+    #: ``time.time`` of the most recent claim; ``None`` until first
+    #: claimed.  ``claimed - created`` is the job's queue wait — the
+    #: number the worker pull cadence directly controls.
+    claimed: float | None = None
 
     def to_json(self) -> dict:
         # Hand-rolled rather than ``dataclasses.asdict``: this runs on
@@ -248,6 +252,7 @@ class JobQueueBackend(abc.ABC):
                       lease_seconds: float | None) -> None:
         self._transition(job, RUNNING)
         job.attempts += 1
+        job.claimed = time.time()
         job.worker = worker
         job.lease_expires = (time.time() + lease_seconds
                              if lease_seconds is not None else None)

@@ -23,6 +23,11 @@ class OpKind(enum.Enum):
     COPY_D2D = "copy_d2d"
     MEMSET = "memset"
 
+    # Members are singletons, so identity hashing is equivalent to
+    # Enum's Python-level name hash — and every simulated device op
+    # hashes its kind several times (engine pick, per-kind counters).
+    __hash__ = object.__hash__
+
     @property
     def is_copy(self) -> bool:
         return self in (OpKind.COPY_H2D, OpKind.COPY_D2H, OpKind.COPY_D2D)
@@ -35,7 +40,7 @@ def _next_op_id() -> int:
     return next(_op_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceOp:
     """A single GPU operation with its (eagerly computed) schedule.
 

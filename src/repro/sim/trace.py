@@ -9,8 +9,11 @@ did.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterator
+
+_CPU_CATEGORIES = frozenset({"work", "api", "wait"})
 
 
 @dataclass(frozen=True)
@@ -52,17 +55,48 @@ class CpuInterval:
 
 
 class TimelineRecorder:
-    """Accumulates CPU intervals and exposes simple aggregations."""
+    """Accumulates CPU intervals and exposes simple aggregations.
+
+    Columnar at birth: :meth:`record_cpu` runs several times per
+    simulated API call, so intervals are stored as parallel columns
+    (two float arrays + two string lists) and the
+    :class:`CpuInterval` row objects materialize lazily through the
+    :attr:`cpu_intervals` view — renderers and tests that want rows
+    still get them, the hot append path allocates none.
+    """
 
     def __init__(self) -> None:
-        self.cpu_intervals: list[CpuInterval] = []
+        self._starts = array("d")
+        self._ends = array("d")
+        self._categories: list[str] = []
+        self._labels: list[str] = []
+        self._view: list[CpuInterval] | None = None
 
     def record_cpu(self, start: float, end: float, category: str, label: str) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: [{start}, {end}]")
-        if category not in ("work", "api", "wait"):
+        if category not in _CPU_CATEGORIES:
             raise ValueError(f"unknown CPU interval category {category!r}")
-        self.cpu_intervals.append(CpuInterval(start, end, category, label))
+        self._starts.append(start)
+        self._ends.append(end)
+        self._categories.append(category)
+        self._labels.append(label)
+        self._view = None
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    @property
+    def cpu_intervals(self) -> list[CpuInterval]:
+        """Row view of the recorded intervals (materialized on demand)."""
+        view = self._view
+        if view is None:
+            view = self._view = [
+                CpuInterval(s, e, c, l)
+                for s, e, c, l in zip(self._starts, self._ends,
+                                      self._categories, self._labels)
+            ]
+        return view
 
     # ------------------------------------------------------------------
     # Aggregations
@@ -70,24 +104,44 @@ class TimelineRecorder:
     def total(self, category: str | None = None, label: str | None = None) -> float:
         """Summed duration of matching intervals."""
         return sum(
-            iv.duration
-            for iv in self.cpu_intervals
-            if (category is None or iv.category == category)
-            and (label is None or iv.label == label)
+            e - s
+            for s, e, c, l in zip(self._starts, self._ends,
+                                  self._categories, self._labels)
+            if (category is None or c == category)
+            and (label is None or l == label)
         )
 
     def intervals(self, category: str | None = None) -> Iterator[CpuInterval]:
-        for iv in self.cpu_intervals:
-            if category is None or iv.category == category:
-                yield iv
+        if category is None:
+            yield from self.cpu_intervals
+            return
+        for s, e, c, l in zip(self._starts, self._ends,
+                              self._categories, self._labels):
+            if c == category:
+                yield CpuInterval(s, e, c, l)
+
+    def spans(self, category: str, labels) -> list[tuple[float, float]]:
+        """``(start, end)`` pairs for a category, filtered by label set.
+
+        The tuple-only variant of :meth:`intervals` for high-volume
+        consumers (stage 2 collects one instrumentation interval per
+        probe charge): same pairs, no :class:`CpuInterval` objects.
+        """
+        return [
+            (s, e)
+            for s, e, c, l in zip(self._starts, self._ends,
+                                  self._categories, self._labels)
+            if c == category and l in labels
+        ]
 
     def by_label(self, category: str | None = None) -> dict[str, float]:
         """Total duration per label, optionally filtered by category."""
         out: dict[str, float] = {}
-        for iv in self.cpu_intervals:
-            if category is not None and iv.category != category:
+        for s, e, c, l in zip(self._starts, self._ends,
+                              self._categories, self._labels):
+            if category is not None and c != category:
                 continue
-            out[iv.label] = out.get(iv.label, 0.0) + iv.duration
+            out[l] = out.get(l, 0.0) + (e - s)
         return out
 
 

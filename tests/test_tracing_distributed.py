@@ -315,8 +315,8 @@ class TestPerturbationLedger:
         exported = ledger.as_json()
         assert exported["stages"] == {
             "stage1": {"hashing": {"seconds": 0.1, "events": 3}}}
-        assert set(BUCKETS) == {"callbacks", "hashing", "tracing",
-                                "analysis", "virtual"}
+        assert set(BUCKETS) == {"callbacks", "record", "hashing",
+                                "tracing", "analysis", "virtual"}
 
 
 # ----------------------------------------------------------------------
