@@ -24,7 +24,12 @@ against:
   1M-event workload (classify, graph build, benefit, groupings,
   sequences) vs the row-by-row reference engine on a subsample of the
   same trace.  Both engines produce identical problems (asserted);
-  the columnar engine must clear the >= 10x events/sec floor.
+  the columnar engine must clear the >= 10x events/sec floor;
+* **streaming** — the same 1M-event firehose with a live
+  :class:`repro.stream.StreamAnalyzer` subscribed: collection
+  events/sec under streaming, per-snapshot recompute latency, and the
+  end-to-end overhead vs the unsubscribed collection pass.  The
+  geometric snapshot cadence must keep that overhead within 15%.
 
 Standalone::
 
@@ -87,6 +92,11 @@ COLLECTION_FLOORS = {
     "stage3_hashing": 18_431.0,
     "stage4_syncuse": 23_973.0,
 }
+
+#: Fraction of batch collection wall the streaming subscription may
+#: add on the 1M-event firehose (the ISSUE's acceptance criterion:
+#: streaming throughput within 15% of batch collection throughput).
+STREAM_OVERHEAD_BUDGET = 0.15
 
 
 # ----------------------------------------------------------------------
@@ -270,6 +280,61 @@ def bench_collection(n: int = COLLECTION_EVENTS,
         "identity_events": identity_n,
         "byte_identical_reports": byte_identical,
         "stages": stages,
+    }
+
+
+# ----------------------------------------------------------------------
+# Streaming: the firehose with a live incremental analyzer subscribed
+# ----------------------------------------------------------------------
+def bench_streaming(batch_stages: dict,
+                    n: int = COLLECTION_EVENTS) -> dict:
+    """One subscribed collection pass over the 1M-event firehose.
+
+    ``batch_stages`` is ``bench_collection``'s per-stage result for the
+    same ``n`` — the unsubscribed reference walls, reused rather than
+    re-measured (a second 1M batch pass would double the bench's
+    runtime for no extra information).  Asserts the streaming overhead
+    budget and that the final snapshot matched the batch analysis.
+    """
+    from repro.stream import StreamAnalyzer, subscribed
+
+    batch_wall = sum(row["wall_seconds"] for row in batch_stages.values())
+
+    analyzer = StreamAnalyzer()
+    with subscribed(analyzer):
+        stream_walls, _ = _run_collection(n, DiogenesConfig())
+    # Same scope on both sides: collection stage walls (report assembly
+    # is excluded from batch_stages too, and the final snapshot it
+    # fires is a hand-off of the batch result, not a recompute).
+    stream_wall = sum(stream_walls.values())
+
+    assert analyzer.final is not None, \
+        "the subscribed run must publish a final snapshot"
+    assert analyzer.final["final"] and analyzer.final["problem_count"] > 0
+
+    overhead = stream_wall / batch_wall - 1.0 if batch_wall else 0.0
+    assert overhead <= STREAM_OVERHEAD_BUDGET, (
+        f"streaming subscription added {overhead * 100:.1f}% to the "
+        f"{n:,}-event collection run — over the "
+        f"{STREAM_OVERHEAD_BUDGET * 100:.0f}% budget")
+
+    rolling = [s["snapshot_seconds"] for s in analyzer.snapshots
+               if not s["final"]]
+    events_seen = analyzer.final["events_seen"]["total"]
+    return {
+        "events": n,
+        "events_seen": events_seen,
+        "snapshots": len(analyzer.snapshots),
+        "batch_wall_seconds": round(batch_wall, 4),
+        "streamed_wall_seconds": round(stream_wall, 4),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": STREAM_OVERHEAD_BUDGET,
+        "events_per_second": round(events_seen / stream_wall, 0),
+        "snapshot_latency_mean_seconds": round(
+            sum(rolling) / len(rolling), 6) if rolling else 0.0,
+        "snapshot_latency_max_seconds": round(
+            max(rolling), 6) if rolling else 0.0,
+        "final_problem_count": analyzer.final["problem_count"],
     }
 
 
@@ -553,10 +618,12 @@ def bench_analysis(n: int = 1_000_000, reference_n: int = 40_000) -> dict:
 
 # ----------------------------------------------------------------------
 def generate() -> dict:
+    collection = bench_collection()
     results = {
         "schema": SCHEMA,
         **bench_stages(),
-        "collection": bench_collection(),
+        "collection": collection,
+        "streaming": bench_streaming(collection["stages"]),
         "hashing": bench_hashing(),
         "interning": bench_interning(),
         "columnar": bench_columnar(),
@@ -605,6 +672,15 @@ def render(results: dict) -> str:
                  f"columnar ({a['events']:,} events) vs "
                  f"{a['reference_events_per_second']:,.0f} events/s reference "
                  f"({a['speedup']}x)")
+    s = results.get("streaming")
+    if s:
+        lines.append(
+            f"  streaming {s['events_per_second']:,.0f} events/s with "
+            f"{s['snapshots']} snapshots (latency mean "
+            f"{fmt_s(s['snapshot_latency_mean_seconds'])}, max "
+            f"{fmt_s(s['snapshot_latency_max_seconds'])}); overhead "
+            f"{s['overhead_fraction'] * 100:+.1f}% of batch "
+            f"(budget {s['overhead_budget'] * 100:.0f}%)")
     return "\n".join(lines)
 
 
@@ -643,6 +719,7 @@ def _regressions(baseline: dict, current: dict,
         ("interning", "interned_keys_per_second"),
         ("columnar", "columnar_roundtrip_mb_per_second"),
         ("analysis", "columnar_events_per_second"),
+        ("streaming", "events_per_second"),
     ]
     for section, key in rate_keys:
         before = baseline.get(section, {}).get(key)
@@ -734,6 +811,9 @@ def test_hotpath_floors():
     assert coll["byte_identical_reports"]
     for name, row in coll["stages"].items():
         assert row["events_per_second"] >= COLLECTION_FLOORS[name], name
+    stream = results["streaming"]
+    assert stream["overhead_fraction"] <= STREAM_OVERHEAD_BUDGET
+    assert stream["final_problem_count"] > 0
     archive("hotpath", render(results))
 
 

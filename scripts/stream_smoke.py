@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""CI streaming smoke: live ranked problems before the job finishes.
+
+Drives the streaming layer end to end against a real daemon process:
+
+1. start ``diogenes serve``;
+2. submit a multi-second workload and, while it is still RUNNING,
+   long-poll ``/events`` until a *non-final* ``stream.snapshot``
+   arrives with at least one ranked problem — the acceptance
+   criterion: problems surface before the run completes;
+3. fetch ``/dashboard`` and sanity-check the HTML (200, the
+   ranked-problems table and the event-stream wiring are present);
+4. let the job finish and assert the final snapshot's ranked
+   problems are byte-identical to the stored report's;
+5. capture ``diogenes tail --json`` for the whole job as an NDJSON
+   artifact (every line must parse; snapshots must appear).
+
+The NDJSON tail lands in ``--artifact-dir`` for CI artifact upload.
+Exit status is the verdict; every check prints what it saw.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_DIR))
+
+from repro.service import DONE, RUNNING, ServiceClient, ServiceError  # noqa: E402
+
+#: Long enough to stream mid-run snapshots (~3s wall), short enough
+#: for a smoke job.
+WORKLOAD = "synthetic-unnecessary-sync"
+ITERATIONS = 4000
+
+DASHBOARD_MARKERS = ("<!DOCTYPE html>", "Ranked problems",
+                     "stream.snapshot", "events.dropped", "/events?job=")
+
+
+def _cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro.core.cli", *args]
+
+
+def _spawn(argv: list[str], **popen_kwargs) -> subprocess.Popen:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    return subprocess.Popen(argv, env=env, **popen_kwargs)
+
+
+def _wait_healthy(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.health()
+            return
+        except ServiceError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8795)
+    parser.add_argument("--artifact-dir", type=pathlib.Path,
+                        default=pathlib.Path("stream-artifacts"))
+    args = parser.parse_args()
+    args.artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    base_url = f"http://127.0.0.1:{args.port}"
+    client = ServiceClient(base_url)
+    with tempfile.TemporaryDirectory(prefix="dio-stream-smoke-") as data_dir:
+        daemon = _spawn(_cli("serve", "--port", str(args.port),
+                             "--data-dir", data_dir),
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL)
+        try:
+            _wait_healthy(client)
+            print(f"daemon healthy on {base_url}")
+
+            job = client.submit(WORKLOAD,
+                                {"iterations": ITERATIONS})["job"]
+            job_id = job["id"]
+            print(f"submitted {job_id}: {WORKLOAD} "
+                  f"iterations={ITERATIONS}")
+
+            # Tail the whole stream as NDJSON in parallel — the CI
+            # artifact, and the satellite check that --json emits one
+            # parseable JSON object per line.
+            ndjson_path = args.artifact_dir / f"{job_id}.ndjson"
+            tail = _spawn(_cli("tail", job_id, "--json",
+                               "--url", base_url),
+                          stdout=open(ndjson_path, "w"),
+                          stderr=subprocess.DEVNULL)
+
+            # 2. A mid-run snapshot with ranked problems, while RUNNING.
+            midrun = None
+            after = 0
+            deadline = time.monotonic() + 120.0
+            while midrun is None:
+                assert time.monotonic() < deadline, \
+                    "no mid-run snapshot with problems before completion"
+                resp = client.events(job_id, after=after, timeout=5)
+                after = resp["last_seq"]
+                for ev in resp["events"]:
+                    if (ev["event"] == "stream.snapshot"
+                            and not ev["final"]
+                            and ev["problem_count"] >= 1):
+                        midrun = ev
+                        break
+                state = resp.get("state") or client.job(job_id)["state"]
+                if midrun is not None:
+                    assert state == RUNNING, (
+                        f"snapshot seen only after the job left RUNNING "
+                        f"({state})")
+                elif resp["done"]:
+                    raise AssertionError(
+                        "job finished before any mid-run snapshot "
+                        "carried a ranked problem")
+            print(f"mid-run snapshot v{midrun['version']} while RUNNING: "
+                  f"{midrun['problem_count']} problems, "
+                  f"events={midrun['events_seen']['total']}, "
+                  f"benefit={midrun['total_benefit']:.6f}s")
+
+            # 3. The dashboard serves and looks like itself.
+            with urllib.request.urlopen(f"{base_url}/dashboard",
+                                        timeout=10) as resp:
+                assert resp.status == 200, resp.status
+                ctype = resp.headers.get("Content-Type", "")
+                assert ctype.startswith("text/html"), ctype
+                html = resp.read().decode()
+            for marker in DASHBOARD_MARKERS:
+                assert marker in html, f"dashboard lost {marker!r}"
+            print(f"dashboard OK: 200 text/html, {len(html)} bytes, "
+                  f"{len(DASHBOARD_MARKERS)} markers present")
+
+            # 4. Final snapshot == stored report, byte for byte.
+            done = client.wait(job_id, timeout=300.0)
+            assert done["state"] == DONE, done
+            final = None
+            while True:
+                resp = client.events(job_id, after=after, timeout=5)
+                after = resp["last_seq"]
+                for ev in resp["events"]:
+                    if ev["event"] == "stream.snapshot" and ev["final"]:
+                        final = ev
+                if resp["done"]:
+                    break
+            assert final is not None, "no final snapshot in the stream"
+            stored = client.report(done["report_key"])
+            assert (json.dumps(final["problems"], sort_keys=True)
+                    == json.dumps(stored["problems"], sort_keys=True)), \
+                "final streamed ranking differs from the stored report"
+            print(f"final snapshot v{final['version']}: "
+                  f"{final['problem_count']} problems, byte-identical "
+                  f"to stored report {done['report_key'][:12]}")
+
+            # 5. The NDJSON artifact: every line parses, snapshots there.
+            assert tail.wait(timeout=60) == 0, "tail --json exited non-zero"
+            lines = ndjson_path.read_text().splitlines()
+            events = [json.loads(line) for line in lines]
+            names = [e["event"] for e in events]
+            assert "stream.snapshot" in names, names
+            assert names[-1] == "job.done", names[-1]
+            print(f"NDJSON artifact {ndjson_path}: {len(lines)} lines, "
+                  f"{names.count('stream.snapshot')} snapshots")
+
+            client.shutdown()
+            daemon.wait(timeout=30)
+            print("stream smoke: all checks passed")
+            return 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -242,18 +242,41 @@ def classify_table(table: EventTable, stage3: Stage3Data, stage4: Stage4Data,
     )
 
 
-def _analyze_table(stage1: Stage1Data, stage2: Stage2Data,
-                   stage3: Stage3Data, stage4: Stage4Data, *,
-                   misplaced_min_delay: float,
-                   benefit_config: BenefitConfig | None) -> AnalysisResult:
-    """The columnar engine behind :func:`analyze`."""
-    table = stage2.table()
+def analyze_columns(table: EventTable, stage3: Stage3Data,
+                    stage4: Stage4Data, *,
+                    execution_time: float,
+                    collection_time: float,
+                    instrumentation_intervals=(),
+                    misplaced_min_delay: float = 50e-6,
+                    benefit_config: BenefitConfig | None = None,
+                    materialize_limit: int | None = None,
+                    ) -> AnalysisResult:
+    """The vectorized stage-5 core: verdicts → graph → benefit → rank.
+
+    This is the single analysis path shared by batch
+    (:func:`analyze`'s columnar engine hands it the finished run's
+    table) and streaming (:class:`repro.stream.StreamAnalyzer` hands
+    it prefix tables plus partial stage-3/4 evidence per window) — one
+    implementation, so the two cannot drift.
+
+    ``execution_time`` is the stage-1 baseline the result reports
+    against; ``collection_time`` is the stage-2 run's elapsed time the
+    graph is built over.
+
+    ``materialize_limit`` caps how many ranked
+    :class:`ProblemRecord` objects are built (the ranking itself and
+    the vectorized state — graph, benefit, problem columns — always
+    cover every problem).  Streaming snapshots pass their display cap
+    here, since building a Python record per problem is the one
+    per-recompute cost that scales with problem count rather than
+    event count.  Batch callers leave it ``None``: a report must carry
+    the full list.
+    """
     verdicts = classify_table(
         table, stage3, stage4, misplaced_min_delay=misplaced_min_delay,
     )
     graph = build_graph_table(
-        table, verdicts, stage2.execution_time,
-        stage2.instrumentation_intervals,
+        table, verdicts, collection_time, instrumentation_intervals,
     )
     benefit = expected_benefit(graph, benefit_config)
 
@@ -269,8 +292,10 @@ def _analyze_table(stage1: Stage1Data, stage2: Stage2Data,
     dur = graph.duration
     fuc = graph.first_use
     pcodes = graph.problem_codes
+    keep = (len(order) if materialize_limit is None
+            else min(len(order), materialize_limit))
     problems: list[ProblemRecord] = []
-    for k in order.tolist():
+    for k in order[:keep].tolist():
         i = int(indices[k])
         row = int(rows[k])
         problems.append(ProblemRecord(
@@ -295,11 +320,26 @@ def _analyze_table(stage1: Stage1Data, stage2: Stage2Data,
         )
 
     return AnalysisResult(
-        execution_time=stage1.execution_time,
+        execution_time=execution_time,
         graph=graph,
         benefit=benefit,
         problems=problems,
         columns=columns,
+    )
+
+
+def _analyze_table(stage1: Stage1Data, stage2: Stage2Data,
+                   stage3: Stage3Data, stage4: Stage4Data, *,
+                   misplaced_min_delay: float,
+                   benefit_config: BenefitConfig | None) -> AnalysisResult:
+    """The columnar engine behind :func:`analyze`."""
+    return analyze_columns(
+        stage2.table(), stage3, stage4,
+        execution_time=stage1.execution_time,
+        collection_time=stage2.execution_time,
+        instrumentation_intervals=stage2.instrumentation_intervals,
+        misplaced_min_delay=misplaced_min_delay,
+        benefit_config=benefit_config,
     )
 
 

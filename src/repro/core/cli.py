@@ -30,6 +30,7 @@ The third execution path is the persistent analysis service
     diogenes fetch <report-key-or-job-id> --out r.json   # stored report
     diogenes fetch job-000001 --trace-out trace.json     # job's full trace
     diogenes tail job-000001                             # live event stream
+    diogenes tail job-000001 --problems                  # live ranked problems
     diogenes overhead r.json                             # perturbation ledger
     diogenes diff <key-a> <key-b>                        # regression diff
     diogenes diff old.json new.json                      # same, offline
@@ -216,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="server-side long-poll window per request "
                            "(default: 10)")
+    tail.add_argument("--problems", action="store_true",
+                      help="render the latest streaming snapshot's ranked "
+                           "problem table instead of raw event lines")
+    tail.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit each event as one NDJSON line (machine "
+                           "readable; mutually exclusive with --problems)")
     _add_url_flag(tail)
 
     overhead = sub.add_parser(
@@ -639,9 +646,31 @@ def _cmd_fetch(args) -> int:
     return 0
 
 
+def _render_tail_snapshot(ev: dict) -> None:
+    """One streaming snapshot as a ranked problem table (tail --problems)."""
+    seen = ev.get("events_seen", {}).get("total", 0)
+    head = (f"-- snapshot v{ev.get('version')}"
+            f"{' (final)' if ev.get('final') else ''}"
+            f"  stage={ev.get('stage') or '-'}  events={seen}"
+            f"  rate={ev.get('events_per_second', 0.0):.0f}/s"
+            f"  benefit={ev.get('total_benefit', 0.0):.6f}s")
+    print(head, flush=True)
+    problems = ev.get("problems") or []
+    if not problems:
+        print("   (no problems ranked yet)", flush=True)
+        return
+    for rank, p in enumerate(problems, start=1):
+        print(f"  {rank:>2}. {p['kind']:<22} {p['location']:<40} "
+              f"benefit={p['est_benefit']:.6f}s", flush=True)
+
+
 def _cmd_tail(args) -> int:
+    import json as _json
+
     from repro.service.queue import FAILED
 
+    if args.as_json and args.problems:
+        raise SystemExit("--json and --problems are mutually exclusive")
     client = _client(args)
     after = args.after
     while True:
@@ -649,9 +678,29 @@ def _cmd_tail(args) -> int:
                              timeout=args.poll_timeout)
         for ev in resp["events"]:
             after = max(after, ev["seq"])
+            if ev["event"] == "events.dropped":
+                # Always visible, even in machine modes: the ring
+                # wrapped past our cursor and the stream has a gap.
+                print(f"warning: {ev.get('count', '?')} events dropped "
+                      f"before seq {ev['seq']} (ring overflow; gap in "
+                      f"stream)", file=sys.stderr, flush=True)
+            if args.as_json:
+                print(_json.dumps(ev, sort_keys=True), flush=True)
+                continue
+            if args.problems:
+                if ev["event"] == "stream.snapshot":
+                    _render_tail_snapshot(ev)
+                continue
+            if ev["event"] == "events.dropped":
+                continue  # already reported on stderr above
             detail = "  ".join(
                 f"{k}={v}" for k, v in sorted(ev.items())
                 if k not in ("seq", "ts", "event", "job"))
+            if ev["event"] == "stream.snapshot":
+                detail = (f"version={ev.get('version')}  "
+                          f"events={ev.get('events_seen', {}).get('total')}  "
+                          f"problems={ev.get('problem_count')}  "
+                          f"benefit={ev.get('total_benefit', 0.0):.6f}")
             print(f"[{ev['seq']:>4}] {ev['event']:<16} {detail}".rstrip(),
                   flush=True)
         if resp.get("done"):
@@ -823,6 +872,15 @@ def main(argv: list[str] | None = None) -> int:
             return _SERVICE_COMMANDS[args.command](args)
         except ServiceError as exc:
             raise SystemExit(str(exc)) from exc
+        except BrokenPipeError:
+            # `diogenes tail --json | head` closes our stdout mid-
+            # stream; exit quietly like any well-behaved filter.  The
+            # dup2 keeps the interpreter's exit-time stdout flush from
+            # raising the same error again.
+            import os
+
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
 
     try:
         workload = registry.create(args.workload,

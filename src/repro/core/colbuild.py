@@ -68,13 +68,15 @@ class Stage1Builder:
     insertion order) is identical while each event hashes one int.
     """
 
-    __slots__ = ("_sites", "sync_functions", "wait_count")
+    __slots__ = ("_sites", "sync_functions", "wait_count", "sink")
 
     def __init__(self) -> None:
         # key -> [api_name, stack, count, total_wait]
         self._sites: dict[tuple[str, int], list] = {}
         self.sync_functions: set[str] = set()
         self.wait_count = 0
+        #: Subscribed :class:`repro.stream.sink.EventSink`, or ``None``.
+        self.sink = None
 
     def record_wait(self, api_name: str, stack, wait: float) -> None:
         self.wait_count += 1
@@ -85,6 +87,8 @@ class Stage1Builder:
             cell = self._sites[key] = [api_name, stack, 0, 0.0]
         cell[2] += 1
         cell[3] += wait
+        if self.sink is not None:
+            self.sink.on_append(self)
 
     @property
     def site_count(self) -> int:
@@ -117,7 +121,7 @@ class Stage2Builder:
                  "is_sync", "is_transfer", "api_codes", "api_pool",
                  "_api_index", "stack_codes", "stack_pool", "_stack_index",
                  "direction_codes", "direction_pool", "_dir_index",
-                 "sync_count", "transfer_count")
+                 "sync_count", "transfer_count", "sink")
 
     def __init__(self) -> None:
         self.t_entry = array("d")
@@ -141,6 +145,8 @@ class Stage2Builder:
         self._dir_index: dict[str, int] = {}
         self.sync_count = 0
         self.transfer_count = 0
+        #: Subscribed :class:`repro.stream.sink.EventSink`, or ``None``.
+        self.sink = None
 
     def __len__(self) -> int:
         return len(self.t_entry)
@@ -183,6 +189,8 @@ class Stage2Builder:
             code = self._dir_index[direction] = len(self.direction_pool)
             self.direction_pool.append(direction)
         self.direction_codes.append(code)
+        if self.sink is not None:
+            self.sink.on_append(self)
 
     def table(self):
         """The collected events as a zero-copy :class:`EventTable`."""
@@ -202,6 +210,34 @@ class Stage2Builder:
             occurrence=_np(self.occurrence, np.int64),
             direction_codes=_np(self.direction_codes, np.int32),
             direction_pool=self.direction_pool,
+        )
+
+    def table_prefix(self, n: int):
+        """An :class:`EventTable` over a *copy* of the first ``n`` rows.
+
+        Unlike :meth:`table` this never exports the live buffers, so
+        the builder stays appendable — it is the streaming tail's view
+        of an in-flight stage-2 run.  The pools are snapshotted too:
+        they are append-only, so the first ``n`` codes always resolve
+        against a prefix copy taken at or after row ``n``.
+        """
+        from repro.exec.table import EventTable
+
+        n = min(n, len(self.t_entry))
+        return EventTable.from_columns(
+            t_entry=_np(self.t_entry[:n], np.float64),
+            t_exit=_np(self.t_exit[:n], np.float64),
+            sync_wait=_np(self.sync_wait[:n], np.float64),
+            is_sync=_np(self.is_sync[:n], np.int8),
+            is_transfer=_np(self.is_transfer[:n], np.int8),
+            nbytes=_np(self.nbytes[:n], np.int64),
+            api_codes=_np(self.api_codes[:n], np.int32),
+            api_pool=list(self.api_pool),
+            stack_codes=_np(self.stack_codes[:n], np.int32),
+            stack_pool=list(self.stack_pool),
+            occurrence=_np(self.occurrence[:n], np.int64),
+            direction_codes=_np(self.direction_codes[:n], np.int32),
+            direction_pool=list(self.direction_pool),
         )
 
     def finish(self, execution_time: float, instrumentation_intervals=None):
@@ -243,7 +279,8 @@ class Stage3Builder:
     __slots__ = ("_su_stacks", "_su_occ", "_su_api", "_su_required",
                  "_su_file", "_su_line", "_su_addr", "_su_access_stacks",
                  "_open", "_th_stacks", "_th_occ", "_th_api", "_th_nbytes",
-                 "_th_dir", "_th_digest", "_th_first", "duplicate_count")
+                 "_th_dir", "_th_digest", "_th_first", "duplicate_count",
+                 "sink")
 
     def __init__(self) -> None:
         self._su_stacks: list = []
@@ -263,6 +300,8 @@ class Stage3Builder:
         self._th_digest: list[str] = []
         self._th_first: list = []
         self.duplicate_count = 0
+        #: Subscribed :class:`repro.stream.sink.EventSink`, or ``None``.
+        self.sink = None
 
     # --- sync uses -----------------------------------------------------
     @property
@@ -279,6 +318,8 @@ class Stage3Builder:
         self._su_line.append(0)
         self._su_addr.append(0)
         self._su_access_stacks.append(None)
+        if self.sink is not None:
+            self.sink.on_append(self)
 
     def record_access(self, stack) -> None:
         i = self._open
@@ -291,6 +332,8 @@ class Stage3Builder:
             self._su_line[i] = leaf.line
             self._su_addr[i] = leaf.address
         self._su_access_stacks[i] = stack
+        if self.sink is not None:
+            self.sink.on_append(self)
 
     # --- transfer hashes -----------------------------------------------
     @property
@@ -310,6 +353,8 @@ class Stage3Builder:
         self._th_first.append(first)
         if first is not None:
             self.duplicate_count += 1
+        if self.sink is not None:
+            self.sink.on_append(self)
 
     # --- materialization ------------------------------------------------
     def finish(self, execution_time: float):
@@ -362,12 +407,14 @@ class Stage3Builder:
 class Stage4Builder:
     """Columns for stage-4 first-use records."""
 
-    __slots__ = ("_stacks", "_occ", "_delay")
+    __slots__ = ("_stacks", "_occ", "_delay", "sink")
 
     def __init__(self) -> None:
         self._stacks: list = []
         self._occ = array("q")
         self._delay = array("d")
+        #: Subscribed :class:`repro.stream.sink.EventSink`, or ``None``.
+        self.sink = None
 
     def __len__(self) -> int:
         return len(self._occ)
@@ -376,6 +423,8 @@ class Stage4Builder:
         self._stacks.append(stack)
         self._occ.append(occurrence)
         self._delay.append(delay)
+        if self.sink is not None:
+            self.sink.on_append(self)
 
     def finish(self, execution_time: float):
         from repro.core.records import FirstUseRecord, SiteKey, Stage4Data

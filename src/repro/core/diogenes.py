@@ -23,6 +23,7 @@ from repro.core.stage2_tracing import run_stage2
 from repro.core.stage3_memtrace import run_stage3
 from repro.core.stage4_syncuse import run_stage4
 from repro.sim.machine import MachineConfig
+from repro.stream.sink import active_sink
 
 
 @dataclass(frozen=True)
@@ -208,6 +209,12 @@ def assemble_report(workload_name: str, stage1: Stage1Data,
         # engine's speedup shows up here (meta-only — body-safe).
         ledger.charge_analysis("stage5_analysis",
                                analysis_span.wall_duration)
+    sink = active_sink()
+    if sink is not None:
+        # The streaming layer's final snapshot is this exact analysis
+        # object — not a recomputation — which is what makes the
+        # streaming/batch byte-identity property hold by construction.
+        sink.analysis_completed(analysis)
     stage_times = {
         "stage1_baseline": stage1.execution_time,
         "stage2_tracing": stage2.execution_time,

@@ -20,6 +20,7 @@ from repro.core.records import Stage1Data, SyncSite
 from repro.instr.discovery import DiscoveryEvidence, discover_sync_function
 from repro.instr.probes import CallRecord, Probe
 from repro.runtime.context import ExecutionContext
+from repro.stream.sink import active_sink
 
 
 def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> Stage1Data:
@@ -38,8 +39,12 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
     dispatch = ctx.driver.dispatch
     engine = record_engine_of(config)
 
+    sink = active_sink() if engine == "columnar" else None
     if engine == "columnar":
         builder = Stage1Builder()
+        if sink is not None:
+            builder.sink = sink
+            sink.stage_started("stage1_baseline", builder)
 
         def on_wait_exit(record: CallRecord) -> None:
             root = dispatch.root_record
@@ -105,10 +110,13 @@ def run_stage1(workload, config, evidence: DiscoveryEvidence | None = None) -> S
     obs.gauge("core.stage_wall_seconds", sp.wall_duration,
               stage="stage1_baseline")
 
-    return Stage1Data(
+    data = Stage1Data(
         execution_time=ctx.elapsed,
         wait_symbol=wait_symbol,
         sync_sites=sync_sites,
         synchronizing_functions=sorted(sync_function_names),
         discovery_candidates=list(evidence.candidates),
     )
+    if sink is not None:
+        sink.stage_finished("stage1_baseline", data)
+    return data

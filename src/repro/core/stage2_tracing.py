@@ -15,6 +15,7 @@ from repro.core.records import Stage1Data, Stage2Data, TraceEvent
 from repro.core.rootprobe import DEFAULT_TRANSFER_FUNCTIONS, RootCall, RootTracker
 from repro.instr.probes import Probe
 from repro.runtime.context import ExecutionContext
+from repro.stream.sink import active_sink
 
 
 def traced_function_set(stage1: Stage1Data) -> set[str]:
@@ -33,8 +34,12 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
         probe_overhead=config.tracing_probe_overhead,
     )
 
+    sink = active_sink() if engine == "columnar" else None
     if engine == "columnar":
         builder = Stage2Builder()
+        if sink is not None:
+            builder.sink = sink
+            sink.stage_started("stage2_tracing", builder)
         append = builder.append
 
         def on_root_exit(root: RootCall) -> None:
@@ -132,7 +137,10 @@ def run_stage2(workload, stage1: Stage1Data, config) -> Stage2Data:
     instr_intervals = ctx.machine.timeline.spans(
         "api", ("instrumentation", "loadstore-instr"))
     if engine == "columnar":
-        return builder.finish(execution_time=ctx.elapsed,
+        data = builder.finish(execution_time=ctx.elapsed,
                               instrumentation_intervals=instr_intervals)
+        if sink is not None:
+            sink.stage_finished("stage2_tracing", data)
+        return data
     return Stage2Data(execution_time=ctx.elapsed, events=events,
                       instrumentation_intervals=instr_intervals)

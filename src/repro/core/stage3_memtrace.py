@@ -41,6 +41,7 @@ from repro.instr.loadstore import LoadStoreInstrumenter, WatchedRegion
 from repro.instr.probes import Probe
 from repro.instr.stacks import StackTrace
 from repro.runtime.context import ExecutionContext
+from repro.stream.sink import active_sink
 
 #: Allocation entry points that create GPU-writable CPU memory.
 #: Entry points that create CPU memory the GPU can write directly:
@@ -163,8 +164,12 @@ def run_stage3(workload, stage1: Stage1Data, config,
             return digest
         return _transfer_digest(meta, payload, nbytes)
 
+    sink = active_sink() if engine == "columnar" else None
     if engine == "columnar":
         builder = Stage3Builder()
+        if sink is not None:
+            builder.sink = sink
+            sink.stage_started(stage_name, builder)
 
         # --- transfer hashing + protected-region registration ---------
         def on_root_exit(root: RootCall) -> None:
@@ -321,7 +326,10 @@ def run_stage3(workload, stage1: Stage1Data, config,
               stage=f"stage3_{mode}")
 
     if engine == "columnar":
-        return builder.finish(execution_time=ctx.elapsed)
+        data = builder.finish(execution_time=ctx.elapsed)
+        if sink is not None:
+            sink.stage_finished(stage_name, data)
+        return data
 
     if open_sync is not None:
         sync_uses.append(open_sync)

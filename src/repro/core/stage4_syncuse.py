@@ -32,6 +32,7 @@ from repro.instr.loadstore import LoadStoreInstrumenter, WatchedRegion
 from repro.instr.probes import Probe
 from repro.instr.stacks import StackTrace
 from repro.runtime.context import ExecutionContext
+from repro.stream.sink import active_sink
 
 #: Entry points that create CPU memory the GPU can write directly:
 #: unified-memory allocations and pinned (zero-copy-capable) host pages.
@@ -68,8 +69,12 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
     )
 
     engine = record_engine_of(config)
+    sink = active_sink() if engine == "columnar" else None
     if engine == "columnar":
         builder = Stage4Builder()
+        if sink is not None:
+            builder.sink = sink
+            sink.stage_started("stage4_syncuse", builder)
     else:
         first_uses: list[FirstUseRecord] = []
     pending: _PendingSync | None = None
@@ -187,5 +192,8 @@ def run_stage4(workload, stage1: Stage1Data, stage3: Stage3Data, config) -> Stag
               stage="stage4_syncuse")
 
     if engine == "columnar":
-        return builder.finish(execution_time=ctx.elapsed)
+        data = builder.finish(execution_time=ctx.elapsed)
+        if sink is not None:
+            sink.stage_finished("stage4_syncuse", data)
+        return data
     return Stage4Data(execution_time=ctx.elapsed, first_uses=first_uses)

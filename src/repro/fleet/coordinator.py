@@ -188,14 +188,25 @@ class FleetCoordinator:
             return claimed
         return None
 
-    def heartbeat(self, worker_id: str, job_id: str) -> Job:
-        """Extend the worker's lease; raises on a lost lease."""
+    def heartbeat(self, worker_id: str, job_id: str,
+                  snapshot: dict | None = None) -> Job:
+        """Extend the worker's lease; raises on a lost lease.
+
+        ``snapshot`` is an optional rolling streaming snapshot from the
+        worker's in-flight run (see :mod:`repro.stream`); it is relayed
+        into the job's home ``/events`` stream, so ``diogenes tail``
+        against the coordinator sees ranked problems while the job is
+        still executing on a remote worker.
+        """
         self.touch(worker_id)
         job = self.queue.heartbeat(job_id, worker_id, self.lease_seconds)
         if job is None:
             raise StaleLeaseError(
                 f"lease on {job_id} is no longer held by {worker_id} "
                 "(expired and redelivered, or already finished)")
+        if snapshot is not None:
+            self._publish(job.id, "stream.snapshot", worker=worker_id,
+                          **snapshot)
         return job
 
     def expire(self) -> list[Job]:
@@ -216,9 +227,16 @@ class FleetCoordinator:
     # Completion
     # ------------------------------------------------------------------
     def complete(self, worker_id: str, job_id: str, identity: dict,
-                 report_encoded: dict, trace_batch: dict | None) -> dict:
+                 report_encoded: dict, trace_batch: dict | None,
+                 snapshot: dict | None = None) -> dict:
         """Accept a pushed result: store the report, stitch the trace,
-        resolve the job (and any queued duplicates of its key)."""
+        resolve the job (and any queued duplicates of its key).
+
+        ``snapshot`` is the worker's final streaming snapshot (see
+        :mod:`repro.stream`), relayed into the job's home ``/events``
+        stream before the terminal event so a tailing client sees the
+        full ranked problem list arrive ahead of ``job.done``.
+        """
         info = self.touch(worker_id)
         job = self.queue.get(job_id)
         if job is None:
@@ -252,6 +270,9 @@ class FleetCoordinator:
             return {"job": job.to_json(), "stale": True}
         # Publish before mark_done: an /events long-poll that observes
         # the terminal state must already see the terminal event.
+        if snapshot is not None:
+            self._publish(job.id, "stream.snapshot", worker=worker_id,
+                          **snapshot)
         self._publish(job.id, "job.done", report_key=key,
                       worker=worker_id)
         self.queue.mark_done(job, key)

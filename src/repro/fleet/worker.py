@@ -44,6 +44,7 @@ from repro.exec.jobs import WorkloadSpec
 from repro.obs.tracer import Tracer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.store import report_identity
+from repro.stream import StreamAnalyzer, subscribed
 
 
 def default_worker_id() -> str:
@@ -74,6 +75,12 @@ class WorkerNode:
         self.jobs_failed = 0
         self._stop = threading.Event()
         self._on_event = on_event or (lambda name, **fields: None)
+        #: Latest rolling snapshot from the in-flight job, written by
+        #: the executing thread and read by the heartbeat thread, which
+        #: relays each unseen version home with the lease renewal.
+        self._snap_lock = threading.Lock()
+        self._latest_snapshot: dict | None = None
+        self._sent_snapshot_version = 0
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -163,6 +170,9 @@ class WorkerNode:
         coordinator acknowledged it as stale), ``False`` on failure.
         """
         job_id = job["id"]
+        with self._snap_lock:
+            self._latest_snapshot = None
+            self._sent_snapshot_version = 0
         stop_heartbeat = threading.Event()
         beats = threading.Thread(
             target=self._heartbeat_loop, args=(job_id, stop_heartbeat),
@@ -175,9 +185,18 @@ class WorkerNode:
             config = config_from_json(job["config"])
             spec = WorkloadSpec.from_params(job["workload"], job["params"])
             identity = report_identity(spec, config)
+            # Rolling snapshots land in _latest_snapshot; the heartbeat
+            # thread relays them to the coordinator.  With jobs=1 the
+            # stages run inline on this thread, so the thread-scoped
+            # subscription tails the live builders; with a process pool
+            # only the final snapshot (from report assembly) exists.
+            analyzer = StreamAnalyzer(
+                misplaced_min_delay=config.misplaced_min_delay,
+                benefit_config=config.benefit,
+                publish=self._store_snapshot)
             with tracer.span("fleet.worker.job", job=job_id,
                              workload=job["workload"],
-                             worker=self.worker_id):
+                             worker=self.worker_id), subscribed(analyzer):
                 results = self.executor.run_workloads(
                     [spec], config, tracer=tracer)[spec]
                 report = report_from_stage_results(
@@ -197,7 +216,8 @@ class WorkerNode:
         pushed = self._push(lambda: self.client.fleet_complete(
             self.worker_id, job_id, dict(identity),
             encode_tree(report.to_json()),
-            tracer.export_batch(pid=os.getpid())), job_id)
+            tracer.export_batch(pid=os.getpid()),
+            snapshot=analyzer.final), job_id)
         if pushed:
             self.jobs_completed += 1
             self._on_event("worker.job_completed", job=job_id)
@@ -226,10 +246,22 @@ class WorkerNode:
         """
         interval = max(0.05, self.lease_seconds / 3.0)
         while not stop.wait(interval):
+            with self._snap_lock:
+                snapshot = self._latest_snapshot
+                if snapshot is not None \
+                        and snapshot["version"] <= self._sent_snapshot_version:
+                    snapshot = None  # already relayed this version
+                elif snapshot is not None:
+                    self._sent_snapshot_version = snapshot["version"]
             try:
-                self.client.fleet_heartbeat(self.worker_id, job_id)
+                self.client.fleet_heartbeat(self.worker_id, job_id,
+                                            snapshot=snapshot)
             except ServiceError as exc:
                 self._on_event("worker.heartbeat_lost", job=job_id,
                                error=str(exc))
                 if exc.status == 409:
                     return  # lease gone for good; stop renewing
+
+    def _store_snapshot(self, snapshot: dict) -> None:
+        with self._snap_lock:
+            self._latest_snapshot = snapshot

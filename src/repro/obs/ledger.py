@@ -3,7 +3,7 @@
 Diogenes' thesis is honest measurement, and honesty starts at home: a
 tool that cannot say how much it perturbs the program it measures is
 asking to be trusted, not checked.  The ledger keeps per-stage accounts
-of the reproduction's own overhead, split into six buckets:
+of the reproduction's own overhead, split into seven buckets:
 
 ``callbacks``
     Wall time spent inside instrumentation entry/exit callbacks —
@@ -31,6 +31,13 @@ of the reproduction's own overhead, split into six buckets:
     Unlike the collection buckets this cost is paid *after* the
     measured runs, but it is still tool time the user waits on; the
     columnar analysis core exists to shrink this account.
+``stream``
+    Wall time the streaming analyzer (:mod:`repro.stream`) spends
+    recomputing windowed snapshots while a collection run is still in
+    flight, measured directly around each recompute.  The charge lands
+    on the stage the snapshot interrupted — streaming is a convenience
+    bought with collection-time tool cost, and the ledger says exactly
+    how much.
 ``virtual``
     *Simulated* seconds the virtual clock was charged for modelled
     instrumentation (the ``"api"`` timeline intervals labelled
@@ -59,7 +66,7 @@ from dataclasses import dataclass, field
 
 #: Ledger buckets, in reporting order.
 BUCKETS = ("callbacks", "record", "hashing", "tracing", "analysis",
-           "virtual")
+           "stream", "virtual")
 
 #: Iterations used when calibrating unit costs.
 CALIBRATION_ITERATIONS = 2000

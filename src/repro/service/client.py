@@ -250,17 +250,32 @@ class ServiceClient:
         return self._request("POST", "/fleet/pull",
                              {"worker": worker})["job"]
 
-    def fleet_heartbeat(self, worker: str, job_id: str) -> dict:
-        """Extend the lease on a running job (409 when the lease is lost)."""
-        return self._request("POST", "/fleet/heartbeat",
-                             {"worker": worker, "job": job_id})
+    def fleet_heartbeat(self, worker: str, job_id: str,
+                        snapshot: dict | None = None) -> dict:
+        """Extend the lease on a running job (409 when the lease is lost).
+
+        ``snapshot`` optionally piggybacks the worker's latest rolling
+        streaming snapshot; the coordinator republishes it into the
+        job's ``/events`` stream (see ``docs/streaming.md``).
+        """
+        body = {"worker": worker, "job": job_id}
+        if snapshot is not None:
+            body["snapshot"] = snapshot
+        return self._request("POST", "/fleet/heartbeat", body)
 
     def fleet_complete(self, worker: str, job_id: str, identity: dict,
-                       report: dict, trace: dict | None = None) -> dict:
-        """Push a finished job home: identity + columnar report + spans."""
-        return self._request("POST", "/fleet/complete", {
-            "worker": worker, "job": job_id, "identity": identity,
-            "report": report, "trace": trace})
+                       report: dict, trace: dict | None = None,
+                       snapshot: dict | None = None) -> dict:
+        """Push a finished job home: identity + columnar report + spans.
+
+        ``snapshot`` optionally carries the final streaming snapshot,
+        relayed to the job's ``/events`` stream ahead of ``job.done``.
+        """
+        body = {"worker": worker, "job": job_id, "identity": identity,
+                "report": report, "trace": trace}
+        if snapshot is not None:
+            body["snapshot"] = snapshot
+        return self._request("POST", "/fleet/complete", body)
 
     def fleet_fail(self, worker: str, job_id: str, error: str) -> dict:
         return self._request("POST", "/fleet/fail", {

@@ -90,6 +90,7 @@ from repro.fleet.coordinator import FleetCoordinator, StaleLeaseError
 from repro.obs.tracer import Tracer
 from repro.service.queue import DONE, FAILED, STATES, Job
 from repro.service.store import MappedBody, report_identity
+from repro.stream import StreamAnalyzer, subscribed
 
 #: Events retained per job for the ``/events`` stream.
 _EVENTS_PER_JOB = 1000
@@ -178,6 +179,12 @@ class ServiceDaemon:
         #: append under the lock; the asyncio side reads snapshots).
         self._events: dict[str, list[dict]] = {}
         self._events_lock = threading.Lock()
+        #: Monotone per-job sequence counters — sequence numbers keep
+        #: climbing after the ring trims, so a client cursor can always
+        #: tell "new event" from "retained event it already saw".
+        self._event_seq: dict[str, int] = {}
+        #: Cumulative events trimmed from each job's ring.
+        self._events_dropped: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -280,17 +287,34 @@ class ServiceDaemon:
         """Append one event to a job's live stream (thread-safe)."""
         with self._events_lock:
             stream = self._events.setdefault(job_id, [])
-            event = {"seq": len(stream) + 1, "ts": time.time(),
+            seq = self._event_seq.get(job_id, 0) + 1
+            self._event_seq[job_id] = seq
+            event = {"seq": seq, "ts": time.time(),
                      "event": name, "job": job_id, **fields}
             stream.append(event)
             # Bounded: a runaway job must not grow memory without limit.
             if len(stream) > _EVENTS_PER_JOB:
-                del stream[:len(stream) - _EVENTS_PER_JOB]
+                dropped = len(stream) - _EVENTS_PER_JOB
+                del stream[:dropped]
+                self._events_dropped[job_id] = (
+                    self._events_dropped.get(job_id, 0) + dropped)
+                obs.count("service.events_dropped_total", dropped)
 
     def _job_events(self, job_id: str, after: int) -> list[dict]:
         with self._events_lock:
-            return [e for e in self._events.get(job_id, ())
-                    if e["seq"] > after]
+            stream = self._events.get(job_id, ())
+            events = [e for e in stream if e["seq"] > after]
+            if self._events_dropped.get(job_id) and stream \
+                    and after < stream[0]["seq"] - 1:
+                # The ring wrapped past this cursor.  A synthetic
+                # marker surfaces the gap — its seq is the last missed
+                # one, so the client's cursor still advances correctly.
+                events.insert(0, {
+                    "seq": stream[0]["seq"] - 1, "ts": time.time(),
+                    "event": "events.dropped", "job": job_id,
+                    "count": stream[0]["seq"] - 1 - after,
+                })
+            return events
 
     def _execute(self, job: Job) -> None:
         """Run one submission through the stage executor (worker thread).
@@ -318,8 +342,18 @@ class ServiceDaemon:
                 self.queue.mark_done(job, identity.key())
                 obs.count("service.jobs_completed", result="done")
                 return
+            # Rolling snapshots flow into the same per-job stream the
+            # stage events use.  With jobs=1 the executor runs stages
+            # inline on this thread, so the thread-scoped subscription
+            # reaches the live builders; with a process pool only the
+            # final snapshot (from report assembly) is published.
+            analyzer = StreamAnalyzer(
+                misplaced_min_delay=config.misplaced_min_delay,
+                benefit_config=config.benefit,
+                publish=lambda snap: self._publish(
+                    job.id, "stream.snapshot", **snap))
             with tracer.span("service.job", job=job.id,
-                             workload=job.workload):
+                             workload=job.workload), subscribed(analyzer):
                 results = self.executor.run_workloads(
                     [spec], config, tracer=tracer,
                     on_event=lambda e: self._publish(job.id, e.pop("event"),
@@ -448,6 +482,9 @@ class ServiceDaemon:
                 raw = payload["text"].encode()
                 await self._write(writer, status, raw,
                                   "text/plain; version=0.0.4", close=close)
+            elif route == "dashboard" and status == 200:
+                await self._write(writer, status, payload["html"].encode(),
+                                  "text/html; charset=utf-8", close=close)
             elif route == "report" and status == 200:
                 body = payload["raw"]
                 try:
@@ -516,6 +553,10 @@ class ServiceDaemon:
             self._refresh_gauges()
             return "metrics", 200, {
                 "text": self.session.metrics.to_prometheus()}
+        if url.path == "/dashboard" and method == "GET":
+            from repro.service.dashboard import DASHBOARD_HTML
+
+            return "dashboard", 200, {"html": DASHBOARD_HTML}
         if url.path == "/submit" and method == "POST":
             return "submit", 200, self._handle_submit(body)
         if url.path == "/jobs" and method == "GET":
@@ -592,7 +633,10 @@ class ServiceDaemon:
             return "fleet.pull", 200, {
                 "job": job.to_json() if job is not None else None}
         if action == "heartbeat":
-            job = self.fleet.heartbeat(field("worker"), field("job"))
+            snapshot = request.get("snapshot")
+            job = self.fleet.heartbeat(
+                field("worker"), field("job"),
+                snapshot=snapshot if isinstance(snapshot, dict) else None)
             return "fleet.heartbeat", 200, {"job": job.to_json()}
         if action == "complete":
             identity = request.get("identity")
@@ -603,9 +647,12 @@ class ServiceDaemon:
             # Store put + trace stitch do real work; keep the event
             # loop responsive while they run.
             try:
+                snapshot = request.get("snapshot")
                 reply = await asyncio.to_thread(
                     self.fleet.complete, field("worker"), field("job"),
-                    identity, report, request.get("trace"))
+                    identity, report, request.get("trace"),
+                    snapshot=snapshot if isinstance(snapshot, dict)
+                    else None)
             except KeyError as exc:
                 raise _HttpError(404, str(exc.args[0]))
             except ValueError as exc:

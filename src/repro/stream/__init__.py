@@ -1,0 +1,18 @@
+"""Streaming analysis: live tail over the collection stages.
+
+The package splits event *ingestion* from the stage *drivers*:
+:mod:`repro.stream.sink` is the subscribable seam the drivers notify,
+and :mod:`repro.stream.incremental` is the windowed analyzer that
+turns the live event flow into versioned ranked-problem snapshots.
+See ``docs/streaming.md``.
+"""
+
+from repro.stream.incremental import StreamAnalyzer
+from repro.stream.sink import EventSink, active_sink, subscribed
+
+__all__ = [
+    "EventSink",
+    "StreamAnalyzer",
+    "active_sink",
+    "subscribed",
+]

@@ -1,0 +1,71 @@
+"""The event-ingestion seam between stage drivers and consumers.
+
+The FFM stage drivers historically owned their events end to end: a
+probe callback appended into a columnar builder, and the only reader
+was :meth:`finish` at the end of the run.  Streaming analysis needs a
+*tail* over those same appends while the run is still in flight, which
+forces the split this module provides: drivers keep driving (probes,
+contexts, telemetry), and anything that wants to observe the event
+flow subscribes an :class:`EventSink` instead of patching the drivers.
+
+Subscriptions are **thread-scoped**, exactly like the observability
+session's ledger scope: the driver thread that runs the workload is
+the thread whose appends the sink sees, so two concurrent jobs in one
+process cannot cross their streams.  With no subscriber the cost on
+the hot path is one ``is None`` attribute test per event.
+
+This module is imported by the per-event hot path — keep it free of
+heavy imports (no numpy, no repro.core).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class EventSink:
+    """Receiver interface for the stage drivers' event flow.
+
+    Subclass and override what you need; every default is a no-op so a
+    sink only pays for the callbacks it cares about.  All callbacks
+    fire synchronously on the driver thread — a slow sink slows the
+    run, which is exactly why the streaming analyzer charges its own
+    cost to the perturbation ledger's ``stream`` bucket.
+    """
+
+    def stage_started(self, stage: str, builder=None) -> None:
+        """A collection stage began; ``builder`` is its live columnar
+        builder (``None`` for stages without a tailable builder)."""
+
+    def on_append(self, builder) -> None:
+        """One event landed in ``builder`` (the per-event hot path)."""
+
+    def stage_finished(self, stage: str, data) -> None:
+        """A stage completed; ``data`` is its finished stage dataclass."""
+
+    def analysis_completed(self, result) -> None:
+        """Batch stage-5 analysis ran; ``result`` is the
+        :class:`~repro.core.analysis.AnalysisResult` the report will
+        carry.  The streaming layer republishes it as the final
+        snapshot, which is what makes streaming/batch byte-identity
+        hold by construction."""
+
+
+_SCOPED = threading.local()
+
+
+def active_sink() -> EventSink | None:
+    """The sink subscribed on the calling thread, if any."""
+    return getattr(_SCOPED, "sink", None)
+
+
+@contextmanager
+def subscribed(sink: EventSink):
+    """Subscribe ``sink`` to every stage driver run on this thread."""
+    previous = active_sink()
+    _SCOPED.sink = sink
+    try:
+        yield sink
+    finally:
+        _SCOPED.sink = previous

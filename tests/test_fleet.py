@@ -454,6 +454,35 @@ class TestFleetEndToEnd:
             assert _metric_value(text, "repro_service_fleet_completions",
                                  worker="metrics-w") == 1
 
+    def test_worker_relays_streaming_snapshots_home(self, tmp_path):
+        # A short lease makes the worker heartbeat every lease/3 =
+        # 0.1s, so the ~1s workload relays rolling snapshots mid-run;
+        # the final snapshot always rides the completion push.
+        with running_daemon(tmp_path / "svc", workers=0,
+                            lease_seconds=0.3) as (client, _):
+            job = client.submit(APP, {"iterations": 2000})["job"]
+            _, thread = _run_worker(client.base_url, "streamer", max_jobs=1)
+            thread.join(60)
+            final_record = client.wait(job["id"], timeout=30)
+            collected, after = [], 0
+            for _ in range(100):
+                resp = client.events(job["id"], after=after, timeout=2)
+                collected += resp["events"]
+                after = resp["last_seq"]
+                if resp["done"]:
+                    break
+            snaps = [e for e in collected if e["event"] == "stream.snapshot"]
+            assert snaps, "worker snapshots must reach the home stream"
+            assert all(s["worker"] == "streamer" for s in snaps)
+            assert snaps[-1]["final"] is True
+            # The relayed final snapshot carries the stored report's
+            # ranked problems, byte for byte.
+            stored = client.report(final_record["report_key"])
+            assert (json.dumps(snaps[-1]["problems"], sort_keys=True)
+                    == json.dumps(stored["problems"], sort_keys=True))
+            names = [e["event"] for e in collected]
+            assert names.index("stream.snapshot") < names.index("job.done")
+
 
 # ----------------------------------------------------------------------
 # Backpressure: 429 + Retry-After, honoured end to end

@@ -481,6 +481,128 @@ class TestTraceAndEvents:
                   "--trace-out", str(out)])
 
 
+class TestStreamingAndDashboard:
+    def _collect_events(self, client, job_id, max_polls=100):
+        collected, after = [], 0
+        for _ in range(max_polls):
+            resp = client.events(job_id, after=after, timeout=5)
+            collected += resp["events"]
+            after = resp["last_seq"]
+            if resp["done"]:
+                return collected
+        raise AssertionError("job never reached a terminal state")
+
+    def test_events_carry_rolling_and_final_snapshots(self, service):
+        client, _ = service
+        job = client.submit(APP, PARAMS, force=True)["job"]
+        events = self._collect_events(client, job["id"])
+        snaps = [e for e in events if e["event"] == "stream.snapshot"]
+        assert snaps, "executed jobs must stream snapshots"
+        totals = [s["events_seen"]["total"] for s in snaps]
+        assert totals == sorted(totals), totals
+        final = snaps[-1]
+        assert final["final"] is True
+        assert final["problem_count"] >= 1
+        # The final snapshot's problems are the stored report's
+        # problems, byte for byte.
+        done = client.wait(job["id"])
+        stored = client.report(done["report_key"])
+        assert (json.dumps(final["problems"], sort_keys=True)
+                == json.dumps(stored["problems"], sort_keys=True))
+        # Snapshots precede job.done in the stream.
+        names = [e["event"] for e in events]
+        assert names.index("stream.snapshot") < names.index("job.done")
+
+    def test_midrun_snapshot_arrives_before_completion(self, service):
+        client, _ = service
+        # Big enough to run for a perceptible fraction of a second, so
+        # long-polls observe the job mid-flight.
+        job = client.submit(APP, {"iterations": 2000}, force=True)["job"]
+        saw_midrun_problems = False
+        after = 0
+        for _ in range(200):
+            resp = client.events(job["id"], after=after, timeout=5)
+            after = resp["last_seq"]
+            for ev in resp["events"]:
+                if (ev["event"] == "stream.snapshot"
+                        and not ev["final"] and ev["problem_count"] >= 1
+                        and resp["state"] == RUNNING):
+                    saw_midrun_problems = True
+            if resp["done"]:
+                break
+        assert saw_midrun_problems, (
+            "ranked problems must be visible while the job is running")
+
+    def test_dashboard_served_as_html(self, service):
+        client, _ = service
+        html = client._request("GET", "/dashboard")
+        assert isinstance(html, str)
+        for marker in ("<!DOCTYPE html>", "Ranked problems",
+                       "stream.snapshot", "events.dropped", "/events?job="):
+            assert marker in html
+
+    def test_ring_overflow_emits_dropped_marker_and_metric(
+            self, service, monkeypatch):
+        client, daemon = service
+        monkeypatch.setattr("repro.service.daemon._EVENTS_PER_JOB", 5)
+        job = client.wait(client.submit(APP, PARAMS, force=True)["job"]["id"])
+        resp = client.events(job["id"], after=0, timeout=1)
+        first = resp["events"][0]
+        assert first["event"] == "events.dropped"
+        assert first["count"] >= 1
+        assert first["count"] == first["seq"]  # after=0: all before survive
+        # The surviving tail is contiguous after the marker.
+        seqs = [e["seq"] for e in resp["events"]]
+        assert seqs == list(range(first["seq"], first["seq"] + len(seqs)))
+        assert resp["events"][-1]["event"] == "job.done"
+        # A cursor already past the gap sees no marker.
+        resp = client.events(job["id"], after=first["seq"], timeout=1)
+        assert all(e["event"] != "events.dropped" for e in resp["events"])
+        # The counter only sees drops that happen inside the daemon's
+        # observability session (submit-time publishes precede it), so
+        # assert presence and direction rather than an exact count.
+        dropped = _metric_sum(client.metrics(),
+                              "repro_service_events_dropped_total")
+        assert dropped >= 1
+
+    def test_tail_cli_json_emits_ndjson(self, service, capsys):
+        client, _ = service
+        job = client.submit(APP, PARAMS, force=True)["job"]
+        assert main(["tail", job["id"], "--json",
+                     "--url", client.base_url]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()]
+        names = [e["event"] for e in events]
+        assert "job.running" in names and "job.done" in names
+        assert "stream.snapshot" in names
+
+    def test_tail_cli_problems_renders_ranked_table(self, service, capsys):
+        client, _ = service
+        job = client.submit(APP, PARAMS, force=True)["job"]
+        assert main(["tail", job["id"], "--problems",
+                     "--url", client.base_url]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot v" in out and "(final)" in out
+        assert "unnecessary_synchronization" in out
+        assert "benefit=" in out
+
+    def test_tail_cli_json_and_problems_conflict(self, service):
+        client, _ = service
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["tail", "job-000001", "--json", "--problems",
+                  "--url", client.base_url])
+
+    def test_tail_cli_warns_on_dropped_events(self, service, capsys,
+                                              monkeypatch):
+        client, _ = service
+        monkeypatch.setattr("repro.service.daemon._EVENTS_PER_JOB", 5)
+        job = client.wait(client.submit(APP, PARAMS, force=True)["job"]["id"])
+        assert main(["tail", job["id"], "--url", client.base_url]) == 0
+        captured = capsys.readouterr()
+        assert "events dropped" in captured.err
+        assert "events.dropped" not in captured.out  # stderr-only warning
+
+
 class TestDaemonValidation:
     def test_unknown_workload_is_400(self, service):
         client, _ = service

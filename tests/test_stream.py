@@ -1,0 +1,244 @@
+"""Streaming analysis: the sink seam, incremental snapshots, batch parity.
+
+The load-bearing property here is the acceptance criterion from
+docs/streaming.md: the *final* streaming snapshot's ranked problems are
+byte-identical to what batch ``analyze()`` reports — checked on every
+golden app and over hypothesis-fuzzed workloads — and subscribing a
+sink never perturbs the report bytes themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.apps.base import registry
+from repro.core.cli import _load_workloads
+from repro.core.colbuild import Stage2Builder
+from repro.core.diogenes import Diogenes
+from repro.core.jsonio import dumps_report, problem_to_json
+from repro.instr.stacks import intern_frame, intern_stack
+from repro.stream import EventSink, StreamAnalyzer, active_sink, subscribed
+from tests.goldens import GOLDEN_APPS
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# The sink seam
+# ----------------------------------------------------------------------
+class _CountingSink(EventSink):
+    def __init__(self):
+        self.appends = 0
+        self.stages: list[str] = []
+        self.finished: list[str] = []
+
+    def on_append(self, builder):
+        self.appends += 1
+
+    def stage_started(self, stage, builder=None):
+        self.stages.append(stage)
+
+    def stage_finished(self, stage, data):
+        self.finished.append(stage)
+
+
+def test_no_sink_active_by_default():
+    assert active_sink() is None
+
+
+def test_subscribed_scopes_and_restores():
+    outer, inner = _CountingSink(), _CountingSink()
+    with subscribed(outer):
+        assert active_sink() is outer
+        with subscribed(inner):
+            assert active_sink() is inner
+        assert active_sink() is outer
+    assert active_sink() is None
+
+
+def test_subscription_is_thread_scoped():
+    seen = {}
+    with subscribed(_CountingSink()):
+        t = threading.Thread(
+            target=lambda: seen.setdefault("sink", active_sink()))
+        t.start()
+        t.join()
+    assert seen["sink"] is None, (
+        "a sink subscribed on one thread must not leak into another")
+
+
+def _stack(tag: int, depth: int = 2):
+    return intern_stack(tuple(
+        intern_frame(f"fn_{tag}_{d}", "app.cpp", 100 * tag + d)
+        for d in range(depth)))
+
+
+def test_builder_notifies_subscribed_sink_per_append():
+    sink = _CountingSink()
+    builder = Stage2Builder()
+    builder.sink = sink
+    stack = _stack(1)
+    for i in range(5):
+        builder.append(stack, i, "cudaLaunchKernel",
+                       float(i), float(i) + 0.5)
+    assert sink.appends == 5
+
+
+# ----------------------------------------------------------------------
+# table_prefix: a live, appendable view of the columns so far
+# ----------------------------------------------------------------------
+def _filled_builder(n: int = 6) -> Stage2Builder:
+    builder = Stage2Builder()
+    stack = _stack(2)
+    for i in range(n):
+        meta = None
+        if i % 2:
+            meta = {"sync_wait_total": 0.25, "sync_wait_count": 1.0}
+        builder.append(stack, i, f"api{i % 3}", float(i),
+                       float(i) + 0.5, meta)
+    return builder
+
+
+def test_table_prefix_matches_frozen_prefix():
+    builder = _filled_builder(6)
+    prefix = builder.table_prefix(4)
+    full = _filled_builder(6).table()
+    assert len(prefix) == 4
+    np.testing.assert_array_equal(prefix.t_entry, full.t_entry[:4])
+    np.testing.assert_array_equal(prefix.t_exit, full.t_exit[:4])
+    np.testing.assert_array_equal(prefix.is_sync, full.is_sync[:4])
+    np.testing.assert_array_equal(prefix.sync_wait, full.sync_wait[:4])
+    np.testing.assert_array_equal(prefix.api_codes, full.api_codes[:4])
+
+
+def test_table_prefix_keeps_builder_appendable():
+    builder = _filled_builder(3)
+    builder.table_prefix(3)
+    # A frozen table() would raise BufferError on the next append; the
+    # prefix copy must leave the live columns untouched.
+    builder.append(_stack(3, depth=1), 9, "cudaFree", 9.0, 9.5)
+    assert len(builder) == 4
+    assert len(builder.table()) == 4
+
+
+def test_table_prefix_clamps_to_length():
+    builder = _filled_builder(2)
+    assert len(builder.table_prefix(100)) == 2
+
+
+# ----------------------------------------------------------------------
+# Incremental snapshots vs batch analysis
+# ----------------------------------------------------------------------
+def _run_streaming(name: str, params: dict, **analyzer_kwargs):
+    _load_workloads()
+    # overhead_fraction=0 disables the self-limiting cadence: these
+    # runs finish in milliseconds, and the tests want every window's
+    # snapshot, not the production cost governor.
+    analyzer = StreamAnalyzer(window_events=4, overhead_fraction=0.0,
+                              **analyzer_kwargs)
+    with subscribed(analyzer):
+        report = Diogenes(registry.create(name, **params)).run()
+    return report, analyzer
+
+
+def _problems_json(problems) -> str:
+    return json.dumps([problem_to_json(p) for p in problems],
+                      sort_keys=True)
+
+
+@pytest.mark.parametrize("stem", sorted(GOLDEN_APPS))
+def test_final_snapshot_is_byte_identical_to_batch(stem):
+    name, params = GOLDEN_APPS[stem]
+    report, analyzer = _run_streaming(name, params)
+    assert analyzer.final is not None
+    assert analyzer.final["final"] is True
+    streamed = json.dumps(analyzer.final["problems"], sort_keys=True)
+    assert streamed == _problems_json(report.analysis.problems)
+    # And against a fully independent unsubscribed batch run:
+    _load_workloads()
+    batch = Diogenes(registry.create(name, **params)).run()
+    assert streamed == _problems_json(batch.analysis.problems)
+
+
+def test_subscription_does_not_perturb_report_bytes():
+    name, params = GOLDEN_APPS["synthetic"]
+    streamed_report, _ = _run_streaming(name, params)
+    _load_workloads()
+    batch_report = Diogenes(registry.create(name, **params)).run()
+    assert dumps_report(streamed_report) == dumps_report(batch_report)
+
+
+def test_snapshot_event_totals_are_monotone():
+    name, params = GOLDEN_APPS["synthetic"]
+    _, analyzer = _run_streaming(name, params)
+    totals = [s["events_seen"]["total"] for s in analyzer.snapshots]
+    assert len(totals) >= 3
+    assert totals == sorted(totals), totals
+    versions = [s["version"] for s in analyzer.snapshots]
+    assert versions == list(range(1, len(versions) + 1))
+
+
+def test_midrun_snapshots_carry_ranked_problems():
+    name, params = GOLDEN_APPS["synthetic"]
+    _, analyzer = _run_streaming(name, params)
+    midrun = [s for s in analyzer.snapshots if not s["final"]]
+    assert any(s["problem_count"] >= 1 for s in midrun), (
+        "ranked problems must surface before the run completes")
+
+
+def test_snapshot_payloads_are_json_safe():
+    name, params = GOLDEN_APPS["synthetic"]
+    _, analyzer = _run_streaming(name, params)
+    for snap in analyzer.snapshots:
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped["version"] == snap["version"]
+        assert set(snap["events_seen"]) == {
+            "stage1", "stage2", "stage3", "stage4", "total"}
+
+
+def test_publish_callback_sees_every_snapshot():
+    name, params = GOLDEN_APPS["synthetic"]
+    published = []
+    _, analyzer = _run_streaming(name, params, publish=published.append)
+    assert published == analyzer.snapshots
+    assert published[-1]["final"] is True
+
+
+def test_streaming_cost_lands_in_ledger_stream_bucket():
+    _load_workloads()
+    name, params = GOLDEN_APPS["synthetic"]
+    analyzer = StreamAnalyzer(window_events=4)
+    with obs.enabled() as o, subscribed(analyzer):
+        Diogenes(registry.create(name, **params)).run()
+    stream_cells = [cell for (stage, bucket), cell in o.ledger.cells.items()
+                    if bucket == "stream"]
+    assert stream_cells, "snapshot recomputes must charge the stream bucket"
+    assert sum(c.events for c in stream_cells) == len(analyzer.snapshots)
+
+
+# ----------------------------------------------------------------------
+# Property: fuzzed workloads agree with batch, snapshots stay monotone
+# ----------------------------------------------------------------------
+# No explicit @settings: max_examples/deadline come from the active
+# profile (`ci` in tier-1, `extended` under HYPOTHESIS_PROFILE).
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_property_streaming_matches_batch_on_fuzzed_workloads(seed):
+    from repro.fuzz import FuzzedApp
+
+    analyzer = StreamAnalyzer(window_events=4, overhead_fraction=0.0)
+    with subscribed(analyzer):
+        report = Diogenes(FuzzedApp(seed=seed)).run()
+    assert analyzer.final is not None, \
+        f"reproduce with: diogenes fuzz --seed {seed}"
+    assert (json.dumps(analyzer.final["problems"], sort_keys=True)
+            == _problems_json(report.analysis.problems)), \
+        f"reproduce with: diogenes fuzz --seed {seed}"
+    totals = [s["events_seen"]["total"] for s in analyzer.snapshots]
+    assert totals == sorted(totals), \
+        f"non-monotone {totals}; reproduce with: diogenes fuzz --seed {seed}"

@@ -316,7 +316,7 @@ class TestPerturbationLedger:
         assert exported["stages"] == {
             "stage1": {"hashing": {"seconds": 0.1, "events": 3}}}
         assert set(BUCKETS) == {"callbacks", "record", "hashing",
-                                "tracing", "analysis", "virtual"}
+                                "tracing", "analysis", "stream", "virtual"}
 
 
 # ----------------------------------------------------------------------
